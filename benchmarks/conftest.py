@@ -1,0 +1,69 @@
+"""Shared fixtures for the figure/table reproduction benches.
+
+Each bench regenerates one table or figure from the paper's evaluation:
+it computes the same rows/series the paper plots, prints them, and
+asserts the *shape* claims (who wins, by roughly what factor, where the
+crossovers fall).  Absolute values differ from the paper's testbed — see
+EXPERIMENTS.md for the side-by-side record.
+
+``REPRO_BENCH_CYCLES`` scales the simulated trace length (default 24576
+cycles per benchmark after warm-up).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import calibrated_supply
+from repro.experiments import (
+    HIGH_L2_MISS,
+    LOW_L2_MISS,
+    PROBLEMATIC,
+    QUIET,
+    simulate_suite,
+)
+from repro.workloads import SPEC_INT
+
+BENCH_CYCLES = int(os.environ.get("REPRO_BENCH_CYCLES", "24576"))
+
+
+@pytest.fixture(scope="session")
+def net100():
+    return calibrated_supply(100)
+
+
+@pytest.fixture(scope="session")
+def net125():
+    return calibrated_supply(125)
+
+
+@pytest.fixture(scope="session")
+def net150():
+    return calibrated_supply(150)
+
+
+@pytest.fixture(scope="session")
+def net200():
+    return calibrated_supply(200)
+
+
+@pytest.fixture(scope="session")
+def traces():
+    """Per-benchmark simulation results, shared across every bench."""
+    return simulate_suite(cycles=BENCH_CYCLES)
+
+
+def print_series(title: str, rows: dict, fmt: str = "{:8.3f}") -> None:
+    """Print one figure's data as aligned rows."""
+    print(f"\n--- {title} ---")
+    for key, value in rows.items():
+        if isinstance(value, (tuple, list, np.ndarray)):
+            body = "  ".join(fmt.format(v) for v in value)
+        else:
+            body = fmt.format(value)
+        print(f"  {str(key):10s} {body}")
+
+
+def suite_of(name: str) -> str:
+    return "int" if name in SPEC_INT else "fp"

@@ -1,0 +1,78 @@
+"""Ablation 3: estimator robustness across supply designs.
+
+The paper's method calibrates per-scale factors for one supply network;
+a designer will ask how the approach fares as the resonance point and
+sharpness move (package/decap choices shift both).  This ablation
+recalibrates and re-validates the Figure-9 estimate across a grid of
+(resonant frequency, Q), checking that accuracy is a property of the
+method rather than of one lucky operating point.
+"""
+
+import numpy as np
+
+from repro.core import WaveletVoltageEstimator, predict_trace
+from repro.power import PowerSupplyNetwork, calibrate_peak_impedance
+from repro.uarch import Simulator
+from repro.workloads import stressmark_stream
+
+BENCHES = ("gzip", "mcf", "mgrid", "galgel")
+GRID = (
+    (60e6, 5.0),
+    (100e6, 8.0),  # the paper-point used everywhere else
+    (150e6, 8.0),
+    (100e6, 12.0),
+)
+
+
+def _calibrated(res_hz, q, percent=150.0):
+    base = PowerSupplyNetwork(resonant_hz=res_hz, quality_factor=q)
+    half = max(1, int(round(base.resonant_period_cycles / 2)))
+    run = Simulator().run(stressmark_stream(half), 12288, name="stress")
+    z100 = calibrate_peak_impedance(base, run.current[1024:])
+    return base.with_peak_impedance(z100).with_scale(percent / 100.0)
+
+
+def _ablation(traces):
+    rows = {}
+    for res_hz, q in GRID:
+        net = _calibrated(res_hz, q)
+        estimator = WaveletVoltageEstimator(net)
+        errs = []
+        for name in BENCHES:
+            p = predict_trace(
+                net, traces[name].current, name=name, estimator=estimator
+            )
+            errs.append(p.error)
+        rows[(res_hz, q)] = {
+            "rms": float(np.sqrt(np.mean(np.array(errs) ** 2))),
+            "peak_level": estimator.factors.peak_level(),
+        }
+    return rows
+
+
+def test_abl03_resonance_sensitivity(benchmark, traces):
+    rows = benchmark.pedantic(_ablation, args=(traces,), rounds=1, iterations=1)
+
+    print("\n--- Ablation 3: estimator RMS error across supply designs ---")
+    print(f"  {'resonance':>10s} {'Q':>5s} {'RMS err':>8s} {'peak level':>11s}")
+    for (res_hz, q), row in rows.items():
+        print(f"  {res_hz / 1e6:8.0f}MHz {q:5.1f} {row['rms'] * 100:7.2f}% "
+              f"{row['peak_level']:11d}")
+
+    # The method holds up across designs, with a caveat worth recording:
+    # accuracy is best when the resonant period sits near a dyadic Haar
+    # scale (100 MHz -> 30 cycles ~ level 5's 32) and degrades when it
+    # falls between scales (60 MHz -> 50 cycles straddles levels 5 and 6),
+    # because the per-scale factors then split a coherent tone across two
+    # bands whose correlations are modelled independently.
+    for key, row in rows.items():
+        assert row["rms"] < 0.08, key
+    assert rows[(100e6, 8.0)]["rms"] < 0.03
+    assert rows[(100e6, 12.0)]["rms"] < 0.03
+    assert rows[(60e6, 5.0)]["rms"] > rows[(100e6, 8.0)]["rms"]
+
+    # And the calibration tracks the physics: the dominant wavelet scale
+    # moves with the resonant frequency (higher resonance -> finer scale).
+    lvl_60 = rows[(60e6, 5.0)]["peak_level"]
+    lvl_150 = rows[(150e6, 8.0)]["peak_level"]
+    assert lvl_150 < lvl_60

@@ -1,0 +1,80 @@
+"""Ablation 4: the pipeline-damping trade-off frontier.
+
+Pipeline damping's single knob is the allowed current delta.  Sweeping it
+maps the scheme's whole fault-suppression-vs-slowdown frontier; the point
+of the paper's comparison is that the wavelet controller sits strictly
+inside it (comparable suppression at a fraction of the cost).
+"""
+
+import numpy as np
+
+from repro.core import (
+    PipelineDampingController,
+    ThresholdController,
+    WaveletVoltageMonitor,
+    run_control_experiment,
+)
+
+DELTAS = (4.0, 8.0, 16.0, 32.0)
+CYCLES = 8192
+BENCH = "galgel"
+
+
+def _ablation(net):
+    frontier = {}
+    for delta in DELTAS:
+        frontier[delta] = run_control_experiment(
+            BENCH,
+            net,
+            lambda delta=delta: PipelineDampingController(
+                net, delta=delta, window=8
+            ),
+            cycles=CYCLES,
+        )
+    wavelet = run_control_experiment(
+        BENCH,
+        net,
+        lambda: ThresholdController(
+            WaveletVoltageMonitor(net, terms=13), net, margin=0.012
+        ),
+        cycles=CYCLES,
+    )
+    return frontier, wavelet
+
+
+def test_abl04_damping_delta(benchmark, net150):
+    frontier, wavelet = benchmark.pedantic(
+        _ablation, args=(net150,), rounds=1, iterations=1
+    )
+
+    print(f"\n--- Ablation 4: damping delta sweep on {BENCH} (150%) ---")
+    print(f"  {'scheme':14s} {'slowdown':>9s} {'faults':>14s} {'FP rate':>8s}")
+    for delta, r in frontier.items():
+        print(f"  damping d={delta:4.0f} {r.slowdown * 100:8.2f}% "
+              f"{r.baseline_faults:5d} -> {r.controlled_faults:5d} "
+              f"{r.false_positive_rate * 100:7.0f}%")
+    print(f"  wavelet K=13   {wavelet.slowdown * 100:8.2f}% "
+          f"{wavelet.baseline_faults:5d} -> {wavelet.controlled_faults:5d} "
+          f"{wavelet.false_positive_rate * 100:7.0f}%")
+
+    slowdowns = [frontier[d].slowdown for d in DELTAS]
+    faults = [frontier[d].controlled_faults for d in DELTAS]
+    # Tighter delta -> more intervention -> slower but safer.
+    assert slowdowns[0] > slowdowns[-1]
+    assert faults[0] <= faults[-1]
+
+    # The wavelet point dominates the frontier: any damping setting that
+    # suppresses at least as many faults as the wavelet controller costs
+    # several times the slowdown.  (Loose settings are cheaper but leave
+    # nearly all faults in place — they are not on the same frontier arm.)
+    matching = [
+        frontier[d]
+        for d in DELTAS
+        if frontier[d].controlled_faults <= wavelet.controlled_faults
+    ]
+    assert matching, "some damping point should match the suppression"
+    cheapest = min(r.slowdown for r in matching)
+    assert wavelet.slowdown < 0.5 * cheapest, (
+        f"wavelet {wavelet.slowdown:.3f} vs cheapest matching damping "
+        f"{cheapest:.3f}"
+    )

@@ -1,0 +1,63 @@
+"""Ablation 5: how a prefetcher reshapes the dI/dt problem.
+
+Prior dI/dt work treats the machine as fixed; a designer adding a
+sequential prefetcher changes the current waveform itself — memory-bound
+benchmarks stall less (the Figure-11 nominal-voltage spike shrinks) and
+draw more sustained current.  This ablation quantifies the shift and
+confirms the offline estimator (recalibrated for nothing — the supply is
+unchanged) still tracks the truth on the new machine.
+"""
+
+import numpy as np
+
+from repro.core import WaveletVoltageEstimator, benchmark_voltage_histogram, predict_trace
+from repro.uarch import ProcessorConfig, simulate_benchmark
+
+BENCHES = ("swim", "art", "mcf")
+CYCLES = 16384
+
+
+def _ablation(net):
+    pf_cfg = ProcessorConfig(prefetch_next_line=True)
+    estimator = WaveletVoltageEstimator(net)
+    rows = {}
+    for name in BENCHES:
+        base = simulate_benchmark(name, cycles=CYCLES)
+        pf = simulate_benchmark(name, cycles=CYCLES, config=pf_cfg,
+                                use_cache=False)
+        h_base = benchmark_voltage_histogram(net, base)
+        h_pf = benchmark_voltage_histogram(net, pf)
+        p = predict_trace(net, pf.current, name=name, estimator=estimator)
+        rows[name] = {
+            "ipc": (base.stats.ipc, pf.stats.ipc),
+            "mean_current": (base.mean_current, pf.mean_current),
+            "spike": (
+                h_base.spike_ratio(net.vdd, 0.004),
+                h_pf.spike_ratio(net.vdd, 0.004),
+            ),
+            "estimator_error": p.error,
+        }
+    return rows
+
+
+def test_abl05_prefetching(benchmark, net150):
+    rows = benchmark.pedantic(_ablation, args=(net150,), rounds=1, iterations=1)
+
+    print("\n--- Ablation 5: next-line prefetching on memory-bound "
+          "benchmarks ---")
+    print(f"  {'bench':6s} {'IPC':>13s} {'mean I (A)':>14s} "
+          f"{'nominal spike':>15s} {'est err':>8s}")
+    for name, row in rows.items():
+        print(f"  {name:6s} {row['ipc'][0]:5.2f}->{row['ipc'][1]:5.2f} "
+              f"{row['mean_current'][0]:6.1f}->{row['mean_current'][1]:6.1f} "
+              f"{row['spike'][0]:6.1f}->{row['spike'][1]:6.1f} "
+              f"{row['estimator_error'] * 100:+7.2f}%")
+
+    for name, row in rows.items():
+        # Prefetching helps throughput and raises sustained current...
+        assert row["ipc"][1] > row["ipc"][0], name
+        assert row["mean_current"][1] > row["mean_current"][0], name
+        # ...and the estimator still works on the reshaped machine.
+        assert abs(row["estimator_error"]) < 0.02, name
+    # The stall signature weakens on at least the streaming benchmarks.
+    assert rows["swim"]["spike"][1] < rows["swim"]["spike"][0]

@@ -1,0 +1,53 @@
+"""Figure 5: frequency response of the second-order supply model.
+
+The paper's sketch: impedance equals the DC resistance at low frequency,
+rises to a resonant peak at w0, and falls beyond it.  This bench prints
+the curve and asserts the bandpass shape, the peak location, and that the
+discrete (simulated) response realizes the same curve.
+"""
+
+import numpy as np
+
+from repro.power import (
+    discrete_impedance_magnitude,
+    impedance_magnitude,
+    resonant_peak,
+    response_curve,
+)
+
+
+def _figure5(net):
+    freqs, mags = response_curve(net, points=160)
+    peak_f, peak_z = resonant_peak(net)
+    return freqs, mags, peak_f, peak_z
+
+
+def test_fig05_frequency_response(benchmark, net100):
+    freqs, mags, peak_f, peak_z = benchmark.pedantic(
+        _figure5, args=(net100,), rounds=1, iterations=1
+    )
+
+    print("\n--- Figure 5: supply impedance vs frequency ---")
+    marks = np.array([10e6, 30e6, 50e6, 100e6, 200e6, 400e6, 1e9])
+    zs = impedance_magnitude(net100, marks)
+    for f, z in zip(marks, zs):
+        bar = "#" * int(60 * z / peak_z)
+        print(f"  {f / 1e6:7.0f} MHz  {z * 1e3:7.3f} mOhm  {bar}")
+    print(f"  peak: {peak_z * 1e3:.3f} mOhm at {peak_f / 1e6:.0f} MHz "
+          f"(DC: {net100.dc_resistance * 1e3:.3f} mOhm)")
+
+    # Bandpass shape with resonance at the configured frequency.
+    assert np.isfinite(peak_f) and np.isfinite(peak_z)
+    assert abs(peak_f - net100.resonant_hz) / net100.resonant_hz < 0.05
+    z_dc = impedance_magnitude(net100, [1e4])[0]
+    z_hi = impedance_magnitude(net100, [net100.clock_hz / 3])[0]
+    assert peak_z > 5 * z_dc
+    assert peak_z > 5 * z_hi
+
+    # The discrete kernel used in every simulation realizes this curve.
+    sample = np.array([30e6, 100e6, 250e6])
+    np.testing.assert_allclose(
+        discrete_impedance_magnitude(net100, sample, taps=4096),
+        impedance_magnitude(net100, sample),
+        rtol=0.08,
+    )

@@ -1,0 +1,53 @@
+"""Figure 8: error from estimating voltage variance with 4 of 8 levels.
+
+Because the supply amplifies only the scales near its resonance, the
+paper drops half the decomposition levels and loses only 0.1-1.6 % of the
+estimated voltage variance.  This bench computes the same per-benchmark
+relative error on the simulated traces.
+"""
+
+import numpy as np
+
+from conftest import print_series
+from repro.experiments import figure8
+
+
+def test_fig08_level_truncation(benchmark, net150, traces):
+    result = benchmark.pedantic(
+        figure8, args=(net150, traces), rounds=1, iterations=1
+    )
+    errors = result.variance_error
+    shifts = result.estimate_shift
+    kept_sets = result.kept_levels
+
+    print_series(
+        "Figure 8: relative error of 4-of-8-level variance estimate (%)",
+        {name: err * 100 for name, err in errors.items()},
+        fmt="{:6.2f}",
+    )
+    print_series(
+        "  effect on the final estimate (abs shift in % cycles < 0.97 V)",
+        {name: s * 100 for name, s in shifts.items()},
+        fmt="{:6.2f}",
+    )
+    from collections import Counter
+
+    common = Counter(tuple(k) for k in kept_sets.values()).most_common(1)[0]
+    print(f"  most common kept-level set: {list(common[0])} "
+          f"({common[1]}/26 benchmarks)")
+
+    # Shape claims.  Haar subbands leak across bands, so the raw
+    # variance error runs a few percent for low-variance benchmarks; the
+    # paper's claim — truncation is harmless — is checked on both the
+    # variance (dominant benchmarks lose ~1-2 %) and the bottom-line
+    # Figure-9 estimate (all benchmarks move by under 2 percentage
+    # points, most far less — the paper's 0.1-1.6 % band).
+    values = np.array(list(errors.values()))
+    assert values.max() < 0.12, "level truncation lost too much variance"
+    assert values.mean() < 0.06
+    shift_values = np.array(list(shifts.values()))
+    assert shift_values.max() < 0.02
+    assert shift_values.mean() < 0.008
+    # The kept levels bracket the resonance (30-cycle period -> levels 4-5).
+    for kept in kept_sets.values():
+        assert 4 in kept or 5 in kept

@@ -1,0 +1,45 @@
+"""Figure 12: per-benchmark Gaussianity of 64-cycle current windows.
+
+The paper plots, for each of the 26 benchmarks, the percentage of
+64-cycle windows whose per-cycle current passes the chi-squared test —
+and observes that the benchmarks with high L2 miss rates are the least
+Gaussian (they alternate long stalls with return bursts).  This bench
+reproduces the full bar chart and the correlation with L2 misses.
+"""
+
+import numpy as np
+
+from conftest import suite_of
+from repro.experiments import figure12
+
+
+def test_fig12_gaussian_by_benchmark(benchmark, traces):
+    result = benchmark.pedantic(
+        figure12, args=(traces,), rounds=1, iterations=1
+    )
+    rates, mpki = result.rates, result.l2_mpki
+
+    print("\n--- Figure 12: % of 64-cycle current windows Gaussian "
+          "(chi-sq @95%) ---")
+    for suite in ("int", "fp"):
+        print(f"  [{suite.upper()}]")
+        for name, rate in rates.items():
+            if suite_of(name) != suite:
+                continue
+            bar = "#" * int(rate * 40)
+            print(f"    {name:9s} {rate * 100:5.1f}%  (L2 "
+                  f"{mpki[name]:6.1f} MPKI)  {bar}")
+
+    # Shape claim: high-L2-miss benchmarks are the least Gaussian.  Split
+    # the suite at 5 MPKI and compare group means.
+    heavy = [rates[n] for n in rates if mpki[n] > 5.0]
+    light = [rates[n] for n in rates if mpki[n] <= 5.0]
+    assert heavy and light
+    assert float(np.mean(heavy)) < 0.6 * float(np.mean(light)), (
+        "L2-miss-heavy benchmarks should be markedly less Gaussian"
+    )
+
+    # And the rank correlation between MPKI and Gaussianity is negative.
+    rank_corr = result.rank_correlation
+    print(f"\n  rank correlation (L2 MPKI vs Gaussianity): {rank_corr:+.2f}")
+    assert rank_corr < -0.3

@@ -1,0 +1,88 @@
+"""Performance benchmarks for the library's hot paths.
+
+Unlike the figure benches (which reproduce the paper's results once),
+these time the substrates themselves over repeated rounds — the numbers a
+downstream user cares about when sizing their own experiments: wavelet
+transform throughput, voltage simulation, monitor updates, and simulator
+cycles per second.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ShiftRegisterMonitor, WaveletVoltageEstimator
+from repro.power import ConvolutionVoltageSimulator, StreamingVoltageModel
+from repro.uarch import Pipeline, TABLE_1
+from repro.wavelets import decompose, modwt, wavedec, waverec
+from repro.workloads import generate
+
+
+@pytest.fixture(scope="module")
+def signal_4k():
+    return np.random.default_rng(0).normal(30.0, 8.0, size=4096)
+
+
+def test_perf_wavedec_4k(benchmark, signal_4k):
+    """Full-depth Haar analysis of a 4K-cycle trace."""
+    coeffs = benchmark(wavedec, signal_4k)
+    assert len(coeffs) == 13
+
+
+def test_perf_waverec_4k(benchmark, signal_4k):
+    """Full-depth Haar synthesis."""
+    coeffs = wavedec(signal_4k)
+    out = benchmark(waverec, coeffs)
+    np.testing.assert_allclose(out, signal_4k, atol=1e-9)
+
+
+def test_perf_modwt_4k(benchmark, signal_4k):
+    """Undecimated transform (8 levels) of a 4K-cycle trace."""
+    details, approx = benchmark(modwt, signal_4k, "haar", 8)
+    assert len(details) == 8
+
+
+def test_perf_voltage_simulation_64k(benchmark, net150):
+    """FFT convolution of a 64K-cycle trace (the offline truth path)."""
+    trace = np.random.default_rng(1).normal(30.0, 8.0, size=65536)
+    sim = ConvolutionVoltageSimulator(net150)
+    v = benchmark(sim.voltage, trace)
+    assert v.shape == trace.shape
+
+
+def test_perf_streaming_voltage_64k(benchmark, net150):
+    """Biquad recursion over a 64K-cycle trace (the control-loop truth)."""
+    trace = np.random.default_rng(2).normal(30.0, 8.0, size=65536)
+    model = StreamingVoltageModel(net150)
+    v = benchmark(model.run, trace)
+    assert v.shape == trace.shape
+
+
+def test_perf_window_characterization(benchmark, net150):
+    """One 256-cycle window through the §4.1 five-step method."""
+    estimator = WaveletVoltageEstimator(net150)
+    window = np.random.default_rng(3).normal(30.0, 8.0, size=256)
+    ch = benchmark(estimator.characterize_window, window)
+    assert ch.voltage_model.variance >= 0
+
+
+def test_perf_hardware_monitor_cycle(benchmark, net150):
+    """One shift-register monitor update (the per-cycle hardware model)."""
+    hw = ShiftRegisterMonitor(net150, terms=13)
+
+    def step():
+        return hw.observe(35.0)
+
+    v = benchmark(step)
+    assert 0.5 < v < 1.5
+
+
+def test_perf_pipeline_kilocycle(benchmark):
+    """One thousand simulated machine cycles (gzip workload)."""
+    def run_1k():
+        pipe = Pipeline(TABLE_1, iter(generate("gzip")))
+        for _ in range(1000):
+            pipe.tick()
+        return pipe.stats.cycles
+
+    cycles = benchmark.pedantic(run_1k, rounds=3, iterations=1)
+    assert cycles == 1000

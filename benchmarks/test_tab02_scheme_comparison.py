@@ -1,0 +1,66 @@
+"""Table 2: quantitative comparison of the dI/dt control proposals.
+
+The paper's Table 2 compares four schemes qualitatively; this bench runs
+all four in closed loop on the same workloads at 150 % target impedance
+and quantifies the table's columns: false-positive rate, performance
+impact, and implementation complexity (digital ops per cycle).
+
+Expected ordering (the paper's argument):
+  analog sensing   — accurate, near-zero digital cost, needs analog IP;
+  full convolution — accurate but hundreds of ops/cycle;
+  pipeline damping — cheap but false-positive-prone and slow;
+  wavelet (ours)   — near-convolution accuracy at tens of ops/cycle.
+"""
+
+import numpy as np
+
+from repro.experiments import table2
+
+WORKLOADS = ("mgrid", "gcc", "gzip")
+CYCLES = 10240
+MARGIN = 0.012
+
+
+def test_tab02_scheme_comparison(benchmark, net150):
+    rows = benchmark.pedantic(
+        table2,
+        args=(net150,),
+        kwargs={"workloads": WORKLOADS, "cycles": CYCLES, "margin": MARGIN},
+        rounds=1,
+        iterations=1,
+    )
+    ops = {scheme: row.ops_per_cycle for scheme, row in rows.items()}
+
+    print("\n--- Table 2: dI/dt scheme comparison (150% target impedance) ---")
+    print(f"  {'scheme':10s} {'mean slow':>10s} {'max slow':>9s} "
+          f"{'FP rate':>8s} {'fault cut':>9s} {'ops/cycle':>10s}")
+    for scheme, row in rows.items():
+        print(f"  {scheme:10s} {row.mean_slowdown * 100:9.2f}% "
+              f"{row.max_slowdown * 100:8.2f}% "
+              f"{row.false_positive_rate * 100:7.0f}% "
+              f"{row.fault_reduction * 100:8.0f}% "
+              f"{ops[scheme]:10d}")
+
+    # Column: implementation complexity.  Wavelet sits between damping
+    # and full convolution, well below full convolution.
+    assert ops["damping"] < ops["wavelet"] < ops["full_conv"] / 5
+    assert ops["analog"] == 0
+
+    # Column: performance impact.  Damping is the costly outlier; the
+    # voltage-based schemes (analog / full conv / wavelet) are all cheap.
+    assert rows["damping"].mean_slowdown > 2 * rows["wavelet"].mean_slowdown
+    assert rows["wavelet"].mean_slowdown < 0.07
+    assert rows["full_conv"].mean_slowdown < 0.07
+    assert rows["analog"].mean_slowdown < 0.07
+
+    # Column: false positives.  Damping intervenes on current slew alone
+    # and wastes most of its interventions; wavelet's rate is far lower.
+    assert rows["damping"].false_positive_rate > 0.5
+    assert (
+        rows["wavelet"].false_positive_rate
+        < rows["damping"].false_positive_rate
+    )
+
+    # All schemes actually suppress faults on the stressing workloads.
+    for scheme in rows:
+        assert rows[scheme].fault_reduction > 0.4, scheme

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Offline dI/dt characterization of a benchmark (the paper's §4).
+
+For a chosen SPEC2000 workload model this script:
+
+1. simulates a per-cycle current trace on the Table-1 machine,
+2. calibrates the per-scale voltage-variance factors for the supply,
+3. runs the five-step wavelet-variance method on every 256-cycle window,
+4. prints the per-scale breakdown for the worst window, and
+5. compares the estimated fraction of cycles below the 0.97 V control
+   point against the convolution-simulated truth (Figure 9's comparison).
+
+Run:  python examples/characterize_benchmark.py [benchmark] [impedance%]
+e.g.  python examples/characterize_benchmark.py mgrid 150
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core import (
+    WINDOW,
+    WaveletVoltageEstimator,
+    calibrate_scale_factors,
+    calibrated_supply,
+    predict_trace,
+)
+from repro.uarch import simulate_benchmark
+
+
+def main(benchmark: str = "mgrid", percent: float = 150.0) -> None:
+    print(f"=== Offline characterization: {benchmark} at {percent:.0f}% "
+          f"target impedance ===\n")
+    net = calibrated_supply(percent)
+    result = simulate_benchmark(benchmark, cycles=32768)
+    s = result.stats
+    print(f"machine: IPC {s.ipc:.2f}, branch mispredict "
+          f"{s.misprediction_rate * 100:.1f}%, L2 {s.l2_mpki:.1f} MPKI")
+    print(f"current: {result.mean_current:.1f} A mean, "
+          f"{result.current.std():.1f} A std\n")
+
+    factors = calibrate_scale_factors(net)
+    print("calibrated per-scale voltage-variance factors (rho = 0):")
+    for lvl in factors.levels:
+        period = 2**lvl
+        freq = 0.75 * net.clock_hz / 2**lvl / 1e6
+        marker = "  <-- resonance band" if 50 <= freq <= 200 else ""
+        print(f"  level {lvl} (~{period:4d} cycles, ~{freq:6.0f} MHz): "
+              f"{factors.factor(lvl):.3e}{marker}")
+
+    estimator = WaveletVoltageEstimator(net)
+    windows = result.current[: (len(result.current) // WINDOW) * WINDOW]
+    windows = windows.reshape(-1, WINDOW)
+    chars = [estimator.characterize_window(w) for w in windows]
+    worst = max(chars, key=lambda c: c.voltage_model.variance)
+    print("\nworst 256-cycle window:")
+    print(f"  mean current      : {worst.mean_current:.1f} A")
+    print(f"  est voltage sigma : {worst.voltage_model.std * 1e3:.1f} mV")
+    print(f"  P(V < 0.97 V)     : {worst.prob_below(0.97) * 100:.1f}%")
+    print("  scale variances   :",
+          {lvl: round(v, 2) for lvl, v in worst.scale_variances.items()})
+    print("  adjacent corr     :",
+          {lvl: round(r, 2) for lvl, r in worst.scale_correlations.items()})
+
+    prediction = predict_trace(net, result.current, name=benchmark,
+                               estimator=estimator)
+    print("\nFigure-9 comparison (fraction of cycles below 0.97 V):")
+    print(f"  wavelet estimate  : {prediction.estimated * 100:.2f}%")
+    print(f"  simulated truth   : {prediction.observed * 100:.2f}%")
+    print(f"  error             : {prediction.error * 100:+.2f}%")
+
+
+if __name__ == "__main__":
+    name = sys.argv[1] if len(sys.argv) > 1 else "mgrid"
+    pct = float(sys.argv[2]) if len(sys.argv) > 2 else 150.0
+    main(name, pct)

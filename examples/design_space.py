@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Design-space exploration for the wavelet voltage monitor.
+
+A hardware designer adopting the paper's scheme has three knobs:
+
+* how weak a power-supply network to ship (target impedance %),
+* how many wavelet coefficient terms to build (K, = hardware cost),
+* how conservative a control threshold to set (margin, = performance).
+
+This script sweeps all three on a stressful workload, printing the
+accuracy/cost/performance trade-off surface — the engineering summary of
+Figures 13 and 15.
+
+Run:  python examples/design_space.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    ShiftRegisterMonitor,
+    ThresholdController,
+    WaveletVoltageMonitor,
+    calibrated_supply,
+    coefficient_error_curve,
+    run_control_experiment,
+)
+from repro.uarch import simulate_benchmark
+
+BENCH = "gcc"
+PERCENTS = (125.0, 150.0, 200.0)
+TERMS = (5, 9, 13, 20, 30)
+
+
+def accuracy_sweep(trace: np.ndarray) -> None:
+    print("monitor accuracy: max voltage error (mV) vs terms kept")
+    header = "  impedance " + "".join(f"  K={k:<4d}" for k in TERMS)
+    print(header)
+    for pct in PERCENTS:
+        net = calibrated_supply(pct)
+        errs = coefficient_error_curve(net, trace, list(TERMS))
+        row = "".join(f"  {errs[k] * 1e3:6.1f}" for k in TERMS)
+        print(f"  {pct:6.0f}%  {row}")
+    print()
+
+
+def cost_sweep() -> None:
+    net = calibrated_supply(150)
+    print("hardware cost: adds per cycle (vs full convolution)")
+    for k in TERMS:
+        hw = ShiftRegisterMonitor(net, terms=k)
+        print(f"  K={k:<3d}: {hw.adds_per_cycle:4d} adds/cycle")
+    full_ops = 2 * ShiftRegisterMonitor(net, terms=1).window - 1
+    print(f"  full convolution: {full_ops} multiply-adds/cycle\n")
+
+
+def control_sweep() -> None:
+    print(f"closed-loop control on {BENCH}: slowdown vs margin "
+          f"(150% impedance, K=13)")
+    net = calibrated_supply(150)
+    for margin_mv in (10, 20, 30):
+        result = run_control_experiment(
+            BENCH,
+            net,
+            lambda: ThresholdController(
+                WaveletVoltageMonitor(net, terms=13),
+                net,
+                margin=margin_mv / 1000.0,
+            ),
+            cycles=8192,
+        )
+        print(f"  margin {margin_mv:2d} mV: slowdown "
+              f"{result.slowdown * 100:5.2f}%, faults "
+              f"{result.baseline_faults} -> {result.controlled_faults}")
+    print()
+
+
+if __name__ == "__main__":
+    trace = simulate_benchmark(BENCH, cycles=16384).current
+    accuracy_sweep(trace)
+    cost_sweep()
+    control_sweep()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Characterizing an external (gem5-style) current trace.
+
+The offline pipeline needs nothing but a per-cycle current waveform, so
+traces from other toolchains plug straight in.  This example plays the
+other toolchain's role: it takes a simulated galgel trace, adds probe
+noise, and writes it as the whitespace-separated text file a gem5+McPAT
+post-processing script would emit.  Then it imports the file with
+``repro.uarch.import_current_trace``, diagnoses its periodicity with the
+CWT, estimates and removes the probe noise, and runs the §4
+characterization — all without knowing where the trace came from.
+
+Run:  python examples/external_trace.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import WaveletVoltageEstimator, calibrated_supply, predict_trace
+from repro.uarch import import_current_trace, simulate_benchmark
+from repro.wavelets import denoise, dominant_period, estimate_noise_sigma
+
+PROBE_SIGMA = 1.5  # amperes of measurement noise on the "probed" trace
+
+
+def write_foreign_trace(path: Path) -> np.ndarray:
+    """Export a noisy galgel trace in 3-column text form; returns truth."""
+    rng = np.random.default_rng(42)
+    truth = simulate_benchmark("galgel", cycles=16384).current
+    probed = np.abs(truth + PROBE_SIGMA * rng.normal(size=truth.size))
+    with path.open("w") as f:
+        for k, amps in enumerate(probed):
+            f.write(f"{k} {amps:.4f} 0.0\n")
+    return truth
+
+
+def main() -> None:
+    net = calibrated_supply(150)
+    estimator = WaveletVoltageEstimator(net)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_file = Path(tmp) / "foreign_trace.txt"
+        truth = write_foreign_trace(trace_file)
+
+        result = import_current_trace(trace_file, name="gem5-run", column=1)
+        print(f"imported {result.cycles} cycles from {trace_file.name}")
+        print(f"  mean current   : {result.mean_current:.1f} A")
+
+        period = dominant_period(result.current, min_period=8.0,
+                                 max_period=256.0)
+        print(f"  dominant period: {period:.0f} cycles "
+              f"(supply resonance: {net.resonant_period_cycles:.0f})")
+
+        sigma = estimate_noise_sigma(result.current)
+        cleaned = denoise(result.current)
+        print(f"  probe noise    : sigma ~ {sigma:.2f} A "
+              f"(injected: {PROBE_SIGMA} A)")
+
+        print("\ncharacterization at 150% target impedance "
+              "(% cycles < 0.97 V):")
+        for label, trace in (
+            ("ground truth", truth),
+            ("probed (raw)", result.current),
+            ("de-noised", cleaned),
+        ):
+            p = predict_trace(net, trace, name=label, estimator=estimator)
+            print(f"  {label:13s}: est {p.estimated * 100:5.2f}%  "
+                  f"obs {p.observed * 100:5.2f}%")
+        print("\n(the import path changes nothing: probed and de-noised "
+              "traces characterize like the ground truth they wrap)")
+
+
+if __name__ == "__main__":
+    main()

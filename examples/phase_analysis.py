@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Phase-resolved dI/dt analysis with wavelet signatures.
+
+The paper stresses that wavelet analysis localizes in time — "we can
+independently characterize different time phases of program execution and
+assess their individual impact on the voltage level" (§4).  This example
+does exactly that: cluster a benchmark's 256-cycle windows by wavelet
+signature, then show each phase's share of execution, current level,
+dominant time scale and emergency exposure — revealing *which phase* of a
+program is the dI/dt problem.
+
+Run:  python examples/phase_analysis.py [benchmark] [phases]
+"""
+
+import sys
+
+from repro import viz
+from repro.core import WaveletPhaseClassifier, calibrated_supply
+from repro.uarch import simulate_benchmark
+
+
+def main(benchmark: str = "applu", phases: int = 3) -> None:
+    net = calibrated_supply(150)
+    result = simulate_benchmark(benchmark, cycles=32768)
+    clf = WaveletPhaseClassifier(phases=phases).fit(result.current)
+    summaries = clf.summarize(net)
+
+    print(f"=== Phase-resolved dI/dt: {benchmark}, {phases} phases, "
+          f"150% target impedance ===\n")
+
+    print("phase timeline (one mark per 256-cycle window, 0 = hottest):")
+    marks = "".join(str(l) for l in clf.labels_)
+    for k in range(0, len(marks), 64):
+        print("  " + marks[k : k + 64])
+
+    print()
+    print(viz.table(
+        {
+            f"phase {s.phase}": [
+                s.fraction * 100,
+                s.mean_current,
+                float(s.dominant_level),
+                (s.emergency_probability or 0.0) * 100,
+            ]
+            for s in summaries
+        },
+        headers=["% windows", "mean A", "top level", "% < 0.97V"],
+        title="per-phase characterization",
+    ))
+
+    exposed = max(summaries, key=lambda s: s.emergency_probability or 0.0)
+    weight = exposed.fraction * (exposed.emergency_probability or 0.0)
+    total = sum(
+        s.fraction * (s.emergency_probability or 0.0) for s in summaries
+    )
+    if total > 0:
+        print(f"\nphase {exposed.phase} contributes "
+              f"{weight / total * 100:.0f}% of the emergency exposure while "
+              f"occupying {exposed.fraction * 100:.0f}% of execution — "
+              f"a phase-aware controller could arm itself only there.")
+
+
+if __name__ == "__main__":
+    name = sys.argv[1] if len(sys.argv) > 1 else "applu"
+    k = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    main(name, k)

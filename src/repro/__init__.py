@@ -1,0 +1,29 @@
+"""repro: a reproduction of "Wavelet Analysis for Microprocessor Design:
+Experiences with Wavelet-Based dI/dt Characterization" (HPCA 2004).
+
+Subpackages
+-----------
+``repro.wavelets``
+    From-scratch discrete wavelet transform library (Haar/Daubechies,
+    subbands, scalograms, wavelet variance, subband convolution).
+``repro.power``
+    Second-order power-delivery-network model, impulse/frequency
+    responses, voltage simulation, target-impedance calibration.
+``repro.uarch``
+    Out-of-order superscalar simulator (Table 1 machine) with
+    Wattch-style activity-based power accounting.
+``repro.workloads``
+    Synthetic SPEC CPU2000 workload models and the dI/dt stressmark.
+``repro.stats``
+    Gaussian models, chi-squared Gaussianity testing, windowed statistics.
+``repro.core``
+    The paper's contribution: offline wavelet-variance voltage
+    characterization and the online truncated wavelet-convolution
+    voltage monitor with closed-loop dI/dt control, plus baselines.
+"""
+
+from . import core, power, stats, uarch, wavelets, workloads
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "power", "stats", "uarch", "wavelets", "workloads"]

@@ -1,0 +1,282 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the repo's main flows:
+
+* ``list`` — the 26 available benchmark models and their suites.
+* ``simulate`` — run one benchmark on the Table-1 machine, show run
+  statistics and the current waveform.
+* ``characterize`` — the paper's offline §4 pipeline: estimated vs.
+  observed emergency exposure for one benchmark.
+* ``control`` — the paper's online §5 pipeline: closed-loop dI/dt control
+  with a selectable scheme, reporting slowdown and fault suppression.
+* ``phases`` — wavelet-signature phase classification with per-phase
+  dI/dt exposure.
+* ``breakdown`` — Wattch-style per-unit power breakdown of a benchmark.
+* ``sizing`` — the largest target impedance a workload set tolerates.
+* ``report`` — the whole evaluation as one text report.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from . import viz
+from .core import (
+    AnalogVoltageSensor,
+    FullConvolutionMonitor,
+    PipelineDampingController,
+    ThresholdController,
+    WaveletVoltageEstimator,
+    WaveletVoltageMonitor,
+    calibrated_supply,
+    predict_trace,
+    run_control_experiment,
+)
+from .uarch import simulate_benchmark
+from .workloads import SPEC2000, SPEC_FP, SPEC_INT
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Wavelet-based dI/dt characterization (HPCA 2004 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available benchmark models")
+
+    sim = sub.add_parser("simulate", help="simulate one benchmark")
+    sim.add_argument("benchmark", choices=sorted(SPEC2000))
+    sim.add_argument("--cycles", type=int, default=16384)
+
+    char = sub.add_parser("characterize", help="offline §4 characterization")
+    char.add_argument("benchmark", choices=sorted(SPEC2000))
+    char.add_argument("--cycles", type=int, default=32768)
+    char.add_argument("--impedance", type=float, default=150.0,
+                      help="target impedance percent (default 150)")
+    char.add_argument("--threshold", type=float, default=0.97)
+
+    ctl = sub.add_parser("control", help="closed-loop §5 dI/dt control")
+    ctl.add_argument("benchmark", choices=sorted(SPEC2000))
+    ctl.add_argument("--cycles", type=int, default=12288)
+    ctl.add_argument("--impedance", type=float, default=150.0)
+    ctl.add_argument("--terms", type=int, default=13,
+                     help="wavelet coefficient terms (K)")
+    ctl.add_argument("--margin-mv", type=float, default=12.0,
+                     help="control threshold tolerance in millivolts")
+    ctl.add_argument(
+        "--scheme",
+        choices=("wavelet", "fullconv", "analog", "damping"),
+        default="wavelet",
+    )
+    ctl.add_argument("--damping-delta", type=float, default=6.0)
+
+    ph = sub.add_parser("phases", help="phase-resolved dI/dt exposure")
+    ph.add_argument("benchmark", choices=sorted(SPEC2000))
+    ph.add_argument("--cycles", type=int, default=32768)
+    ph.add_argument("--phases", type=int, default=3)
+    ph.add_argument("--impedance", type=float, default=150.0)
+
+    bd = sub.add_parser("breakdown", help="per-unit power breakdown")
+    bd.add_argument("benchmark", choices=sorted(SPEC2000))
+    bd.add_argument("--cycles", type=int, default=8192)
+
+    sz = sub.add_parser(
+        "sizing", help="max tolerable target impedance for a workload set"
+    )
+    sz.add_argument("benchmarks", nargs="+", choices=sorted(SPEC2000))
+    sz.add_argument("--cycles", type=int, default=16384)
+    sz.add_argument("--budget", type=float, default=0.0,
+                    help="allowed fraction of fault cycles (default 0)")
+
+    rep = sub.add_parser("report", help="run the evaluation and print a report")
+    rep.add_argument("--cycles", type=int, default=16384)
+    rep.add_argument("--full", action="store_true",
+                     help="all 26 benchmarks (slow) instead of the quick subset")
+    rep.add_argument("--no-control", action="store_true",
+                     help="skip the closed-loop Table-2 section")
+    return parser
+
+
+def _cmd_list() -> str:
+    lines = ["SPECint2000:"]
+    lines += [f"  {name}" for name in SPEC_INT]
+    lines.append("SPECfp2000:")
+    lines += [f"  {name}" for name in SPEC_FP]
+    return "\n".join(lines)
+
+
+def _cmd_simulate(args) -> str:
+    result = simulate_benchmark(args.benchmark, cycles=args.cycles)
+    s = result.stats
+    lines = [
+        f"{args.benchmark}: {result.cycles} cycles, "
+        f"{s.committed} instructions (IPC {s.ipc:.2f})",
+        f"  branches     : {s.branches} "
+        f"({s.misprediction_rate * 100:.1f}% mispredicted)",
+        f"  L1D/L2 misses: {s.l1d_misses}/{s.l2_misses} "
+        f"({s.l2_mpki:.1f} L2 MPKI)",
+        f"  current      : {result.mean_current:.1f} A mean, "
+        f"{result.current.std():.1f} A std",
+        "",
+        viz.line_plot(result.current[:4096], title="current (A), first 4K cycles"),
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_characterize(args) -> str:
+    net = calibrated_supply(args.impedance)
+    result = simulate_benchmark(args.benchmark, cycles=args.cycles)
+    estimator = WaveletVoltageEstimator(net)
+    p = predict_trace(net, result.current, args.threshold,
+                      args.benchmark, estimator)
+    contributions = estimator.level_contributions(result.current)
+    lines = [
+        f"{args.benchmark} at {args.impedance:.0f}% target impedance:",
+        f"  estimated % cycles < {args.threshold} V : "
+        f"{p.estimated * 100:.2f}%",
+        f"  observed  % cycles < {args.threshold} V : "
+        f"{p.observed * 100:.2f}%",
+        f"  error                         : {p.error * 100:+.2f}%",
+        "",
+        viz.bar_chart(
+            {f"level {lvl}": v * 1e6 for lvl, v in contributions.items()},
+            title="per-scale voltage-variance contribution (uV^2)",
+            fmt="{:10.2f}",
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_control(args) -> str:
+    net = calibrated_supply(args.impedance)
+    margin = args.margin_mv / 1000.0
+
+    def factory():
+        if args.scheme == "wavelet":
+            return ThresholdController(
+                WaveletVoltageMonitor(net, terms=args.terms), net, margin
+            )
+        if args.scheme == "fullconv":
+            return ThresholdController(FullConvolutionMonitor(net), net, margin)
+        if args.scheme == "analog":
+            return ThresholdController(
+                AnalogVoltageSensor(net, delay=2), net, margin
+            )
+        return PipelineDampingController(net, delta=args.damping_delta)
+
+    result = run_control_experiment(args.benchmark, net, factory,
+                                    cycles=args.cycles)
+    return "\n".join(
+        [
+            f"{args.scheme} control of {args.benchmark} at "
+            f"{args.impedance:.0f}% impedance:",
+            f"  slowdown        : {result.slowdown * 100:.2f}%",
+            f"  faults          : {result.baseline_faults} -> "
+            f"{result.controlled_faults}",
+            f"  interventions   : {result.stall_cycles} stalls, "
+            f"{result.boost_cycles} boosts",
+            f"  false positives : {result.false_positive_rate * 100:.0f}%",
+        ]
+    )
+
+
+def _cmd_phases(args) -> str:
+    from .core import WaveletPhaseClassifier
+
+    net = calibrated_supply(args.impedance)
+    result = simulate_benchmark(args.benchmark, cycles=args.cycles)
+    clf = WaveletPhaseClassifier(phases=args.phases).fit(result.current)
+    rows = {}
+    for s in clf.summarize(net):
+        rows[f"phase {s.phase}"] = [
+            s.fraction * 100,
+            s.mean_current,
+            float(s.dominant_level),
+            (s.emergency_probability or 0.0) * 100,
+        ]
+    return viz.table(
+        rows,
+        headers=["% windows", "mean A", "top level", "% < 0.97V"],
+        title=f"{args.benchmark}: wavelet-signature phases "
+              f"({args.impedance:.0f}% impedance)",
+    )
+
+
+def _cmd_breakdown(args) -> str:
+    from .uarch import Pipeline, TABLE_1
+    from .workloads import generate
+    from .workloads.generator import prewarm_caches
+
+    pipe = Pipeline(
+        TABLE_1, iter(generate(args.benchmark)), track_breakdown=True
+    )
+    prewarm_caches(pipe.caches, args.benchmark)
+    for _ in range(2048):
+        pipe.tick()
+    total = float(np.mean([pipe.tick() for _ in range(args.cycles)]))
+    breakdown = dict(
+        sorted(pipe.power_breakdown.items(), key=lambda kv: -kv[1])
+    )
+    chart = viz.bar_chart(
+        {name: amps for name, amps in breakdown.items() if amps > 0.01},
+        title=f"{args.benchmark}: mean per-unit current (A), "
+              f"total {total:.1f} A",
+        fmt="{:7.2f}",
+    )
+    return chart
+
+
+def _cmd_sizing(args) -> str:
+    from .power import max_tolerable_impedance
+
+    base = calibrated_supply(100)
+    traces = {
+        name: simulate_benchmark(name, cycles=args.cycles).current
+        for name in args.benchmarks
+    }
+    pct = max_tolerable_impedance(base, traces, budget=args.budget)
+    lines = [
+        f"workloads: {', '.join(args.benchmarks)}",
+        f"fault budget: {args.budget * 100:.2f}% of cycles",
+        f"max tolerable target impedance (uncontrolled): {pct:.0f}%",
+        "",
+        "anything above this needs microarchitectural dI/dt control",
+        "(see `repro control` for the closed-loop experiment).",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print(_cmd_list())
+    elif args.command == "simulate":
+        print(_cmd_simulate(args))
+    elif args.command == "characterize":
+        print(_cmd_characterize(args))
+    elif args.command == "control":
+        print(_cmd_control(args))
+    elif args.command == "phases":
+        print(_cmd_phases(args))
+    elif args.command == "breakdown":
+        print(_cmd_breakdown(args))
+    elif args.command == "sizing":
+        print(_cmd_sizing(args))
+    elif args.command == "report":
+        from .report import QUICK_SUBSET, generate_report
+
+        print(
+            generate_report(
+                cycles=args.cycles,
+                names=None if args.full else QUICK_SUBSET,
+                include_control=not args.no_control,
+            )
+        )
+    return 0

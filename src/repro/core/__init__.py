@@ -1,0 +1,74 @@
+"""The paper's contribution: offline wavelet dI/dt characterization (§4)
+and online wavelet-convolution voltage monitoring and control (§5), plus
+the baseline schemes of Table 2 and the shared calibration setup."""
+
+from .analysis import (
+    BenchmarkGaussianity,
+    L2MissReport,
+    benchmark_voltage_histogram,
+    gaussianity_study,
+    l2_miss_report,
+)
+from .baselines import (
+    AnalogVoltageSensor,
+    FullConvolutionMonitor,
+    PipelineDampingController,
+)
+from .calibration import ScaleFactorModel, calibrate_scale_factors
+from .characterization import (
+    WINDOW,
+    TracePrediction,
+    WaveletVoltageEstimator,
+    WindowCharacterization,
+    predict_trace,
+)
+from .controller import (
+    ControlResult,
+    HysteresisController,
+    ThresholdController,
+    run_control_experiment,
+)
+from .hardware import HaarTermRegister, ShiftRegisterMonitor
+from .phase_control import PhaseAwareController
+from .phases import PhaseSummary, WaveletPhaseClassifier
+from .monitor import (
+    PacketVoltageMonitor,
+    WaveletVoltageMonitor,
+    coefficient_error_curve,
+    recommended_margin,
+)
+from .setup import IMPEDANCE_PERCENTS, calibrated_supply, reference_network
+
+__all__ = [
+    "AnalogVoltageSensor",
+    "BenchmarkGaussianity",
+    "ControlResult",
+    "FullConvolutionMonitor",
+    "HysteresisController",
+    "HaarTermRegister",
+    "IMPEDANCE_PERCENTS",
+    "L2MissReport",
+    "PacketVoltageMonitor",
+    "PhaseAwareController",
+    "PhaseSummary",
+    "WaveletPhaseClassifier",
+    "PipelineDampingController",
+    "ScaleFactorModel",
+    "ShiftRegisterMonitor",
+    "ThresholdController",
+    "TracePrediction",
+    "WINDOW",
+    "WaveletVoltageEstimator",
+    "WaveletVoltageMonitor",
+    "WindowCharacterization",
+    "benchmark_voltage_histogram",
+    "calibrate_scale_factors",
+    "calibrated_supply",
+    "coefficient_error_curve",
+    "gaussianity_study",
+    "l2_miss_report",
+    "predict_trace",
+    "recommended_margin",
+    "reference_network",
+    "run_control_experiment",
+]

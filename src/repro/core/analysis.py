@@ -1,0 +1,108 @@
+"""Workload-level statistical analyses (§4.1's observations and §4.3).
+
+Everything Figures 6, 7, 10, 11 and 12 plot: Gaussian-window acceptance
+rates for per-cycle current, the variance split between Gaussian and
+non-Gaussian windows, voltage histograms, and the relationship between
+L2 misses and Gaussianity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..power import ConvolutionVoltageSimulator, PowerSupplyNetwork
+from ..stats import (
+    VoltageHistogram,
+    WindowStudy,
+    study_windows,
+    voltage_histogram,
+)
+from ..uarch import SimulationResult, simulate_benchmark
+
+__all__ = [
+    "BenchmarkGaussianity",
+    "gaussianity_study",
+    "benchmark_voltage_histogram",
+    "L2MissReport",
+    "l2_miss_report",
+]
+
+
+@dataclass(frozen=True)
+class BenchmarkGaussianity:
+    """χ²-test results for one benchmark at several window sizes."""
+
+    name: str
+    studies: dict[int, WindowStudy]  # window size -> study
+
+    def acceptance_rate(self, window: int) -> float:
+        """Fraction of windows accepted as Gaussian at this size."""
+        return self.studies[window].acceptance_rate
+
+
+def gaussianity_study(
+    result: SimulationResult,
+    windows: tuple[int, ...] = (32, 64, 128),
+    samples_per_size: int = 200,
+    seed: int = 7,
+) -> BenchmarkGaussianity:
+    """Random-window Gaussianity classification of a current trace.
+
+    Reproduces the §4.1 experiment: windows "chosen at random intervals
+    throughout the execution", χ² test at 95 % significance.
+    """
+    rng = np.random.default_rng(seed)
+    studies = {
+        w: study_windows(result.current, w, samples_per_size, rng)
+        for w in windows
+    }
+    return BenchmarkGaussianity(name=result.name, studies=studies)
+
+
+def benchmark_voltage_histogram(
+    network: PowerSupplyNetwork,
+    result: SimulationResult,
+    bins: int = 60,
+) -> VoltageHistogram:
+    """Voltage distribution of a benchmark (Figures 10/11)."""
+    sim = ConvolutionVoltageSimulator(network)
+    voltage = sim.voltage(result.current)[min(sim.taps, result.cycles // 4):]
+    return voltage_histogram(voltage, bins=bins)
+
+
+@dataclass(frozen=True)
+class L2MissReport:
+    """The §4.3 correlation: L2 misses vs. voltage shape.
+
+    ``spike_ratio`` measures how much probability mass piles up at the
+    nominal voltage (Figure 11's signature of memory-bound codes);
+    ``gaussian_rate`` is the 64-cycle χ² acceptance of the current trace
+    (Figure 12).
+    """
+
+    name: str
+    l2_mpki: float
+    l2_outstanding_fraction: float
+    gaussian_rate: float
+    spike_ratio: float
+
+
+def l2_miss_report(
+    network: PowerSupplyNetwork,
+    benchmark: str,
+    cycles: int = 32768,
+    seed: int = 7,
+) -> L2MissReport:
+    """Assemble the §4.3 evidence for one benchmark."""
+    result = simulate_benchmark(benchmark, cycles=cycles)
+    gauss = gaussianity_study(result, windows=(64,), seed=seed)
+    hist = benchmark_voltage_histogram(network, result)
+    return L2MissReport(
+        name=benchmark,
+        l2_mpki=result.stats.l2_mpki,
+        l2_outstanding_fraction=float(result.l2_outstanding.mean()),
+        gaussian_rate=gauss.acceptance_rate(64),
+        spike_ratio=hist.spike_ratio(network.vdd, 0.004),
+    )

@@ -1,0 +1,148 @@
+"""Calibration of per-scale voltage-variance factors (§4.1, steps 3-4).
+
+The offline estimator needs, for every wavelet scale, a *multiplicative
+factor* turning that scale's current variance into the voltage variance it
+contributes — with the adjacent-coefficient correlation as a second input,
+because correlated coefficient runs form pulse trains that build resonance
+in the supply network.  The paper derives these factors from "a series of
+experiments"; we do the same, executably: drive the supply model with
+scale-pure synthetic signals of controlled adjacent correlation, measure
+the output voltage variance, and tabulate the ratio.
+
+The factors depend only on the supply network (not on any workload), so
+they are computed once per network and cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..power import ConvolutionVoltageSimulator, PowerSupplyNetwork
+from ..wavelets import WaveletDecomposition
+
+__all__ = ["ScaleFactorModel", "calibrate_scale_factors"]
+
+#: Adjacent-correlation grid on which factors are tabulated.
+_RHO_GRID = np.array([-0.98, -0.9, -0.7, -0.4, 0.0, 0.4, 0.7, 0.9, 0.98])
+
+
+def _ar1_sequence(n: int, rho: float, rng: np.random.Generator) -> np.ndarray:
+    """Unit-variance AR(1) sequence with lag-1 correlation ``rho``."""
+    noise_scale = np.sqrt(max(1.0 - rho * rho, 1e-12))
+    out = np.empty(n)
+    out[0] = rng.normal()
+    for k in range(1, n):
+        out[k] = rho * out[k - 1] + noise_scale * rng.normal()
+    return out
+
+
+def _scale_pure_signal(
+    length: int, level: int, rho: float, rng: np.random.Generator
+) -> np.ndarray:
+    """A signal whose energy lives entirely in one Haar detail scale.
+
+    Constructed by planting an AR(1) coefficient sequence at the chosen
+    level of an otherwise-zero decomposition and inverting.
+    """
+    levels = int(np.log2(length))
+    approx = np.zeros(1)
+    details = [np.zeros(length >> lvl) for lvl in range(1, levels + 1)]
+    details[level - 1] = _ar1_sequence(length >> level, rho, rng)
+    return WaveletDecomposition(approx, details, "haar").reconstruct()
+
+
+@dataclass(frozen=True)
+class ScaleFactorModel:
+    """Tabulated voltage-variance factors ``G_j(rho)`` for one network.
+
+    ``factor(level, rho)`` linearly interpolates over the calibration
+    grid; outside the grid the edge value is used (correlations beyond
+    ±0.9 are indistinguishable from pulse trains at calibration accuracy).
+    """
+
+    network: PowerSupplyNetwork
+    levels: tuple[int, ...]
+    rho_grid: tuple[float, ...]
+    table: dict[int, tuple[float, ...]]
+
+    def factor(self, level: int, rho: float = 0.0) -> float:
+        """Voltage-variance factor for one scale at one correlation."""
+        if level not in self.table:
+            raise KeyError(f"level {level} was not calibrated")
+        return float(np.interp(rho, self.rho_grid, self.table[level]))
+
+    def peak_level(self) -> int:
+        """The scale the supply amplifies the most (at rho = 0)."""
+        return max(self.levels, key=lambda lvl: self.factor(lvl, 0.0))
+
+    def ranked_levels(self, rho: float = 0.0) -> list[int]:
+        """Scales ordered by decreasing voltage impact.
+
+        The Figure-8 experiment keeps only the top few of these.
+        """
+        return sorted(self.levels, key=lambda lvl: -self.factor(lvl, rho))
+
+
+_CACHE: dict[tuple, ScaleFactorModel] = {}
+
+
+def calibrate_scale_factors(
+    network: PowerSupplyNetwork,
+    levels: int = 8,
+    signal_length: int = 16384,
+    trials: int = 4,
+    seed: int = 2004,
+) -> ScaleFactorModel:
+    """Run the calibration experiments for one supply network.
+
+    For every (level, rho) cell: synthesize ``trials`` scale-pure current
+    signals, push them through the supply model, and record the ratio of
+    settled voltage variance to the signal's wavelet-scale variance.
+    Linearity of the network makes the ratio amplitude-independent.
+    """
+    key = (
+        round(network.resonant_hz),
+        round(network.quality_factor, 6),
+        network.peak_impedance,
+        network.impedance_scale,
+        network.clock_hz,
+        levels,
+        signal_length,
+        trials,
+        seed,
+    )
+    if key in _CACHE:
+        return _CACHE[key]
+
+    if signal_length & (signal_length - 1):
+        raise ValueError("signal_length must be a power of two")
+    if levels < 1 or (1 << levels) > signal_length:
+        raise ValueError("too many levels for the signal length")
+
+    rng = np.random.default_rng(seed)
+    sim = ConvolutionVoltageSimulator(network)
+    settle = min(sim.taps, signal_length // 4)
+    table: dict[int, tuple[float, ...]] = {}
+    for level in range(1, levels + 1):
+        row = []
+        for rho in _RHO_GRID:
+            ratios = []
+            for _ in range(trials):
+                current = _scale_pure_signal(signal_length, level, rho, rng)
+                droop = sim.droop(current)[settle:]
+                var_i = float(np.sum(current**2)) / signal_length
+                if var_i <= 0:
+                    continue
+                ratios.append(float(droop.var()) / var_i)
+            row.append(float(np.mean(ratios)))
+        table[level] = tuple(row)
+    model = ScaleFactorModel(
+        network=network,
+        levels=tuple(range(1, levels + 1)),
+        rho_grid=tuple(_RHO_GRID),
+        table=table,
+    )
+    _CACHE[key] = model
+    return model

@@ -1,0 +1,249 @@
+"""Offline wavelet-variance voltage characterization (§4.1-4.2).
+
+The paper's five-step method, executably:
+
+1. DWT a 256-cycle current window (Haar, 8 levels).
+2. Per-scale wavelet variance via Parseval.
+3. Adjacent-coefficient correlation per scale (pulse-pattern detector).
+4. Voltage-variance contribution per scale = calibrated multiplicative
+   factor (a function of the correlation) times the scale's variance.
+5. Gaussian model with mean = Vdd − IR drop and the summed variance gives
+   the probability of crossing any voltage control point.
+
+Aggregating window probabilities over a whole trace predicts the fraction
+of cycles a benchmark spends below the 0.97 V control point — Figure 9's
+estimate, checked against the convolution-simulated truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..power import ConvolutionVoltageSimulator, PowerSupplyNetwork
+from ..stats import GaussianModel
+from ..wavelets import (
+    adjacent_correlation,
+    decompose,
+)
+from .calibration import ScaleFactorModel, calibrate_scale_factors
+
+__all__ = [
+    "WindowCharacterization",
+    "WaveletVoltageEstimator",
+    "TracePrediction",
+    "predict_trace",
+]
+
+WINDOW = 256  # the paper's characterization window (§4.1 step 1)
+
+
+def _levels_for_window(window: int) -> int:
+    """Full decomposition depth of a power-of-two window."""
+    if window < 4 or window & (window - 1):
+        raise ValueError("window must be a power of two >= 4")
+    return window.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class WindowCharacterization:
+    """The §4.1 outputs for one 256-cycle window."""
+
+    mean_current: float
+    scale_variances: dict[int, float]
+    scale_correlations: dict[int, float]
+    voltage_model: GaussianModel
+
+    def prob_below(self, threshold: float) -> float:
+        """Probability a cycle in this window sits below ``threshold``."""
+        return self.voltage_model.prob_below(threshold)
+
+    def prob_above(self, threshold: float) -> float:
+        """Probability a cycle in this window sits above ``threshold``."""
+        return self.voltage_model.prob_above(threshold)
+
+
+class WaveletVoltageEstimator:
+    """The offline estimator for one supply network.
+
+    Parameters
+    ----------
+    network:
+        Supply model (must match the one used to simulate "truth").
+    levels:
+        Decomposition depth; must fully decompose the window.
+    keep_levels:
+        If given, only these scales contribute variance — the Figure-8
+        level-truncation experiment.  ``None`` uses all scales.
+    window:
+        Characterization window in cycles (power of two).  The paper uses
+        256 "because it could capture current variations on the range of
+        tens to hundreds of cycles"; the window-size ablation sweeps this.
+    """
+
+    def __init__(
+        self,
+        network: PowerSupplyNetwork,
+        levels: int | None = None,
+        keep_levels: set[int] | None = None,
+        factors: ScaleFactorModel | None = None,
+        window: int = WINDOW,
+    ) -> None:
+        self.window = window
+        full_depth = _levels_for_window(window)
+        if levels is None:
+            levels = full_depth
+        if levels != full_depth:
+            raise ValueError(
+                f"levels must fully decompose the {window}-cycle window "
+                f"({full_depth})"
+            )
+        self.network = network
+        self.levels = levels
+        self.factors = factors or calibrate_scale_factors(network, levels)
+        if keep_levels is not None:
+            bad = [lvl for lvl in keep_levels if not 1 <= lvl <= levels]
+            if bad:
+                raise ValueError(f"keep_levels out of range: {bad}")
+        self.keep_levels = keep_levels
+
+    def top_levels(self, count: int) -> set[int]:
+        """The ``count`` scales with the largest voltage impact.
+
+        §4.1: "voltage variance on different wavelet decomposition levels
+        often differs by orders of magnitude", so a handful of levels
+        carries nearly all of it.
+        """
+        return set(self.factors.ranked_levels()[:count])
+
+    def level_contributions(self, current: np.ndarray) -> dict[int, float]:
+        """Mean per-level voltage-variance contribution over a trace.
+
+        The basis for level truncation: §4.1 ignores "those wavelet
+        levels that have small impact while estimating voltage variance".
+        """
+        i = np.asarray(current, dtype=float)
+        count = len(i) // self.window
+        if count == 0:
+            raise ValueError(
+                f"trace shorter than one {self.window}-cycle window"
+            )
+        totals = {lvl: 0.0 for lvl in range(1, self.levels + 1)}
+        for k in range(count):
+            ch = self.characterize_window(
+                i[k * self.window : (k + 1) * self.window]
+            )
+            for lvl in totals:
+                totals[lvl] += self.factors.factor(
+                    lvl, ch.scale_correlations[lvl]
+                ) * ch.scale_variances[lvl]
+        return {lvl: v / count for lvl, v in totals.items()}
+
+    def top_levels_for(self, current: np.ndarray, count: int) -> set[int]:
+        """The ``count`` levels contributing most voltage variance on a trace."""
+        contrib = self.level_contributions(current)
+        ranked = sorted(contrib, key=lambda lvl: -contrib[lvl])
+        return set(ranked[:count])
+
+    def characterize_window(self, window: np.ndarray) -> WindowCharacterization:
+        """Run steps 1-5 on one 256-cycle current window."""
+        w = np.asarray(window, dtype=float)
+        if w.shape != (self.window,):
+            raise ValueError(
+                f"window must have exactly {self.window} samples"
+            )
+        dec = decompose(w, "haar", self.levels)
+        variances: dict[int, float] = {}
+        correlations: dict[int, float] = {}
+        v_var = 0.0
+        for lvl in dec.levels:
+            det = dec.detail(lvl)
+            var = float(np.sum(det**2)) / self.window
+            rho = adjacent_correlation(det)
+            variances[lvl] = var
+            correlations[lvl] = rho
+            if self.keep_levels is None or lvl in self.keep_levels:
+                v_var += self.factors.factor(lvl, rho) * var
+        mean_i = float(w.mean())
+        mean_v = self.network.vdd - mean_i * self.network.dc_resistance
+        return WindowCharacterization(
+            mean_current=mean_i,
+            scale_variances=variances,
+            scale_correlations=correlations,
+            voltage_model=GaussianModel(mean_v, v_var),
+        )
+
+    # -- whole-trace aggregation ------------------------------------------------
+
+    def estimate_fraction_below(
+        self, current: np.ndarray, threshold: float
+    ) -> float:
+        """Estimated fraction of cycles below ``threshold`` over a trace.
+
+        Tiles the trace with non-overlapping 256-cycle windows and
+        averages each window's Gaussian-model probability.
+        """
+        i = np.asarray(current, dtype=float)
+        count = len(i) // self.window
+        if count == 0:
+            raise ValueError(
+                f"trace shorter than one {self.window}-cycle window"
+            )
+        total = 0.0
+        for k in range(count):
+            w = i[k * self.window : (k + 1) * self.window]
+            total += self.characterize_window(w).prob_below(threshold)
+        return total / count
+
+    def estimate_voltage_variance(self, current: np.ndarray) -> float:
+        """Mean estimated per-window voltage variance over a trace."""
+        i = np.asarray(current, dtype=float)
+        count = len(i) // self.window
+        if count == 0:
+            raise ValueError(
+                f"trace shorter than one {self.window}-cycle window"
+            )
+        return float(
+            np.mean(
+                [
+                    self.characterize_window(
+                        i[k * self.window : (k + 1) * self.window]
+                    ).voltage_model.variance
+                    for k in range(count)
+                ]
+            )
+        )
+
+
+@dataclass(frozen=True)
+class TracePrediction:
+    """Estimate vs. convolution-simulated truth for one trace (Figure 9)."""
+
+    name: str
+    threshold: float
+    estimated: float  # estimated fraction of cycles below the threshold
+    observed: float  # simulated fraction
+
+    @property
+    def error(self) -> float:
+        """Signed estimation error (estimated - observed)."""
+        return self.estimated - self.observed
+
+
+def predict_trace(
+    network: PowerSupplyNetwork,
+    current: np.ndarray,
+    threshold: float = 0.97,
+    name: str = "trace",
+    estimator: WaveletVoltageEstimator | None = None,
+) -> TracePrediction:
+    """Estimate and verify the below-threshold fraction for one trace."""
+    est = estimator or WaveletVoltageEstimator(network)
+    estimated = est.estimate_fraction_below(current, threshold)
+    sim = ConvolutionVoltageSimulator(network)
+    voltage = sim.voltage(current)[min(sim.taps, len(current) // 4) :]
+    observed = float(np.mean(voltage < threshold))
+    return TracePrediction(
+        name=name, threshold=threshold, estimated=estimated, observed=observed
+    )

@@ -1,0 +1,146 @@
+"""Shift-register hardware model of the wavelet monitor (Figure 14).
+
+Figure 14 sketches how a Haar term is computed in hardware: the per-cycle
+current values stream down a shift register, and each retained wavelet
+term maintains two running sums — the samples under the positive pulse of
+its (scaling/wavelet) function and those under the negative pulse.  As a
+new value enters, each sum is updated with O(1) adds using the register
+taps at the region boundaries; the term's coefficient is the scaled
+difference of the sums, and the voltage estimate is the weighted sum of
+the K coefficients (constant multiplies, "optimized into shifts").
+
+This module implements exactly that structure, at one add per boundary
+per cycle, and is verified cycle-for-cycle against the linear-algebra
+monitor of :mod:`repro.core.monitor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..power import PowerSupplyNetwork
+from ..wavelets import CoefficientRef
+from .monitor import WaveletVoltageMonitor
+
+__all__ = ["HaarTermRegister", "ShiftRegisterMonitor"]
+
+
+@dataclass
+class HaarTermRegister:
+    """Running-sum hardware for one retained Haar coefficient.
+
+    The term covers history offsets ``[start, start + span)`` (offset 0 is
+    the newest sample).  Detail terms subtract the older half from the
+    newer half; approximation terms sum the whole span.  ``scale`` is the
+    orthonormal Haar normalization ``span**-0.5``.
+    """
+
+    start: int
+    span: int
+    weight: float  # the impulse-response coefficient this term multiplies
+    is_detail: bool
+    pos_sum: float = 0.0
+    neg_sum: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.span <= 0 or self.span & (self.span - 1):
+            raise ValueError("span must be a positive power of two")
+        if self.is_detail and self.span < 2:
+            raise ValueError("a detail term spans at least two samples")
+        self.scale = self.span**-0.5
+
+    @property
+    def mid(self) -> int:
+        """Offset where the wavelet's pulse flips sign."""
+        return self.start + self.span // 2
+
+    @property
+    def end(self) -> int:
+        """First offset past the term's support."""
+        return self.start + self.span
+
+    def shift(self, entering: float, at_mid: float, at_end: float) -> None:
+        """Advance one cycle given the three boundary register taps.
+
+        ``entering`` is the sample that just moved to offset ``start``;
+        ``at_mid``/``at_end`` are the samples that just crossed out of the
+        positive region and out of the support, respectively.
+        """
+        if self.is_detail:
+            self.pos_sum += entering - at_mid
+            self.neg_sum += at_mid - at_end
+        else:
+            self.pos_sum += entering - at_end
+
+    def coefficient(self) -> float:
+        """Current value of this wavelet coefficient."""
+        if self.is_detail:
+            return self.scale * (self.pos_sum - self.neg_sum)
+        return self.scale * self.pos_sum
+
+    def contribution(self) -> float:
+        """This term's contribution to the droop estimate."""
+        return self.weight * self.coefficient()
+
+
+class ShiftRegisterMonitor:
+    """The full Figure-14 datapath: register + K term units + adder tree.
+
+    Functionally identical to
+    :class:`~repro.core.monitor.WaveletVoltageMonitor` (tested to agree to
+    floating-point round-off); structured the way the hardware would be,
+    so its per-cycle work — ``adds_per_cycle`` — is the complexity the
+    paper compares against full convolution.
+    """
+
+    def __init__(self, network: PowerSupplyNetwork, terms: int, taps: int | None = None
+                 ) -> None:
+        reference = WaveletVoltageMonitor(network, terms=terms, taps=taps)
+        self.network = network
+        self.window = reference.taps
+        self.level = reference.convolver.level
+        self._register = np.zeros(self.window + 1)
+        self.terms = [
+            self._make_term(ref, weight)
+            for ref, weight in reference.convolver.terms
+        ]
+
+    def _make_term(self, ref: CoefficientRef, weight: float) -> HaarTermRegister:
+        if ref.kind == "a":
+            span = 1 << self.level
+            return HaarTermRegister(
+                start=ref.index * span, span=span, weight=weight, is_detail=False
+            )
+        span = 1 << ref.level
+        return HaarTermRegister(
+            start=ref.index * span, span=span, weight=weight, is_detail=True
+        )
+
+    @property
+    def adds_per_cycle(self) -> int:
+        """Adder count: boundary updates plus the K-term reduction.
+
+        Detail terms need 4 adds (two running sums, two boundaries each),
+        approximation terms 2, and combining K contributions costs K-1 —
+        versus ``2 * taps - 1`` multiply-adds for full convolution.
+        """
+        boundary = sum(4 if t.is_detail else 2 for t in self.terms)
+        return boundary + max(0, len(self.terms) - 1)
+
+    def observe(self, current: float) -> float:
+        """Clock one cycle of current into the register; returns voltage."""
+        reg = self._register
+        reg[1:] = reg[:-1]
+        reg[0] = current
+        for term in self.terms:
+            term.shift(reg[term.start], reg[term.mid], reg[term.end])
+        droop = sum(term.contribution() for term in self.terms)
+        return self.network.vdd - droop
+
+    def reset(self) -> None:
+        """Clear the register and every running sum."""
+        self._register[:] = 0.0
+        for term in self.terms:
+            term.pos_sum = term.neg_sum = 0.0

@@ -1,0 +1,217 @@
+"""Wavelet-signature phase classification (extension of §4.3).
+
+The paper leans on program-phase behaviour twice: SimPoint intervals pick
+*where* to simulate, and §4's temporal localization exists because "real
+programs have been shown to possess complex phase behavior".  This module
+closes the loop: it classifies execution windows into phases using their
+*wavelet signatures* — the per-scale variance profile of each 256-cycle
+current window, exactly the features the §4.1 estimator already computes
+— and then characterizes each phase's dI/dt exposure separately.
+
+Clustering is a small, deterministic, from-scratch k-means (k-means++
+seeding, Lloyd iterations) over standardized log-variance features, so no
+external ML dependency is involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..power import PowerSupplyNetwork
+from .characterization import WINDOW, WaveletVoltageEstimator
+
+__all__ = ["PhaseSummary", "WaveletPhaseClassifier"]
+
+
+def _kmeans(
+    points: np.ndarray, k: int, rng: np.random.Generator, iterations: int = 50
+) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministic k-means++ / Lloyd; returns (centroids, labels)."""
+    n = len(points)
+    # k-means++ seeding.
+    centroids = [points[int(rng.integers(n))]]
+    for _ in range(1, k):
+        d2 = np.min(
+            [np.sum((points - c) ** 2, axis=1) for c in centroids], axis=0
+        )
+        total = d2.sum()
+        if total <= 0:
+            centroids.append(points[int(rng.integers(n))])
+            continue
+        centroids.append(points[int(rng.choice(n, p=d2 / total))])
+    centers = np.array(centroids)
+    labels = np.zeros(n, dtype=int)
+    for _ in range(iterations):
+        dists = np.array(
+            [np.sum((points - c) ** 2, axis=1) for c in centers]
+        )
+        new_labels = np.argmin(dists, axis=0)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for j in range(k):
+            members = points[labels == j]
+            if len(members):
+                centers[j] = members.mean(axis=0)
+    return centers, labels
+
+
+@dataclass(frozen=True)
+class PhaseSummary:
+    """Aggregate behaviour of one detected phase."""
+
+    phase: int
+    fraction: float  # share of execution windows
+    mean_current: float
+    scale_variances: dict[int, float]  # mean per-scale variance
+    emergency_probability: float | None  # mean P(V < threshold), if asked
+
+    @property
+    def dominant_level(self) -> int:
+        """The wavelet scale carrying the most current variance."""
+        return max(self.scale_variances, key=self.scale_variances.get)
+
+
+class WaveletPhaseClassifier:
+    """Cluster 256-cycle windows by their wavelet variance signatures.
+
+    Parameters
+    ----------
+    phases:
+        Number of phases (k).
+    levels:
+        Decomposition depth of each window.
+    seed:
+        Clustering seed (deterministic given data + seed).
+    """
+
+    def __init__(self, phases: int = 3, levels: int = 8, seed: int = 0) -> None:
+        if phases < 1:
+            raise ValueError("need at least one phase")
+        if (1 << levels) != WINDOW:
+            raise ValueError("levels must fully decompose the 256-cycle window")
+        self.phases = phases
+        self.levels = levels
+        self.seed = seed
+        self._centers: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self._features: np.ndarray | None = None
+        self._windows: np.ndarray | None = None
+
+    # -- features ---------------------------------------------------------------
+
+    def _window_features(self, windows: np.ndarray) -> np.ndarray:
+        """Per-window signature: log per-scale variances + mean current."""
+        from ..wavelets import decompose
+
+        rows = []
+        for w in windows:
+            dec = decompose(w, "haar", self.levels)
+            variances = [
+                float(np.sum(dec.detail(lvl) ** 2)) / WINDOW
+                for lvl in dec.levels
+            ]
+            rows.append(
+                [np.log10(v + 1e-9) for v in variances] + [float(w.mean())]
+            )
+        return np.array(rows)
+
+    def _standardize(self, feats: np.ndarray) -> np.ndarray:
+        assert self._mean is not None and self._std is not None
+        return (feats - self._mean) / self._std
+
+    # -- fitting ----------------------------------------------------------------
+
+    def fit(self, current: np.ndarray) -> "WaveletPhaseClassifier":
+        """Cluster the trace's windows; stores per-window ``labels_``."""
+        i = np.asarray(current, dtype=float)
+        count = len(i) // WINDOW
+        if count < self.phases:
+            raise ValueError(
+                f"trace has {count} windows but {self.phases} phases requested"
+            )
+        windows = i[: count * WINDOW].reshape(count, WINDOW)
+        feats = self._window_features(windows)
+        self._mean = feats.mean(axis=0)
+        self._std = np.where(feats.std(axis=0) > 1e-12, feats.std(axis=0), 1.0)
+        scaled = self._standardize(feats)
+        rng = np.random.default_rng(self.seed)
+        self._centers, labels = _kmeans(scaled, self.phases, rng)
+        # Relabel phases by descending mean current so phase 0 is always
+        # the hottest — stable, meaningful ids across runs.
+        order = np.argsort(
+            [-windows[labels == j].mean() if np.any(labels == j) else np.inf
+             for j in range(self.phases)]
+        )
+        remap = np.empty(self.phases, dtype=int)
+        remap[order] = np.arange(self.phases)
+        self.labels_ = remap[labels]
+        self._centers = self._centers[order]
+        self._features = scaled
+        self._windows = windows
+        return self
+
+    def classify(self, window: np.ndarray) -> int:
+        """Assign one 256-cycle window to its nearest phase."""
+        if self._centers is None:
+            raise RuntimeError("call fit() first")
+        w = np.asarray(window, dtype=float)
+        if w.shape != (WINDOW,):
+            raise ValueError(f"window must have exactly {WINDOW} samples")
+        feat = self._standardize(self._window_features(w[None, :]))[0]
+        dists = np.sum((self._centers - feat) ** 2, axis=1)
+        return int(np.argmin(dists))
+
+    # -- reporting ---------------------------------------------------------------
+
+    def summarize(
+        self,
+        network: PowerSupplyNetwork | None = None,
+        threshold: float = 0.97,
+    ) -> list[PhaseSummary]:
+        """Per-phase behaviour; with a network, per-phase dI/dt exposure."""
+        if self.labels_ is None or self._windows is None:
+            raise RuntimeError("call fit() first")
+        estimator = (
+            WaveletVoltageEstimator(network) if network is not None else None
+        )
+        out = []
+        for j in range(self.phases):
+            members = self._windows[self.labels_ == j]
+            if len(members) == 0:
+                out.append(
+                    PhaseSummary(j, 0.0, 0.0, {lvl: 0.0 for lvl in
+                                               range(1, self.levels + 1)}, None)
+                )
+                continue
+            from ..wavelets import decompose
+
+            per_scale = {lvl: 0.0 for lvl in range(1, self.levels + 1)}
+            prob = 0.0
+            for w in members:
+                dec = decompose(w, "haar", self.levels)
+                for lvl in per_scale:
+                    per_scale[lvl] += (
+                        float(np.sum(dec.detail(lvl) ** 2)) / WINDOW
+                    )
+                if estimator is not None:
+                    prob += estimator.characterize_window(w).prob_below(
+                        threshold
+                    )
+            n = len(members)
+            out.append(
+                PhaseSummary(
+                    phase=j,
+                    fraction=n / len(self._windows),
+                    mean_current=float(members.mean()),
+                    scale_variances={l: v / n for l, v in per_scale.items()},
+                    emergency_probability=(
+                        prob / n if estimator is not None else None
+                    ),
+                )
+            )
+        return out

@@ -1,0 +1,453 @@
+"""Programmatic access to every evaluation experiment in the paper.
+
+Each ``figure*``/``table*`` function computes one figure or table's data
+and returns a typed result; the benches under ``benchmarks/`` are thin
+wrappers that print these results and assert the paper's shape claims.
+Downstream users can regenerate any experiment directly:
+
+    from repro.experiments import simulate_suite, figure9
+    nets = {150: calibrated_supply(150)}
+    traces = simulate_suite(cycles=32768)
+    fig9 = figure9(calibrated_supply(150), traces)
+    print(fig9.rms_error)
+
+All functions are deterministic for fixed inputs and seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .core import (
+    AnalogVoltageSensor,
+    FullConvolutionMonitor,
+    PipelineDampingController,
+    ShiftRegisterMonitor,
+    ThresholdController,
+    TracePrediction,
+    WaveletVoltageEstimator,
+    WaveletVoltageMonitor,
+    benchmark_voltage_histogram,
+    coefficient_error_curve,
+    gaussianity_study,
+    predict_trace,
+    run_control_experiment,
+)
+from .power import PowerSupplyNetwork
+from .stats import VoltageHistogram, study_windows
+from .uarch import SimulationResult, simulate_benchmark
+from .workloads import SPEC2000, SPEC_INT
+
+__all__ = [
+    "PROBLEMATIC",
+    "QUIET",
+    "LOW_L2_MISS",
+    "HIGH_L2_MISS",
+    "simulate_suite",
+    "Figure6Result",
+    "figure6",
+    "Figure7Result",
+    "figure7",
+    "Figure8Result",
+    "figure8",
+    "Figure9Result",
+    "figure9",
+    "Figure1011Result",
+    "figures10_11",
+    "Figure12Result",
+    "figure12",
+    "figure13",
+    "Figure15Result",
+    "figure15",
+    "Table2Row",
+    "table2",
+]
+
+#: The paper's benchmark groupings (§4.2 and Figures 10/11).
+PROBLEMATIC = ("mgrid", "gcc", "galgel", "apsi")
+QUIET = ("vpr", "mcf", "equake", "gap")
+LOW_L2_MISS = ("gzip", "mesa", "crafty", "eon")
+HIGH_L2_MISS = ("swim", "lucas", "mcf", "art")
+
+
+def _suite_of(name: str) -> str:
+    return "int" if name in SPEC_INT else "fp"
+
+
+def simulate_suite(
+    cycles: int = 24576, names: tuple[str, ...] | None = None
+) -> dict[str, SimulationResult]:
+    """Current traces for the whole (or a subset of the) SPEC2000 suite."""
+    names = tuple(SPEC2000) if names is None else names
+    return {name: simulate_benchmark(name, cycles=cycles) for name in names}
+
+
+# -- Figure 6 -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure6Result:
+    """Gaussian-window acceptance rates by suite and window size."""
+
+    windows: tuple[int, ...]
+    rates: dict[str, dict[int, float]]  # suite ("int"/"fp"/"all") -> size -> rate
+
+
+def figure6(
+    traces: dict[str, SimulationResult],
+    windows: tuple[int, ...] = (32, 64, 128),
+    samples_per_size: int = 80,
+    seed: int = 7,
+) -> Figure6Result:
+    """χ² Gaussianity acceptance of random current windows (§4.1)."""
+    per_suite: dict[str, dict[int, list[float]]] = {
+        "int": {w: [] for w in windows},
+        "fp": {w: [] for w in windows},
+    }
+    for name, result in traces.items():
+        study = gaussianity_study(
+            result, windows=windows, samples_per_size=samples_per_size,
+            seed=seed,
+        )
+        for w in windows:
+            per_suite[_suite_of(name)][w].append(study.acceptance_rate(w))
+    rates: dict[str, dict[int, float]] = {}
+    for suite in ("int", "fp"):
+        rates[suite] = {
+            w: float(np.mean(per_suite[suite][w])) for w in windows
+        }
+    rates["all"] = {
+        w: float(np.mean(per_suite["int"][w] + per_suite["fp"][w]))
+        for w in windows
+    }
+    return Figure6Result(windows=windows, rates=rates)
+
+
+# -- Figure 7 -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure7Result:
+    """(non-Gaussian, overall) mean window variance per group and size."""
+
+    windows: tuple[int, ...]
+    rows: dict[int, dict[str, tuple[float, float]]]
+
+
+def figure7(
+    traces: dict[str, SimulationResult],
+    windows: tuple[int, ...] = (32, 64, 128),
+    samples_per_size: int = 80,
+    seed: int = 17,
+) -> Figure7Result:
+    """Current variance of non-Gaussian windows vs. overall (§4.1)."""
+    rows: dict[int, dict[str, tuple[float, float]]] = {}
+    for w in windows:
+        rng = np.random.default_rng(seed)
+        groups: dict[str, dict[str, list[float]]] = {
+            key: {"non_gauss": [], "overall": []}
+            for key in ("all", "non_resonant", "int", "fp")
+        }
+        for name, result in traces.items():
+            study = study_windows(result.current, w, samples_per_size, rng)
+            keys = ["all", _suite_of(name)]
+            if name not in PROBLEMATIC:
+                keys.append("non_resonant")
+            for key in keys:
+                groups[key]["overall"].append(study.overall_variance)
+                if study.total > study.gaussian:
+                    groups[key]["non_gauss"].append(
+                        study.non_gaussian_variance
+                    )
+        rows[w] = {
+            key: (
+                float(np.mean(g["non_gauss"])) if g["non_gauss"] else 0.0,
+                float(np.mean(g["overall"])),
+            )
+            for key, g in groups.items()
+        }
+    return Figure7Result(windows=windows, rows=rows)
+
+
+# -- Figure 8 -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure8Result:
+    """Per-benchmark level-truncation errors."""
+
+    variance_error: dict[str, float]  # relative error of the variance
+    estimate_shift: dict[str, float]  # abs shift of the Fig-9 estimate
+    kept_levels: dict[str, list[int]]
+
+
+def figure8(
+    network: PowerSupplyNetwork,
+    traces: dict[str, SimulationResult],
+    keep: int = 4,
+    threshold: float = 0.97,
+) -> Figure8Result:
+    """Estimating voltage variance with ``keep`` of 8 levels (§4.1)."""
+    full = WaveletVoltageEstimator(network)
+    variance_error, estimate_shift, kept_levels = {}, {}, {}
+    for name, result in traces.items():
+        trace = result.current
+        kept = full.top_levels_for(trace, keep)
+        truncated = WaveletVoltageEstimator(
+            network, keep_levels=kept, factors=full.factors
+        )
+        v_full = full.estimate_voltage_variance(trace)
+        v_trunc = truncated.estimate_voltage_variance(trace)
+        variance_error[name] = (
+            abs(v_full - v_trunc) / v_full if v_full > 0 else 0.0
+        )
+        f_full = full.estimate_fraction_below(trace, threshold)
+        f_trunc = truncated.estimate_fraction_below(trace, threshold)
+        estimate_shift[name] = abs(f_full - f_trunc)
+        kept_levels[name] = sorted(kept)
+    return Figure8Result(
+        variance_error=variance_error,
+        estimate_shift=estimate_shift,
+        kept_levels=kept_levels,
+    )
+
+
+# -- Figure 9 -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure9Result:
+    """Estimated vs. observed emergency exposure for the whole suite."""
+
+    threshold: float
+    predictions: dict[str, TracePrediction]
+
+    @property
+    def rms_error(self) -> float:
+        """Root-mean-square estimation error across benchmarks."""
+        errs = np.array([p.error for p in self.predictions.values()])
+        return float(np.sqrt(np.mean(errs**2)))
+
+    @property
+    def rank_correlation(self) -> float:
+        """Spearman-style rank agreement between estimate and truth."""
+        est = np.array([p.estimated for p in self.predictions.values()])
+        obs = np.array([p.observed for p in self.predictions.values()])
+        return float(
+            np.corrcoef(
+                np.argsort(np.argsort(est)), np.argsort(np.argsort(obs))
+            )[0, 1]
+        )
+
+
+def figure9(
+    network: PowerSupplyNetwork,
+    traces: dict[str, SimulationResult],
+    threshold: float = 0.97,
+) -> Figure9Result:
+    """The headline offline result (§4.2)."""
+    estimator = WaveletVoltageEstimator(network)
+    predictions = {
+        name: predict_trace(network, result.current, threshold, name, estimator)
+        for name, result in traces.items()
+    }
+    return Figure9Result(threshold=threshold, predictions=predictions)
+
+
+# -- Figures 10/11 -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure1011Result:
+    """Voltage histograms and nominal-voltage spikes per benchmark."""
+
+    histograms: dict[str, VoltageHistogram]
+    spike_ratios: dict[str, float]
+
+
+def figures10_11(
+    network: PowerSupplyNetwork,
+    traces: dict[str, SimulationResult],
+    names: tuple[str, ...] = LOW_L2_MISS + HIGH_L2_MISS,
+    bins: int = 30,
+) -> Figure1011Result:
+    """Voltage distributions by L2-miss class (§4.3)."""
+    histograms = {
+        name: benchmark_voltage_histogram(network, traces[name], bins=bins)
+        for name in names
+    }
+    spikes = {
+        name: hist.spike_ratio(network.vdd, 0.004)
+        for name, hist in histograms.items()
+    }
+    return Figure1011Result(histograms=histograms, spike_ratios=spikes)
+
+
+# -- Figure 12 -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure12Result:
+    """Per-benchmark 64-cycle current Gaussianity and L2 pressure."""
+
+    rates: dict[str, float]
+    l2_mpki: dict[str, float]
+
+    @property
+    def rank_correlation(self) -> float:
+        """Rank correlation between L2 MPKI and Gaussianity (negative)."""
+        m = np.array([self.l2_mpki[n] for n in self.rates])
+        r = np.array([self.rates[n] for n in self.rates])
+        return float(
+            np.corrcoef(np.argsort(np.argsort(m)), np.argsort(np.argsort(r)))[
+                0, 1
+            ]
+        )
+
+
+def figure12(
+    traces: dict[str, SimulationResult],
+    samples_per_size: int = 120,
+    seed: int = 7,
+) -> Figure12Result:
+    """Gaussianity vs. L2 misses across the suite (§4.3)."""
+    rates, mpki = {}, {}
+    for name, result in traces.items():
+        study = gaussianity_study(
+            result, windows=(64,), samples_per_size=samples_per_size,
+            seed=seed,
+        )
+        rates[name] = study.acceptance_rate(64)
+        mpki[name] = result.stats.l2_mpki
+    return Figure12Result(rates=rates, l2_mpki=mpki)
+
+
+# -- Figure 13 -----------------------------------------------------------------
+
+
+def figure13(
+    networks: dict[float, PowerSupplyNetwork],
+    trace: np.ndarray,
+    term_counts: list[int] | range = range(1, 31),
+) -> dict[float, dict[int, float]]:
+    """Monitor max error vs. wavelet term count per impedance (§5.1)."""
+    return {
+        pct: coefficient_error_curve(net, trace, term_counts)
+        for pct, net in networks.items()
+    }
+
+
+# -- Figure 15 -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure15Result:
+    """Per-(impedance, benchmark) control outcomes."""
+
+    results: dict[tuple[float, str], object]
+    names: tuple[str, ...]
+
+    def mean_slowdown(self, percent: float) -> float:
+        """Average slowdown at one impedance point."""
+        return float(
+            np.mean(
+                [self.results[(percent, n)].slowdown for n in self.names]
+            )
+        )
+
+
+#: Figure-13-informed term counts per impedance point.
+TERMS_FOR_PERCENT = {125.0: 9, 150.0: 13, 200.0: 20}
+
+
+def figure15(
+    networks: dict[float, PowerSupplyNetwork],
+    names: tuple[str, ...],
+    cycles: int = 10240,
+    margin: float = 0.012,
+) -> Figure15Result:
+    """Closed-loop wavelet control over the suite (§5.3)."""
+    results = {}
+    for pct, net in networks.items():
+        terms = TERMS_FOR_PERCENT.get(pct, 13)
+        for name in names:
+            results[(pct, name)] = run_control_experiment(
+                name,
+                net,
+                lambda net=net, terms=terms: ThresholdController(
+                    WaveletVoltageMonitor(net, terms=terms), net, margin
+                ),
+                cycles=cycles,
+            )
+    return Figure15Result(results=results, names=tuple(names))
+
+
+# -- Table 2 -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """Quantified Table-2 columns for one scheme."""
+
+    scheme: str
+    mean_slowdown: float
+    max_slowdown: float
+    false_positive_rate: float
+    fault_reduction: float
+    ops_per_cycle: int
+
+
+def table2(
+    network: PowerSupplyNetwork,
+    workloads: tuple[str, ...] = ("mgrid", "gcc", "gzip"),
+    cycles: int = 10240,
+    margin: float = 0.012,
+    damping_delta: float = 6.0,
+) -> dict[str, Table2Row]:
+    """All four dI/dt schemes, closed loop, side by side (§6)."""
+    schemes = {
+        "analog": (
+            lambda: ThresholdController(
+                AnalogVoltageSensor(network, delay=2), network, margin
+            ),
+            AnalogVoltageSensor(network).ops_per_cycle,
+        ),
+        "full_conv": (
+            lambda: ThresholdController(
+                FullConvolutionMonitor(network), network, margin
+            ),
+            FullConvolutionMonitor(network).ops_per_cycle,
+        ),
+        "damping": (
+            lambda: PipelineDampingController(
+                network, delta=damping_delta, window=8
+            ),
+            PipelineDampingController(network, delta=damping_delta).ops_per_cycle,
+        ),
+        "wavelet": (
+            lambda: ThresholdController(
+                WaveletVoltageMonitor(network, terms=13), network, margin
+            ),
+            ShiftRegisterMonitor(network, terms=13).adds_per_cycle,
+        ),
+    }
+    rows: dict[str, Table2Row] = {}
+    for scheme, (factory, ops) in schemes.items():
+        slowdowns, fp_rates, fault_cuts = [], [], []
+        for name in workloads:
+            r = run_control_experiment(name, network, factory, cycles=cycles)
+            slowdowns.append(r.slowdown)
+            fp_rates.append(r.false_positive_rate)
+            if r.baseline_faults:
+                fault_cuts.append(1 - r.controlled_faults / r.baseline_faults)
+        rows[scheme] = Table2Row(
+            scheme=scheme,
+            mean_slowdown=float(np.mean(slowdowns)),
+            max_slowdown=float(np.max(slowdowns)),
+            false_positive_rate=float(np.mean(fp_rates)),
+            fault_reduction=float(np.mean(fault_cuts)) if fault_cuts else 1.0,
+            ops_per_cycle=ops,
+        )
+    return rows

@@ -1,0 +1,64 @@
+"""Power-delivery network substrate (§3.1 of the paper).
+
+Second-order supply model, analytic/discrete impulse and frequency
+responses, convolution and streaming voltage simulation, and the
+target-impedance calibration procedure.
+"""
+
+from .impedance import (
+    calibrate_peak_impedance,
+    calibrated_network,
+    didt_reduction,
+    worst_case_current,
+)
+from .impulse import (
+    BiquadCoefficients,
+    biquad_coefficients,
+    default_tap_count,
+    impulse_response,
+    settle_cycles,
+)
+from .grid import DEFAULT_FLOORPLAN, Floorplan, PowerGrid
+from .frequency import (
+    discrete_impedance_magnitude,
+    impedance_magnitude,
+    resonant_peak,
+    response_curve,
+)
+from .network import PowerSupplyNetwork, SupplyParameters
+from .sizing import exposure_at, max_tolerable_impedance
+from .simulate import (
+    ConvolutionVoltageSimulator,
+    StreamingVoltageModel,
+    count_emergencies,
+    emergency_fraction,
+    simulate_voltage,
+)
+
+__all__ = [
+    "BiquadCoefficients",
+    "ConvolutionVoltageSimulator",
+    "DEFAULT_FLOORPLAN",
+    "Floorplan",
+    "PowerGrid",
+    "PowerSupplyNetwork",
+    "StreamingVoltageModel",
+    "SupplyParameters",
+    "biquad_coefficients",
+    "calibrate_peak_impedance",
+    "calibrated_network",
+    "count_emergencies",
+    "default_tap_count",
+    "didt_reduction",
+    "discrete_impedance_magnitude",
+    "emergency_fraction",
+    "exposure_at",
+    "impedance_magnitude",
+    "impulse_response",
+    "max_tolerable_impedance",
+    "resonant_peak",
+    "response_curve",
+    "settle_cycles",
+    "simulate_voltage",
+    "worst_case_current",
+]

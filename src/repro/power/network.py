@@ -1,0 +1,175 @@
+"""Second-order model of the microprocessor power-supply network (§3.1).
+
+The paper models the supply network, for mid-frequency (50–200 MHz) dI/dt
+purposes, as a second-order linear system: the package inductance ``L`` and
+loop resistance ``R`` in series, feeding the on-die decoupling capacitance
+``C`` from which the core draws its current.  The impedance seen by the die,
+
+    Z(s) = (R + sL) / (LC s^2 + RC s + 1),
+
+equals ``R`` at DC, peaks near the resonance ``w0 = 1/sqrt(LC)`` and falls
+as the on-die capacitance shorts high frequencies — exactly the bandpass
+shape of Figure 5.  Voltage is then computed by convolving the current with
+the network's impulse response (Eq. 6).
+
+Rather than asking users for raw ``R/L/C``, the model is parameterized by
+design-facing quantities — resonant frequency, quality factor and peak
+impedance — plus an ``impedance_scale`` implementing the paper's "percent
+of target impedance" axis (100 % = ripple exactly reaches the ±5 % band
+under the worst-case stressmark; 150 % = 1.5x that impedance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+__all__ = ["PowerSupplyNetwork", "SupplyParameters"]
+
+
+@dataclass(frozen=True)
+class SupplyParameters:
+    """Raw electrical parameters derived from the design-facing spec."""
+
+    resistance: float  # ohm (DC/IR-drop resistance)
+    inductance: float  # henry
+    capacitance: float  # farad
+
+    @property
+    def resonant_rad(self) -> float:
+        """Natural frequency ``w0 = 1/sqrt(LC)`` in rad/s."""
+        return 1.0 / np.sqrt(self.inductance * self.capacitance)
+
+    @property
+    def damping_rate(self) -> float:
+        """Pole real part ``alpha = R / 2L`` in 1/s."""
+        return self.resistance / (2.0 * self.inductance)
+
+    @property
+    def damped_rad(self) -> float:
+        """Damped oscillation frequency ``wd = sqrt(w0^2 - alpha^2)``."""
+        w0, a = self.resonant_rad, self.damping_rate
+        if a >= w0:
+            raise ValueError("supply model must be underdamped (Q > 0.5)")
+        return float(np.sqrt(w0 * w0 - a * a))
+
+
+@dataclass(frozen=True)
+class PowerSupplyNetwork:
+    """The processor's power-delivery network as a second-order system.
+
+    Parameters
+    ----------
+    vdd:
+        Nominal supply voltage (the paper uses 1.0 V).
+    clock_hz:
+        Core clock; per-cycle current samples are spaced ``1/clock_hz``.
+    resonant_hz:
+        Supply resonance — the paper places the troublesome band at
+        50–200 MHz; the default 100 MHz gives a 30-cycle period at 3 GHz.
+    quality_factor:
+        Sharpness of the resonance (underdamped, Q > 0.5).
+    peak_impedance:
+        |Z| at resonance in ohms, *before* ``impedance_scale`` is applied.
+    impedance_scale:
+        The paper's target-impedance percentage as a fraction: 1.0 = 100 %
+        target impedance (ripple exactly tolerable under the worst case),
+        1.5 = the paper's "150 % target impedance" systems that need
+        microarchitectural control.
+    tolerance:
+        Allowed relative voltage excursion (±5 % in the paper).
+    """
+
+    vdd: float = 1.0
+    clock_hz: float = 3.0e9
+    resonant_hz: float = 100.0e6
+    quality_factor: float = 8.0
+    peak_impedance: float = 1.0e-3
+    impedance_scale: float = 1.0
+    tolerance: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0 or self.clock_hz <= 0 or self.resonant_hz <= 0:
+            raise ValueError("vdd, clock and resonance must be positive")
+        if self.quality_factor <= 0.5:
+            raise ValueError("quality_factor must exceed 0.5 (underdamped)")
+        if self.peak_impedance <= 0 or self.impedance_scale <= 0:
+            raise ValueError("impedances must be positive")
+        if not 0.0 < self.tolerance < 1.0:
+            raise ValueError("tolerance must be a fraction in (0, 1)")
+        if self.resonant_hz * 4 > self.clock_hz:
+            raise ValueError("resonance must be far below the clock rate")
+
+    # -- electrical parameters ------------------------------------------------
+
+    @cached_property
+    def parameters(self) -> SupplyParameters:
+        """Solve (R, L, C) from (f0, Q, Z_peak, scale).
+
+        For the series-RL/shunt-C network, ``Q = w0 L / R``, and at the
+        natural frequency the denominator collapses to ``j w0 R C`` so that
+        ``|Z(j w0)| = Q R sqrt(1 + Q^2)``; hence
+        ``R = Z_peak / (Q sqrt(1 + Q^2))``, ``L = Q R / w0``,
+        ``C = 1/(w0^2 L)``.
+        """
+        w0 = 2.0 * np.pi * self.resonant_hz
+        q = self.quality_factor
+        r = self.impedance_scale * self.peak_impedance / (q * np.sqrt(1.0 + q * q))
+        l = q * r / w0
+        c = 1.0 / (w0 * w0 * l)
+        return SupplyParameters(resistance=r, inductance=l, capacitance=c)
+
+    @property
+    def cycle_time(self) -> float:
+        """Seconds per core clock cycle."""
+        return 1.0 / self.clock_hz
+
+    @property
+    def resonant_period_cycles(self) -> float:
+        """Resonant period expressed in core clock cycles."""
+        return self.clock_hz / self.resonant_hz
+
+    @property
+    def dc_resistance(self) -> float:
+        """DC impedance (sets the IR drop for the mean current)."""
+        return self.parameters.resistance
+
+    # -- voltage limits ---------------------------------------------------------
+
+    @property
+    def v_min(self) -> float:
+        """Lowest safe voltage (-tolerance band edge): 0.95 V by default."""
+        return self.vdd * (1.0 - self.tolerance)
+
+    @property
+    def v_max(self) -> float:
+        """Highest safe voltage (+tolerance band edge): 1.05 V by default."""
+        return self.vdd * (1.0 + self.tolerance)
+
+    # -- scaling ---------------------------------------------------------------
+
+    def with_scale(self, impedance_scale: float) -> "PowerSupplyNetwork":
+        """Same network at a different target-impedance percentage."""
+        return PowerSupplyNetwork(
+            vdd=self.vdd,
+            clock_hz=self.clock_hz,
+            resonant_hz=self.resonant_hz,
+            quality_factor=self.quality_factor,
+            peak_impedance=self.peak_impedance,
+            impedance_scale=impedance_scale,
+            tolerance=self.tolerance,
+        )
+
+    def with_peak_impedance(self, peak_impedance: float) -> "PowerSupplyNetwork":
+        """Same network with a re-based 100 % target impedance."""
+        return PowerSupplyNetwork(
+            vdd=self.vdd,
+            clock_hz=self.clock_hz,
+            resonant_hz=self.resonant_hz,
+            quality_factor=self.quality_factor,
+            peak_impedance=peak_impedance,
+            impedance_scale=self.impedance_scale,
+            tolerance=self.tolerance,
+        )

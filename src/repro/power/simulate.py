@@ -1,0 +1,125 @@
+"""Voltage simulation: Eq. 6 applied to per-cycle current traces.
+
+Two equivalent engines:
+
+* :class:`ConvolutionVoltageSimulator` — the offline "truth" used for all
+  characterization experiments: FFT convolution of the whole current trace
+  with the finite impulse-response kernel, exactly the direct application
+  of Eq. 6 the paper uses to simulate voltage levels.
+* :class:`StreamingVoltageModel` — the same second-order system as a
+  two-pole recursion advanced one cycle at a time, used inside the online
+  control loop where the controller's stall/no-op decisions feed back into
+  the current stream.
+
+Both are derived from the same biquad coefficients and agree to machine
+precision (tested), so offline characterization and online control see the
+same physics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.signal import fftconvolve, lfilter
+
+from .impulse import biquad_coefficients, default_tap_count, impulse_response
+from .network import PowerSupplyNetwork
+
+__all__ = [
+    "ConvolutionVoltageSimulator",
+    "StreamingVoltageModel",
+    "simulate_voltage",
+    "count_emergencies",
+    "emergency_fraction",
+]
+
+
+class ConvolutionVoltageSimulator:
+    """Offline whole-trace voltage computation (Eq. 6).
+
+    Parameters
+    ----------
+    network:
+        The supply model.
+    taps:
+        Kernel length; defaults to a power of two covering the ring-down.
+    """
+
+    def __init__(self, network: PowerSupplyNetwork, taps: int | None = None) -> None:
+        self.network = network
+        self.taps = default_tap_count(network) if taps is None else taps
+        self.kernel = impulse_response(network, self.taps)
+
+    def droop(self, current: np.ndarray) -> np.ndarray:
+        """Voltage droop ``(h * i)(t)`` for each cycle of ``current``."""
+        i = np.asarray(current, dtype=float)
+        if i.ndim != 1:
+            raise ValueError("current trace must be 1-D")
+        if len(i) == 0:
+            return np.empty(0)
+        return fftconvolve(i, self.kernel)[: len(i)]
+
+    def voltage(self, current: np.ndarray) -> np.ndarray:
+        """Per-cycle supply voltage ``vdd - droop``."""
+        return self.network.vdd - self.droop(current)
+
+
+class StreamingVoltageModel:
+    """Cycle-by-cycle voltage evolution for closed-loop control.
+
+    Uses the biquad recursion directly (infinite impulse response), so it
+    matches the convolution engine up to the kernel truncation tail.
+    """
+
+    def __init__(self, network: PowerSupplyNetwork) -> None:
+        self.network = network
+        self._bq = biquad_coefficients(network)
+        self._x1 = 0.0
+        self._x2 = 0.0
+        self._y1 = 0.0
+        self._y2 = 0.0
+
+    def step(self, current: float) -> float:
+        """Advance one cycle with the given current draw; returns voltage."""
+        bq = self._bq
+        y = (
+            bq.b0 * current
+            + bq.b1 * self._x1
+            + bq.b2 * self._x2
+            - bq.a1 * self._y1
+            - bq.a2 * self._y2
+        )
+        self._x2, self._x1 = self._x1, current
+        self._y2, self._y1 = self._y1, y
+        return self.network.vdd - y
+
+    def run(self, current: np.ndarray) -> np.ndarray:
+        """Vectorized batch run (scipy ``lfilter``), same recursion."""
+        i = np.asarray(current, dtype=float)
+        bq = self._bq
+        droop = lfilter([bq.b0, bq.b1, bq.b2], [1.0, bq.a1, bq.a2], i)
+        return self.network.vdd - droop
+
+    def reset(self) -> None:
+        """Clear filter state (history of a previous trace)."""
+        self._x1 = self._x2 = self._y1 = self._y2 = 0.0
+
+
+def simulate_voltage(
+    network: PowerSupplyNetwork, current: np.ndarray, taps: int | None = None
+) -> np.ndarray:
+    """One-shot convenience: voltage trace for a current trace (Eq. 6)."""
+    return ConvolutionVoltageSimulator(network, taps).voltage(current)
+
+
+def count_emergencies(network: PowerSupplyNetwork, voltage: np.ndarray) -> int:
+    """Cycles outside the safe band (voltage faults, §3)."""
+    v = np.asarray(voltage, dtype=float)
+    return int(np.sum((v < network.v_min) | (v > network.v_max)))
+
+
+def emergency_fraction(network: PowerSupplyNetwork, voltage: np.ndarray) -> float:
+    """Fraction of cycles in voltage-fault territory."""
+    v = np.asarray(voltage, dtype=float)
+    if v.size == 0:
+        return 0.0
+    return count_emergencies(network, v) / v.size

@@ -1,0 +1,33 @@
+"""Statistics substrate: Gaussian models, χ² Gaussianity testing, windowed
+descriptive statistics and voltage histograms (§4.1's statistical toolkit).
+"""
+
+from .chisquare import ChiSquareResult, chi_square_gaussian_test, is_gaussian_window
+from .descriptive import (
+    WindowStudy,
+    extract_windows,
+    random_window_starts,
+    study_windows,
+    window_variances,
+)
+from .gaussian import GaussianModel, normal_cdf, normal_quantile
+from .jarque_bera import JarqueBeraResult, jarque_bera_test
+from .histogram import VoltageHistogram, voltage_histogram
+
+__all__ = [
+    "ChiSquareResult",
+    "GaussianModel",
+    "JarqueBeraResult",
+    "jarque_bera_test",
+    "VoltageHistogram",
+    "WindowStudy",
+    "chi_square_gaussian_test",
+    "extract_windows",
+    "is_gaussian_window",
+    "normal_cdf",
+    "normal_quantile",
+    "random_window_starts",
+    "study_windows",
+    "voltage_histogram",
+    "window_variances",
+]

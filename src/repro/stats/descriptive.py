@@ -1,0 +1,103 @@
+"""Windowed descriptive statistics over per-cycle traces.
+
+The characterization experiments of §4.1 sample fixed-size windows "at
+random intervals throughout the execution" and study their variance and
+distribution.  This module owns window selection and the aggregate
+statistics reported in Figures 6 and 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "random_window_starts",
+    "extract_windows",
+    "window_variances",
+    "WindowStudy",
+    "study_windows",
+]
+
+
+def random_window_starts(
+    trace_length: int, window: int, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``count`` random window start offsets, uniform over the trace."""
+    if window < 1 or window > trace_length:
+        raise ValueError("window must fit inside the trace")
+    if count < 1:
+        raise ValueError("count must be positive")
+    return rng.integers(0, trace_length - window + 1, size=count)
+
+
+def extract_windows(
+    trace: np.ndarray, starts: np.ndarray, window: int
+) -> np.ndarray:
+    """Stack the chosen windows into a ``(count, window)`` matrix."""
+    t = np.asarray(trace, dtype=float)
+    starts = np.asarray(starts, dtype=int)
+    if np.any(starts < 0) or np.any(starts + window > len(t)):
+        raise ValueError("window out of trace bounds")
+    idx = starts[:, None] + np.arange(window)[None, :]
+    return t[idx]
+
+
+def window_variances(windows: np.ndarray) -> np.ndarray:
+    """Per-window population variance."""
+    w = np.asarray(windows, dtype=float)
+    if w.ndim != 2:
+        raise ValueError("expected a (count, window) matrix")
+    return w.var(axis=1)
+
+
+@dataclass(frozen=True)
+class WindowStudy:
+    """Aggregate statistics of one benchmark's sampled windows.
+
+    Attributes mirror what Figures 6 and 7 plot: the Gaussian acceptance
+    rate and the variance split between accepted and rejected windows.
+    """
+
+    window: int
+    total: int
+    gaussian: int
+    overall_variance: float
+    gaussian_variance: float
+    non_gaussian_variance: float
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of windows accepted as Gaussian (Figure 6's y-axis)."""
+        return self.gaussian / self.total if self.total else 0.0
+
+
+def study_windows(
+    trace: np.ndarray,
+    window: int,
+    count: int,
+    rng: np.random.Generator,
+    significance: float = 0.95,
+) -> WindowStudy:
+    """Sample random windows and classify each with the χ² Gaussian test."""
+    from .chisquare import is_gaussian_window  # late import: sibling module
+
+    starts = random_window_starts(len(trace), window, count, rng)
+    windows = extract_windows(trace, starts, window)
+    variances = window_variances(windows)
+    flags = np.fromiter(
+        (is_gaussian_window(w, significance) for w in windows),
+        dtype=bool,
+        count=len(windows),
+    )
+    gaussian_var = float(variances[flags].mean()) if flags.any() else 0.0
+    non_gaussian_var = float(variances[~flags].mean()) if (~flags).any() else 0.0
+    return WindowStudy(
+        window=window,
+        total=len(windows),
+        gaussian=int(flags.sum()),
+        overall_variance=float(variances.mean()),
+        gaussian_variance=gaussian_var,
+        non_gaussian_variance=non_gaussian_var,
+    )

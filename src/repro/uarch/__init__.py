@@ -1,0 +1,71 @@
+"""Microarchitecture substrate: the Wattch/SimpleScalar-style simulator.
+
+Table-1 configuration, branch predictors, cache hierarchy, functional
+units, the out-of-order pipeline, the activity-based power model, and the
+top-level simulation driver that turns a workload into a per-cycle current
+trace.
+"""
+
+from .branch import (
+    BimodalPredictor,
+    BranchTargetBuffer,
+    CombinedPredictor,
+    GsharePredictor,
+    PredictorHarness,
+    ReturnAddressStack,
+    TwoBitCounterTable,
+    make_predictor,
+)
+from .caches import Cache, CacheHierarchy, ServiceLevel
+from .config import TABLE_1, CacheConfig, ProcessorConfig
+from .events import RunStatistics
+from .funits import FunctionalUnitPool, FunctionalUnits
+from .isa import Instruction, OpClass
+from .pipeline import Pipeline
+from .power_model import (
+    ActivityCounters,
+    ClockGating,
+    UnitPower,
+    WattchPowerModel,
+)
+from .simulator import (
+    DidtController,
+    SimulationResult,
+    Simulator,
+    simulate_benchmark,
+)
+from .traceio import import_current_trace, load_result, save_result
+
+__all__ = [
+    "ActivityCounters",
+    "BimodalPredictor",
+    "BranchTargetBuffer",
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "ClockGating",
+    "CombinedPredictor",
+    "DidtController",
+    "FunctionalUnitPool",
+    "FunctionalUnits",
+    "GsharePredictor",
+    "Instruction",
+    "OpClass",
+    "Pipeline",
+    "PredictorHarness",
+    "ProcessorConfig",
+    "ReturnAddressStack",
+    "RunStatistics",
+    "ServiceLevel",
+    "SimulationResult",
+    "Simulator",
+    "TABLE_1",
+    "TwoBitCounterTable",
+    "UnitPower",
+    "WattchPowerModel",
+    "import_current_trace",
+    "load_result",
+    "make_predictor",
+    "save_result",
+    "simulate_benchmark",
+]

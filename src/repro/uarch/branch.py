@@ -1,0 +1,266 @@
+"""Branch prediction: Table 1's combined predictor, BTB and RAS.
+
+A faithful SimpleScalar-style stack: a 4K-entry bimodal table, a 4K-entry
+gshare with 12 bits of global history, a 4K-entry chooser that learns which
+component to trust per branch, a 1K-entry 2-way BTB and a 32-entry return
+address stack.  Mispredictions cost the paper's 12-cycle penalty (charged
+by the pipeline, not here).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TwoBitCounterTable",
+    "BimodalPredictor",
+    "GsharePredictor",
+    "CombinedPredictor",
+    "PredictorHarness",
+    "make_predictor",
+    "BranchTargetBuffer",
+    "ReturnAddressStack",
+]
+
+
+class TwoBitCounterTable:
+    """An array of saturating 2-bit counters (the classic building block)."""
+
+    def __init__(self, entries: int, initial: int = 1) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        if not 0 <= initial <= 3:
+            raise ValueError("counter values live in [0, 3]")
+        self.entries = entries
+        self._mask = entries - 1
+        self._table = bytearray([initial] * entries)
+
+    def index(self, key: int) -> int:
+        """Map an arbitrary key onto a table slot."""
+        return key & self._mask
+
+    def predict(self, key: int) -> bool:
+        """Taken if the counter's top bit is set."""
+        return self._table[key & self._mask] >= 2
+
+    def update(self, key: int, taken: bool) -> None:
+        """Saturating increment/decrement toward the outcome."""
+        i = key & self._mask
+        v = self._table[i]
+        if taken:
+            if v < 3:
+                self._table[i] = v + 1
+        elif v > 0:
+            self._table[i] = v - 1
+
+
+class BimodalPredictor:
+    """Per-PC 2-bit counters indexed by the branch address.
+
+    Counters initialize weakly taken: most branches are loop branches, and
+    real front ends fall back to a taken-biased static prediction.
+    """
+
+    def __init__(self, entries: int = 4096) -> None:
+        self._table = TwoBitCounterTable(entries, initial=2)
+
+    def _key(self, pc: int) -> int:
+        return pc >> 2
+
+    def predict(self, pc: int) -> bool:
+        """Direction guess for the branch at ``pc``."""
+        return self._table.predict(self._key(pc))
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train on the resolved outcome."""
+        self._table.update(self._key(pc), taken)
+
+
+class GsharePredictor:
+    """Global-history predictor: counters indexed by ``pc XOR history``."""
+
+    def __init__(self, entries: int = 4096, history_bits: int = 12) -> None:
+        if history_bits <= 0:
+            raise ValueError("history_bits must be positive")
+        self._table = TwoBitCounterTable(entries, initial=2)
+        self._history = 0
+        self._history_mask = (1 << history_bits) - 1
+
+    def _key(self, pc: int) -> int:
+        return (pc >> 2) ^ self._history
+
+    def predict(self, pc: int) -> bool:
+        """Direction guess using current global history."""
+        return self._table.predict(self._key(pc))
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the indexed counter, then shift the outcome into history."""
+        self._table.update(self._key(pc), taken)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+
+class CombinedPredictor:
+    """Table 1's combined predictor: bimodal + gshare with a chooser.
+
+    The chooser is itself a table of 2-bit counters indexed by PC; it is
+    trained toward whichever component was right when they disagree.
+    """
+
+    def __init__(
+        self,
+        bimod_entries: int = 4096,
+        gshare_entries: int = 4096,
+        history_bits: int = 12,
+        chooser_entries: int = 4096,
+    ) -> None:
+        self.bimodal = BimodalPredictor(bimod_entries)
+        self.gshare = GsharePredictor(gshare_entries, history_bits)
+        # Chooser counter >= 2 means "trust gshare".
+        self._chooser = TwoBitCounterTable(chooser_entries)
+        self.lookups = 0
+        self.mispredictions = 0
+
+    def predict(self, pc: int) -> bool:
+        """Direction guess from the currently-favoured component."""
+        use_gshare = self._chooser.predict(pc >> 2)
+        if use_gshare:
+            return self.gshare.predict(pc)
+        return self.bimodal.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Predict-and-train one branch; returns True on a correct guess."""
+        p_bim = self.bimodal.predict(pc)
+        p_gs = self.gshare.predict(pc)
+        prediction = p_gs if self._chooser.predict(pc >> 2) else p_bim
+        if p_bim != p_gs:
+            # Train the chooser toward the component that was right.
+            self._chooser.update(pc >> 2, p_gs == taken)
+        self.bimodal.update(pc, taken)
+        self.gshare.update(pc, taken)
+        self.lookups += 1
+        correct = prediction == taken
+        if not correct:
+            self.mispredictions += 1
+        return correct
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Fraction of lookups that were wrong so far."""
+        return self.mispredictions / self.lookups if self.lookups else 0.0
+
+
+class BranchTargetBuffer:
+    """Set-associative BTB (1K entries, 2-way in Table 1), LRU replacement."""
+
+    def __init__(self, entries: int = 1024, ways: int = 2) -> None:
+        if entries <= 0 or ways <= 0 or entries % ways:
+            raise ValueError("entries must divide evenly into ways")
+        self.sets = entries // ways
+        if self.sets & (self.sets - 1):
+            raise ValueError("set count must be a power of two")
+        self.ways = ways
+        # Per set: list of (tag, target), most recently used first.
+        self._sets: list[list[tuple[int, int]]] = [[] for _ in range(self.sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, pc: int) -> tuple[int, int]:
+        idx = (pc >> 2) & (self.sets - 1)
+        tag = pc >> 2
+        return idx, tag
+
+    def lookup(self, pc: int) -> int | None:
+        """Predicted target for the branch at ``pc`` (None = BTB miss)."""
+        idx, tag = self._locate(pc)
+        entries = self._sets[idx]
+        for pos, (t, target) in enumerate(entries):
+            if t == tag:
+                entries.insert(0, entries.pop(pos))
+                self.hits += 1
+                return target
+        self.misses += 1
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        """Install/refresh the resolved target."""
+        idx, tag = self._locate(pc)
+        entries = self._sets[idx]
+        for pos, (t, _) in enumerate(entries):
+            if t == tag:
+                entries.pop(pos)
+                break
+        entries.insert(0, (tag, target))
+        del entries[self.ways :]
+
+
+class ReturnAddressStack:
+    """Fixed-depth RAS (32 entries in Table 1); overflows wrap around."""
+
+    def __init__(self, entries: int = 32) -> None:
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self._stack: list[int] = []
+
+    def push(self, return_pc: int) -> None:
+        """Record a call's return address."""
+        self._stack.append(return_pc)
+        if len(self._stack) > self.entries:
+            self._stack.pop(0)
+
+    def pop(self) -> int | None:
+        """Predict a return's target (None when empty)."""
+        return self._stack.pop() if self._stack else None
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+class PredictorHarness:
+    """Wraps a bare direction predictor with the accounting interface.
+
+    Gives :class:`BimodalPredictor`/:class:`GsharePredictor` the same
+    ``update(pc, taken) -> correct`` contract (plus hit-rate counters)
+    that :class:`CombinedPredictor` provides natively, so the pipeline
+    can run any of the three — the predictor-choice ablation.
+    """
+
+    def __init__(self, predictor) -> None:
+        self.predictor = predictor
+        self.lookups = 0
+        self.mispredictions = 0
+
+    def predict(self, pc: int) -> bool:
+        """Direction guess (no training)."""
+        return self.predictor.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Predict-and-train one branch; returns True on a correct guess."""
+        correct = self.predictor.predict(pc) == taken
+        self.predictor.update(pc, taken)
+        self.lookups += 1
+        if not correct:
+            self.mispredictions += 1
+        return correct
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Fraction of lookups that were wrong so far."""
+        return self.mispredictions / self.lookups if self.lookups else 0.0
+
+
+def make_predictor(config) -> "CombinedPredictor | PredictorHarness":
+    """Build the configured branch predictor (Table 1: ``combined``)."""
+    kind = getattr(config, "predictor_kind", "combined")
+    if kind == "combined":
+        return CombinedPredictor(
+            config.bimod_entries,
+            config.gshare_entries,
+            config.gshare_history,
+            config.chooser_entries,
+        )
+    if kind == "bimodal":
+        return PredictorHarness(BimodalPredictor(config.bimod_entries))
+    if kind == "gshare":
+        return PredictorHarness(
+            GsharePredictor(config.gshare_entries, config.gshare_history)
+        )
+    raise ValueError(f"unknown predictor kind {kind!r}")

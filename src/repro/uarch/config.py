@@ -1,0 +1,119 @@
+"""Processor configuration (Table 1 of the paper).
+
+The paper's machine: a 3.0 GHz, Alpha-21264-like out-of-order superscalar
+modeled with a modified Wattch/SimpleScalar — 4-wide fetch/decode, 80-entry
+RUU, 40-entry LSQ, deep front end with a 12-cycle branch penalty, combined
+bimodal/gshare predictor, and a three-level memory hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ProcessorConfig", "CacheConfig", "TABLE_1"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    size_bytes: int
+    ways: int
+    line_bytes: int
+    latency: int  # cycles on hit
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache geometry must be positive")
+        if self.size_bytes % (self.ways * self.line_bytes) != 0:
+            raise ValueError("size must divide evenly into ways * lines")
+        if self.latency < 1:
+            raise ValueError("latency must be at least one cycle")
+
+    @property
+    def sets(self) -> int:
+        """Number of sets."""
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """Table 1, field for field (defaults are the paper's values)."""
+
+    # Execution core
+    clock_hz: float = 3.0e9
+    vdd: float = 1.0
+    ruu_size: int = 80
+    lsq_size: int = 40
+    int_alus: int = 4
+    int_mult_div: int = 1
+    fp_alus: int = 2
+    fp_mult_div: int = 1
+    memory_ports: int = 2
+
+    # Front end
+    fetch_width: int = 4
+    decode_width: int = 4
+    commit_width: int = 4
+    issue_width: int = 4
+    fetch_queue_size: int = 16
+    branch_penalty: int = 12
+
+    # Branch prediction
+    predictor_kind: str = "combined"  # "combined" | "bimodal" | "gshare"
+    bimod_entries: int = 4096
+    gshare_entries: int = 4096
+    gshare_history: int = 12
+    chooser_entries: int = 4096
+    btb_entries: int = 1024
+    btb_ways: int = 2
+    ras_entries: int = 32
+
+    # Memory hierarchy
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig(64 * 1024, 2, 64, 3)
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(64 * 1024, 2, 64, 3)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(2 * 1024 * 1024, 4, 64, 16)
+    )
+    memory_latency: int = 250
+    # SimpleScalar leaves miss concurrency unconstrained; Table 1 is
+    # silent on MSHRs, so the default bound (one per LSQ load slot)
+    # never binds — lower it explicitly for MLP studies.
+    mshr_entries: int = 40
+    prefetch_next_line: bool = False  # sequential prefetch on L1D misses
+
+    # Functional-unit latencies (issue-to-complete, cycles)
+    ialu_latency: int = 1
+    imult_latency: int = 3
+    idiv_latency: int = 20
+    fpalu_latency: int = 2
+    fpmult_latency: int = 4
+    fpdiv_latency: int = 12
+
+    def __post_init__(self) -> None:
+        positive = (
+            self.ruu_size,
+            self.lsq_size,
+            self.fetch_width,
+            self.decode_width,
+            self.commit_width,
+            self.issue_width,
+            self.memory_ports,
+            self.branch_penalty,
+        )
+        if any(v <= 0 for v in positive):
+            raise ValueError("core widths and sizes must be positive")
+        if self.lsq_size > self.ruu_size:
+            raise ValueError("LSQ cannot exceed the RUU")
+        if self.mshr_entries <= 0:
+            raise ValueError("need at least one MSHR")
+        if self.predictor_kind not in ("combined", "bimodal", "gshare"):
+            raise ValueError("unknown predictor_kind")
+
+
+#: The exact configuration of Table 1.
+TABLE_1 = ProcessorConfig()

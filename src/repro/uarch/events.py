@@ -1,0 +1,56 @@
+"""Run-level statistics and per-cycle event traces.
+
+§4.3 of the paper correlates voltage behaviour with architectural events
+(L2 misses above all), so the simulator records, besides aggregate
+counters, a per-cycle flag telling whether an L2-missing access was
+outstanding — the signal behind Figures 10–12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RunStatistics"]
+
+
+@dataclass
+class RunStatistics:
+    """Aggregate counters for one simulation run."""
+
+    cycles: int = 0
+    fetched: int = 0
+    dispatched: int = 0
+    issued: int = 0
+    committed: int = 0
+    branches: int = 0
+    mispredictions: int = 0
+    noops_injected: int = 0
+    store_forwards: int = 0  # loads served from an in-flight store
+    stall_cycles: int = 0  # cycles the dI/dt controller held issue
+    l1i_misses: int = 0
+    l1d_misses: int = 0
+    l2_misses: int = 0
+    l1d_accesses: int = 0
+    l2_accesses: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Fraction of executed branches that were mispredicted."""
+        return self.mispredictions / self.branches if self.branches else 0.0
+
+    @property
+    def l2_miss_rate(self) -> float:
+        """L2 local miss ratio."""
+        return self.l2_misses / self.l2_accesses if self.l2_accesses else 0.0
+
+    @property
+    def l2_mpki(self) -> float:
+        """L2 misses per thousand committed instructions."""
+        return 1000.0 * self.l2_misses / self.committed if self.committed else 0.0

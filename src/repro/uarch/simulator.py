@@ -1,0 +1,160 @@
+"""Top-level simulation driver: workload in, current trace out (§3.2).
+
+Wraps the pipeline into a one-call API returning a
+:class:`SimulationResult` — the per-cycle current trace plus the per-cycle
+L2-miss-outstanding flag and run statistics.  A process-level cache keyed
+on (benchmark, cycles, seed) keeps the 26-benchmark experiment sweeps from
+re-simulating the same traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Protocol
+
+import numpy as np
+
+from ..workloads.generator import generate, prewarm_caches
+from ..workloads.spec import WorkloadProfile, get_profile
+from .config import ProcessorConfig, TABLE_1
+from .events import RunStatistics
+from .isa import Instruction
+from .pipeline import Pipeline
+from .power_model import WattchPowerModel
+
+__all__ = ["SimulationResult", "Simulator", "simulate_benchmark", "DidtController"]
+
+
+class DidtController(Protocol):
+    """Closed-loop dI/dt controller interface (§5's actuation loop).
+
+    After every cycle the simulator feeds the controller the cycle's
+    current draw; the controller answers with the actuation for the *next*
+    cycle: whether to stall issue and how many no-ops to inject.
+    """
+
+    def update(self, current: float) -> tuple[bool, int]:
+        """Observe one cycle; return (stall_issue, inject_noops)."""
+        ...
+
+
+@dataclass
+class SimulationResult:
+    """Everything a characterization or control experiment consumes."""
+
+    name: str
+    current: np.ndarray  # per-cycle amperes
+    l2_outstanding: np.ndarray  # per-cycle bool: L1-missing load in flight
+    stats: RunStatistics
+
+    @property
+    def cycles(self) -> int:
+        """Simulated cycle count."""
+        return len(self.current)
+
+    @property
+    def mean_current(self) -> float:
+        """Average amperage over the run."""
+        return float(self.current.mean()) if self.cycles else 0.0
+
+
+class Simulator:
+    """Configurable driver around :class:`~repro.uarch.pipeline.Pipeline`."""
+
+    def __init__(
+        self,
+        config: ProcessorConfig = TABLE_1,
+        power_model: WattchPowerModel | None = None,
+    ) -> None:
+        self.config = config
+        self.power_model = power_model
+
+    def run(
+        self,
+        stream: Iterable[Instruction] | Iterator[Instruction],
+        max_cycles: int,
+        name: str = "trace",
+        controller: DidtController | None = None,
+    ) -> SimulationResult:
+        """Simulate until ``max_cycles`` or the stream drains.
+
+        With a ``controller``, its decisions are applied with a one-cycle
+        delay (sensor-to-actuator latency), exactly as a hardware monitor
+        would act.
+        """
+        if max_cycles < 0:
+            raise ValueError("max_cycles must be non-negative")
+        pipe = Pipeline(self.config, iter(stream), self.power_model)
+        current = np.empty(max_cycles)
+        l2_flag = np.empty(max_cycles, dtype=bool)
+        n = 0
+        for _ in range(max_cycles):
+            amps = pipe.tick()
+            current[n] = amps
+            l2_flag[n] = pipe.l2_miss_outstanding
+            n += 1
+            if controller is not None:
+                stall, noops = controller.update(amps)
+                pipe.stall_issue = stall
+                pipe.inject_noops = noops
+            if pipe.drained:
+                break
+        return SimulationResult(
+            name=name,
+            current=current[:n],
+            l2_outstanding=l2_flag[:n],
+            stats=pipe.stats,
+        )
+
+
+_CACHE: dict[tuple[str, int, int | None, int], SimulationResult] = {}
+
+
+def simulate_benchmark(
+    benchmark: str | WorkloadProfile,
+    cycles: int = 65536,
+    seed: int | None = None,
+    config: ProcessorConfig = TABLE_1,
+    use_cache: bool = True,
+    warmup_cycles: int = 4096,
+) -> SimulationResult:
+    """Simulate one SPEC2000 workload model and return its trace.
+
+    Caches are pre-warmed with the profile's working sets and the machine
+    runs ``warmup_cycles`` before measurement begins, standing in for a
+    SimPoint interval's preamble.  Results are cached per
+    (name, cycles, seed, warmup) for the default configuration, since the
+    experiment sweeps revisit the same traces.
+    """
+    profile = get_profile(benchmark) if isinstance(benchmark, str) else benchmark
+    key = (profile.name, cycles, seed, warmup_cycles)
+    cacheable = use_cache and config is TABLE_1
+    if cacheable and key in _CACHE:
+        return _CACHE[key]
+    sim = Simulator(config)
+    stream = generate(profile, seed)
+    pipe = Pipeline(config, iter(stream), sim.power_model)
+    prewarm_caches(pipe.caches, profile)
+    # Warm-up interval: run the machine without recording, so predictors
+    # train and the pipeline fills (the SimPoint interval's preamble).
+    for _ in range(warmup_cycles):
+        pipe.tick()
+    pipe.stats = RunStatistics()
+    current = np.empty(cycles)
+    l2_flag = np.empty(cycles, dtype=bool)
+    n = 0
+    for _ in range(cycles):
+        current[n] = pipe.tick()
+        l2_flag[n] = pipe.l2_miss_outstanding
+        n += 1
+        if pipe.drained:
+            break
+    result = SimulationResult(
+        name=profile.name,
+        current=current[:n],
+        l2_outstanding=l2_flag[:n],
+        stats=pipe.stats,
+    )
+    if cacheable:
+        _CACHE[key] = result
+    return result

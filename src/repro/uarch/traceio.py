@@ -1,0 +1,141 @@
+"""Saving, loading and importing current traces.
+
+Two use cases:
+
+* **Persistence** — simulation runs are expensive; ``save_result`` /
+  ``load_result`` round-trip a :class:`SimulationResult` through a
+  compressed ``.npz`` so sweeps can be resumed across processes.
+* **External traces** — the paper's pipeline only needs a per-cycle
+  current waveform, so traces produced elsewhere (gem5+McPAT, a silicon
+  current probe, another simulator) can be imported with
+  ``import_current_trace`` and fed straight into the §4 estimator and §5
+  monitors.
+
+The on-disk format is a plain ``numpy`` archive with a small schema
+(``format`` + ``version`` keys) so files remain readable without this
+library.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .events import RunStatistics
+from .simulator import SimulationResult
+
+__all__ = ["save_result", "load_result", "import_current_trace"]
+
+_FORMAT = "repro-current-trace"
+_VERSION = 1
+
+#: RunStatistics fields persisted alongside the trace.
+_STAT_FIELDS = (
+    "cycles",
+    "fetched",
+    "dispatched",
+    "issued",
+    "committed",
+    "branches",
+    "mispredictions",
+    "noops_injected",
+    "store_forwards",
+    "stall_cycles",
+    "l1i_misses",
+    "l1d_misses",
+    "l2_misses",
+    "l1d_accesses",
+    "l2_accesses",
+)
+
+
+def save_result(result: SimulationResult, path: str | Path) -> Path:
+    """Write a simulation result to a compressed ``.npz`` archive."""
+    path = Path(path)
+    stats = np.array(
+        [getattr(result.stats, f) for f in _STAT_FIELDS], dtype=np.int64
+    )
+    np.savez_compressed(
+        path,
+        format=np.str_(_FORMAT),
+        version=np.int64(_VERSION),
+        name=np.str_(result.name),
+        current=result.current.astype(np.float64),
+        l2_outstanding=result.l2_outstanding.astype(bool),
+        stats=stats,
+    )
+    # numpy appends .npz when missing; report the real location.
+    return path if path.suffix == ".npz" else path.with_suffix(
+        path.suffix + ".npz"
+    )
+
+
+def load_result(path: str | Path) -> SimulationResult:
+    """Read a result previously written by :func:`save_result`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        if str(data.get("format", "")) != _FORMAT:
+            raise ValueError(f"{path} is not a {_FORMAT} archive")
+        version = int(data["version"])
+        if version > _VERSION:
+            raise ValueError(
+                f"{path} uses format version {version}; this library "
+                f"reads up to {_VERSION}"
+            )
+        stats = RunStatistics(
+            **{f: int(v) for f, v in zip(_STAT_FIELDS, data["stats"])}
+        )
+        return SimulationResult(
+            name=str(data["name"]),
+            current=np.asarray(data["current"], dtype=float),
+            l2_outstanding=np.asarray(data["l2_outstanding"], dtype=bool),
+            stats=stats,
+        )
+
+
+def import_current_trace(
+    path: str | Path,
+    name: str | None = None,
+    column: int = 0,
+) -> SimulationResult:
+    """Import an external per-cycle current trace.
+
+    Accepts ``.npy`` (1-D float array), ``.npz`` (our own format, or any
+    archive with a ``current`` array) and plain text (one sample per
+    line, or whitespace-separated columns with ``column`` selecting the
+    amperes column — the shape gem5/McPAT post-processing scripts
+    usually emit).
+
+    The returned :class:`SimulationResult` carries empty run statistics
+    and no event log; the characterization pipeline needs neither.
+    """
+    path = Path(path)
+    if path.suffix == ".npy":
+        current = np.load(path, allow_pickle=False)
+    elif path.suffix == ".npz":
+        with np.load(path, allow_pickle=False) as data:
+            if str(data.get("format", "")) == _FORMAT:
+                return load_result(path)
+            if "current" not in data:
+                raise ValueError(f"{path} has no 'current' array")
+            current = np.asarray(data["current"])
+    else:
+        table = np.loadtxt(path, ndmin=2)
+        if column >= table.shape[1]:
+            raise ValueError(
+                f"column {column} out of range for {table.shape[1]}-column file"
+            )
+        current = table[:, column]
+    current = np.asarray(current, dtype=float).ravel()
+    if current.size == 0:
+        raise ValueError(f"{path} contains no samples")
+    if not np.all(np.isfinite(current)):
+        raise ValueError(f"{path} contains non-finite samples")
+    if np.any(current < 0):
+        raise ValueError(f"{path} contains negative current samples")
+    return SimulationResult(
+        name=name or path.stem,
+        current=current,
+        l2_outstanding=np.zeros(current.size, dtype=bool),
+        stats=RunStatistics(cycles=current.size),
+    )

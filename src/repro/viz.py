@@ -1,0 +1,141 @@
+"""Terminal visualization helpers.
+
+Every figure in the paper is a plot; this repo renders their data as
+aligned ASCII so benches, examples and the CLI can show *shapes* (curves,
+bars, histograms, waveforms) without a plotting dependency.  All
+functions return strings; nothing prints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bar_chart", "line_plot", "histogram", "waveform", "table"]
+
+_FULL = "#"
+_EMPTY = " "
+
+
+def bar_chart(
+    values: dict[str, float],
+    width: int = 50,
+    fmt: str = "{:8.2f}",
+    title: str = "",
+) -> str:
+    """Horizontal bar chart, one row per labelled value."""
+    if not values:
+        raise ValueError("nothing to plot")
+    peak = max(abs(v) for v in values.values()) or 1.0
+    label_w = max(len(str(k)) for k in values)
+    lines = [f"--- {title} ---"] if title else []
+    for key, value in values.items():
+        bar = _FULL * int(round(width * abs(value) / peak))
+        lines.append(f"{str(key):{label_w}s} {fmt.format(value)} |{bar}")
+    return "\n".join(lines)
+
+
+def line_plot(
+    y: np.ndarray,
+    height: int = 12,
+    width: int = 64,
+    title: str = "",
+) -> str:
+    """Down-sampled character line plot of one series."""
+    y = np.asarray(y, dtype=float)
+    if y.size == 0:
+        raise ValueError("nothing to plot")
+    if height < 2 or width < 2:
+        raise ValueError("plot area too small")
+    # Resample to the plot width by block-averaging.
+    edges = np.linspace(0, y.size, width + 1).astype(int)
+    cols = np.array(
+        [y[a:b].mean() if b > a else y[min(a, y.size - 1)]
+         for a, b in zip(edges[:-1], edges[1:])]
+    )
+    lo, hi = float(cols.min()), float(cols.max())
+    span = hi - lo or 1.0
+    rows = np.clip(((cols - lo) / span * (height - 1)).round().astype(int),
+                   0, height - 1)
+    grid = [[_EMPTY] * width for _ in range(height)]
+    for x, r in enumerate(rows):
+        grid[height - 1 - r][x] = "*"
+    lines = [f"--- {title} ---"] if title else []
+    lines.append(f"{hi:10.3f} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{lo:10.3f} +" + "".join(grid[-1]))
+    return "\n".join(lines)
+
+
+def histogram(
+    values: np.ndarray,
+    bins: int = 24,
+    width: int = 50,
+    title: str = "",
+    fmt: str = "{:9.3f}",
+) -> str:
+    """Vertical-label histogram (one row per bin)."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("nothing to plot")
+    counts, edges = np.histogram(values, bins=bins)
+    peak = counts.max() or 1
+    lines = [f"--- {title} ---"] if title else []
+    for count, lo in zip(counts, edges[:-1]):
+        bar = _FULL * int(round(width * count / peak))
+        lines.append(f"{fmt.format(lo)} |{bar}")
+    return "\n".join(lines)
+
+
+def waveform(
+    y: np.ndarray,
+    thresholds: tuple[float, float] | None = None,
+    width: int = 80,
+    title: str = "",
+) -> str:
+    """One-line ternary rendering of a trace.
+
+    ``#`` above the upper threshold, ``.`` below the lower, ``+`` between;
+    defaults split the range into thirds.  Handy for eyeballing burst/
+    stall structure in logs.
+    """
+    y = np.asarray(y, dtype=float)
+    if y.size == 0:
+        raise ValueError("nothing to plot")
+    if thresholds is None:
+        lo, hi = float(y.min()), float(y.max())
+        thresholds = (lo + (hi - lo) / 3, lo + 2 * (hi - lo) / 3)
+    low, high = thresholds
+    if low > high:
+        raise ValueError("thresholds must be ordered")
+    edges = np.linspace(0, y.size, width + 1).astype(int)
+    marks = []
+    for a, b in zip(edges[:-1], edges[1:]):
+        v = y[a:b].mean() if b > a else y[min(a, y.size - 1)]
+        marks.append("#" if v > high else ("." if v < low else "+"))
+    head = f"--- {title} ---\n" if title else ""
+    return head + "".join(marks)
+
+
+def table(
+    rows: dict[str, list],
+    headers: list[str],
+    fmt: str = "{:>10}",
+    title: str = "",
+) -> str:
+    """Aligned text table with a label column."""
+    if not rows:
+        raise ValueError("nothing to tabulate")
+    label_w = max(len(str(k)) for k in rows)
+    lines = [f"--- {title} ---"] if title else []
+    lines.append(" " * label_w + " " + "".join(fmt.format(h) for h in headers))
+    for key, cells in rows.items():
+        if len(cells) != len(headers):
+            raise ValueError(f"row {key!r} has {len(cells)} cells, "
+                             f"expected {len(headers)}")
+        body = "".join(
+            fmt.format(f"{c:.3f}" if isinstance(c, float) else c)
+            for c in cells
+        )
+        lines.append(f"{str(key):{label_w}s} {body}")
+    return "\n".join(lines)

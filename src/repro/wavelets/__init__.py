@@ -1,0 +1,95 @@
+"""From-scratch wavelet analysis library (the paper's §2 substrate).
+
+Provides the discrete wavelet transform (Mallat's fast algorithm), Haar and
+Daubechies filter banks, subband projection, scalograms, wavelet variance
+statistics, wavelet packets, and the orthonormal subband-convolution
+identity that powers the online voltage monitor.
+"""
+
+from .coefficients import CoefficientRef, WaveletDecomposition, decompose
+from .convolution import WaveletConvolver, convolve_via_subbands, next_pow2
+from .filters import Wavelet, daubechies, get_wavelet, haar, qmf
+from .cwt import cwt_scale_for_period, dominant_period, morlet_cwt
+from .denoise import (
+    denoise,
+    estimate_noise_sigma,
+    hard_threshold,
+    soft_threshold,
+    universal_threshold,
+)
+from .modwt import imodwt, modwt, modwt_max_level, modwt_variance
+from .packets import WaveletPacketTree, best_basis, shannon_entropy
+from .scalogram import render_ascii, scalogram
+from .subbands import (
+    approximation_signal,
+    bandpass_filter,
+    basis_function,
+    detail_signal,
+    subband_signals,
+)
+from .transform import (
+    dwt,
+    haar_dwt,
+    haar_idwt,
+    idwt,
+    max_level,
+    wavedec,
+    waverec,
+)
+from .variance import (
+    adjacent_correlation,
+    scale_correlations,
+    scale_variance,
+    total_variance_from_scales,
+    variance_confidence_interval,
+    wavelet_variances,
+)
+
+__all__ = [
+    "CoefficientRef",
+    "Wavelet",
+    "WaveletConvolver",
+    "WaveletDecomposition",
+    "WaveletPacketTree",
+    "adjacent_correlation",
+    "approximation_signal",
+    "bandpass_filter",
+    "basis_function",
+    "best_basis",
+    "convolve_via_subbands",
+    "cwt_scale_for_period",
+    "dominant_period",
+    "morlet_cwt",
+    "daubechies",
+    "decompose",
+    "denoise",
+    "estimate_noise_sigma",
+    "hard_threshold",
+    "soft_threshold",
+    "universal_threshold",
+    "detail_signal",
+    "dwt",
+    "get_wavelet",
+    "haar",
+    "haar_dwt",
+    "haar_idwt",
+    "idwt",
+    "imodwt",
+    "modwt",
+    "modwt_max_level",
+    "modwt_variance",
+    "max_level",
+    "next_pow2",
+    "qmf",
+    "render_ascii",
+    "scale_correlations",
+    "scale_variance",
+    "scalogram",
+    "shannon_entropy",
+    "subband_signals",
+    "total_variance_from_scales",
+    "variance_confidence_interval",
+    "wavedec",
+    "waverec",
+    "wavelet_variances",
+]

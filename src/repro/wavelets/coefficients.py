@@ -1,0 +1,246 @@
+"""Wavelet decomposition container and the paper's coefficient matrix.
+
+Figure 2 of the paper draws a signal's wavelet representation as a matrix:
+one row of approximation coefficients ``a[k]`` plus one row of detail
+coefficients ``d[j,k]`` per time scale, finer scales holding more
+coefficients.  :class:`WaveletDecomposition` is that object: it owns the
+coefficients, knows which frequency band each level occupies, and supports
+the sparsity operations (top-K truncation) that make the online monitor of
+§5 cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .filters import Wavelet, get_wavelet
+from .transform import max_level, wavedec, waverec
+
+__all__ = ["WaveletDecomposition", "decompose"]
+
+
+@dataclass(frozen=True)
+class CoefficientRef:
+    """Identifies one coefficient: ``("a", 0, k)`` or ``("d", level, k)``."""
+
+    kind: str  # "a" for approximation, "d" for detail
+    level: int  # detail level (1 = finest); 0 for approximation
+    index: int  # position k within the row
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("a", "d"):
+            raise ValueError("kind must be 'a' or 'd'")
+
+
+class WaveletDecomposition:
+    """A multilevel periodized DWT of a 1-D signal.
+
+    Levels are numbered 1 (finest detail, highest frequency) through
+    ``self.level`` (coarsest).  The paper's scale index ``j`` of Figure 2
+    (``j = 0`` finest, decreasing for coarser rows) is available through
+    :meth:`paper_scale`.
+    """
+
+    def __init__(
+        self,
+        approx: np.ndarray,
+        details: list[np.ndarray],
+        wavelet: str | Wavelet = "haar",
+    ) -> None:
+        self.wavelet = get_wavelet(wavelet)
+        self._approx = np.asarray(approx, dtype=float)
+        # details[i] is level i+1 (finest first).
+        self._details = [np.asarray(d, dtype=float) for d in details]
+        for lvl, det in enumerate(self._details, start=1):
+            expected = self._approx.size * 2 ** (self.level - lvl)
+            if det.size != expected:
+                raise ValueError(
+                    f"detail level {lvl} has {det.size} coefficients, "
+                    f"expected {expected}"
+                )
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_signal(
+        cls,
+        x: np.ndarray,
+        wavelet: str | Wavelet = "haar",
+        level: int | None = None,
+    ) -> "WaveletDecomposition":
+        """Decompose ``x`` (length must be even at every level taken)."""
+        w = get_wavelet(wavelet)
+        coeffs = wavedec(x, w, level)
+        approx, coarse_to_fine = coeffs[0], coeffs[1:]
+        return cls(approx, coarse_to_fine[::-1], w)
+
+    # -- basic structure ---------------------------------------------------
+
+    @property
+    def level(self) -> int:
+        """Number of detail levels."""
+        return len(self._details)
+
+    @property
+    def length(self) -> int:
+        """Length of the original signal."""
+        return self._approx.size * 2**self.level
+
+    @property
+    def approx(self) -> np.ndarray:
+        """Approximation coefficients ``a[k]`` (coarse trend, Eq. 2)."""
+        return self._approx
+
+    def detail(self, level: int) -> np.ndarray:
+        """Detail coefficients ``d[level, k]``; level 1 is finest (Eq. 3)."""
+        if not 1 <= level <= self.level:
+            raise IndexError(f"detail level must be in [1, {self.level}]")
+        return self._details[level - 1]
+
+    @property
+    def levels(self) -> range:
+        """Iterable of valid detail levels, finest first."""
+        return range(1, self.level + 1)
+
+    def paper_scale(self, level: int) -> int:
+        """Map our level to the paper's Figure-2 scale index ``j``.
+
+        The finest row of Figure 2 is ``j = 0`` and coarser rows go
+        negative, so ``j = 1 - level``.
+        """
+        if not 1 <= level <= self.level:
+            raise IndexError(f"detail level must be in [1, {self.level}]")
+        return 1 - level
+
+    def scale_period(self, level: int) -> int:
+        """Support of one level-``level`` wavelet in samples (Haar: 2^level)."""
+        return 2**level
+
+    def scale_frequency(self, level: int, sample_rate: float = 1.0) -> float:
+        """Centre frequency of the level's subband.
+
+        The level-``l`` detail band spans ``(fs/2^(l+1), fs/2^l)``; its
+        centre ``0.75 * fs / 2^l`` is the conventional pseudo-frequency.
+        """
+        return 0.75 * sample_rate / 2**level
+
+    # -- conversions -------------------------------------------------------
+
+    def to_list(self) -> list[np.ndarray]:
+        """``[aJ, dJ, ..., d1]`` as consumed by :func:`waverec`."""
+        return [self._approx] + self._details[::-1]
+
+    def reconstruct(self) -> np.ndarray:
+        """Inverse transform back to the time domain."""
+        return waverec(self.to_list(), self.wavelet)
+
+    def coefficient_matrix(self) -> np.ndarray:
+        """The Figure-2 matrix: rows = scales, NaN-padded to signal length.
+
+        Row 0 is the finest detail scale (paper ``j = 0``), the following
+        rows are successively coarser details, and the final row holds the
+        approximation coefficients.
+        """
+        n = self.length
+        rows = []
+        for det in self._details:  # finest first, as drawn in Figure 2
+            row = np.full(n, np.nan)
+            row[: det.size] = det
+            rows.append(row)
+        arow = np.full(n, np.nan)
+        arow[: self._approx.size] = self._approx
+        rows.append(arow)
+        return np.vstack(rows)
+
+    # -- energy and sparsity -----------------------------------------------
+
+    def energy(self) -> float:
+        """Total squared coefficient mass (= signal energy, by Parseval)."""
+        total = float(np.sum(self._approx**2))
+        for det in self._details:
+            total += float(np.sum(det**2))
+        return total
+
+    def detail_energy(self, level: int) -> float:
+        """Energy in one detail subband."""
+        return float(np.sum(self.detail(level) ** 2))
+
+    def sparsity(self, threshold: float) -> float:
+        """Fraction of coefficients with magnitude below ``threshold``.
+
+        The paper notes (§2.1) that wavelet representations of current
+        traces are sparse — most coefficients near zero — which is what
+        makes truncated-coefficient voltage monitors viable.
+        """
+        small = int(np.sum(np.abs(self._approx) < threshold))
+        count = self._approx.size
+        for det in self._details:
+            small += int(np.sum(np.abs(det) < threshold))
+            count += det.size
+        return small / count
+
+    def coefficients(self) -> list[tuple[CoefficientRef, float]]:
+        """All coefficients with their references."""
+        out = [
+            (CoefficientRef("a", 0, k), float(v))
+            for k, v in enumerate(self._approx)
+        ]
+        for lvl, det in enumerate(self._details, start=1):
+            out.extend(
+                (CoefficientRef("d", lvl, k), float(v)) for k, v in enumerate(det)
+            )
+        return out
+
+    def largest(self, count: int) -> list[tuple[CoefficientRef, float]]:
+        """The ``count`` largest-magnitude coefficients, descending.
+
+        §5.1: "we order the coefficients by decreasing magnitude" to select
+        the terms worth keeping in the hardware monitor.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        ranked = sorted(self.coefficients(), key=lambda rv: -abs(rv[1]))
+        return ranked[:count]
+
+    def truncate(self, keep: int) -> "WaveletDecomposition":
+        """Zero all but the ``keep`` largest-magnitude coefficients."""
+        kept = {(ref.kind, ref.level, ref.index) for ref, _ in self.largest(keep)}
+        approx = np.where(
+            [("a", 0, k) in kept for k in range(self._approx.size)],
+            self._approx,
+            0.0,
+        )
+        details = []
+        for lvl, det in enumerate(self._details, start=1):
+            mask = np.fromiter(
+                (("d", lvl, k) in kept for k in range(det.size)),
+                dtype=bool,
+                count=det.size,
+            )
+            details.append(np.where(mask, det, 0.0))
+        return WaveletDecomposition(approx, details, self.wavelet)
+
+    def filter_levels(self, keep_levels: set[int], keep_approx: bool = True
+                      ) -> "WaveletDecomposition":
+        """Zero every detail level not in ``keep_levels`` (subband filter).
+
+        §2.2: ignoring subbands that are irrelevant for dI/dt is
+        "effectively filtering the original signal".
+        """
+        approx = self._approx if keep_approx else np.zeros_like(self._approx)
+        details = [
+            det if (lvl in keep_levels) else np.zeros_like(det)
+            for lvl, det in enumerate(self._details, start=1)
+        ]
+        return WaveletDecomposition(approx, details, self.wavelet)
+
+
+def decompose(
+    x: np.ndarray, wavelet: str | Wavelet = "haar", level: int | None = None
+) -> WaveletDecomposition:
+    """Convenience wrapper for :meth:`WaveletDecomposition.from_signal`."""
+    if level is None:
+        level = max_level(len(np.asarray(x)), wavelet)
+    return WaveletDecomposition.from_signal(x, wavelet, level)

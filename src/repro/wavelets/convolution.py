@@ -1,0 +1,191 @@
+"""Wavelet subband convolution (the paper's [22], Vaidyanathan 1993).
+
+The online monitor of §5 rests on one identity: the periodized DWT is an
+*orthonormal* change of basis, so inner products are preserved.  A linear
+system's output sample is an inner product between the (time-reversed)
+input history and the impulse response::
+
+    v(t) = sum_n h[n] * i(t - n) = <u(t), h>,   u(t)[n] = i(t - n)
+
+hence ``v(t) = <DWT(u(t)), DWT(h)>``.  The DWT of the impulse response is a
+fixed vector of constants computed offline; the DWT of the current history
+is what the shift-register hardware of Figure 14 maintains.  Because the
+impulse response of the supply network is energy-concentrated in the
+resonant subbands, most of its wavelet coefficients are negligible — so the
+sum can be truncated to the K largest-magnitude terms (Figure 13).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .coefficients import CoefficientRef, WaveletDecomposition, decompose
+from .filters import Wavelet, get_wavelet
+from .transform import max_level
+
+__all__ = [
+    "convolve_via_subbands",
+    "WaveletConvolver",
+    "next_pow2",
+]
+
+
+def next_pow2(n: int) -> int:
+    """Smallest power of two >= n (>= 1)."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    p = 1
+    while p < n:
+        p *= 2
+    return p
+
+
+def convolve_via_subbands(
+    x: np.ndarray, h: np.ndarray, wavelet: str | Wavelet = "haar"
+) -> np.ndarray:
+    """Full linear convolution computed through wavelet subbands.
+
+    Decomposes ``x`` into subband signals, convolves each with ``h`` and
+    superposes — the §2.2 procedure for computing per-subband voltage
+    waveforms.  Mathematically identical to ``numpy.convolve(x, h)``;
+    exists as the executable statement of the linearity argument and is
+    tested against direct convolution.
+    """
+    from .subbands import subband_signals  # local import avoids cycle
+
+    x = np.asarray(x, dtype=float)
+    h = np.asarray(h, dtype=float)
+    n = len(x)
+    padded = np.zeros(next_pow2(n))
+    padded[:n] = x
+    dec = decompose(padded, wavelet)
+    out = np.zeros(len(padded) + len(h) - 1)
+    for band in subband_signals(dec).values():
+        out += np.convolve(band, h)
+    return out[: n + len(h) - 1]
+
+
+class WaveletConvolver:
+    """Truncated wavelet-domain evaluation of a linear system (§5.1).
+
+    Parameters
+    ----------
+    impulse_response:
+        The system's impulse response ``h`` (most recent tap first: the
+        weight of the current cycle's input).  Zero-padded to a power of
+        two internally.
+    wavelet:
+        Basis for the transform; the paper uses Haar.
+    keep:
+        Number of wavelet coefficient terms to retain, selected by
+        decreasing magnitude of the impulse response's coefficients.
+        ``None`` keeps everything (exact convolution).
+    """
+
+    def __init__(
+        self,
+        impulse_response: np.ndarray,
+        wavelet: str | Wavelet = "haar",
+        keep: int | None = None,
+    ) -> None:
+        h = np.asarray(impulse_response, dtype=float)
+        if h.ndim != 1 or h.size == 0:
+            raise ValueError("impulse response must be a non-empty 1-D array")
+        self.wavelet = get_wavelet(wavelet)
+        self.window = next_pow2(len(h))
+        padded = np.zeros(self.window)
+        padded[: len(h)] = h
+        self.level = max_level(self.window, self.wavelet)
+        self._h_dec = decompose(padded, self.wavelet, self.level)
+        ranked = sorted(
+            self._h_dec.coefficients(), key=lambda rv: -abs(rv[1])
+        )
+        self.total_terms = len(ranked)
+        if keep is None:
+            keep = self.total_terms
+        if not 0 <= keep <= self.total_terms:
+            raise ValueError(f"keep must be in [0, {self.total_terms}]")
+        self.keep = keep
+        self.terms: list[tuple[CoefficientRef, float]] = ranked[:keep]
+        self._dropped: list[tuple[CoefficientRef, float]] = ranked[keep:]
+
+    # -- offline evaluation --------------------------------------------------
+
+    def _history_decomposition(self, history: np.ndarray) -> WaveletDecomposition:
+        u = np.asarray(history, dtype=float)
+        if len(u) != self.window:
+            raise ValueError(
+                f"history must have length {self.window} (most recent first)"
+            )
+        return decompose(u, self.wavelet, self.level)
+
+    def evaluate(self, history: np.ndarray) -> float:
+        """Output sample from a history window (most recent sample first).
+
+        ``<DWT(u), DWT(h)>`` restricted to the retained terms.
+        """
+        dec = self._history_decomposition(history)
+        total = 0.0
+        for ref, weight in self.terms:
+            if ref.kind == "a":
+                total += weight * dec.approx[ref.index]
+            else:
+                total += weight * dec.detail(ref.level)[ref.index]
+        return total
+
+    def evaluate_exact(self, history: np.ndarray) -> float:
+        """Untruncated reference: plain dot product with the padded ``h``."""
+        u = np.asarray(history, dtype=float)
+        if len(u) != self.window:
+            raise ValueError(f"history must have length {self.window}")
+        return float(np.dot(u, self._h_dec.reconstruct()))
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Run a whole input trace through the truncated convolver.
+
+        Produces ``y[t]`` for every t with the history zero-extended before
+        the trace begins — the same convention as causal convolution.
+        """
+        x = np.asarray(x, dtype=float)
+        padded = np.concatenate([np.zeros(self.window - 1), x])
+        out = np.empty(len(x))
+        for t in range(len(x)):
+            window = padded[t : t + self.window][::-1]
+            out[t] = self.evaluate(window)
+        return out
+
+    # -- error analysis -------------------------------------------------------
+
+    def dropped_weight_norm(self) -> float:
+        """L2 norm of the discarded impulse-response coefficients.
+
+        By Cauchy–Schwarz the truncation error is bounded by this norm
+        times the history's coefficient norm over the dropped set.
+        """
+        return float(np.sqrt(sum(v * v for _, v in self._dropped)))
+
+    def error_bound(self, max_input: float) -> float:
+        """Worst-case truncation error for inputs bounded by ``max_input``.
+
+        ``|v_err| <= sum_dropped |c_h[m]| * max|c_u[m]|`` and a coefficient
+        of a signal bounded by ``B`` is at most ``B * 2^{l/2}`` at detail
+        level ``l`` (``B * 2^{J/2}`` for approximations) for Haar.
+        """
+        bound = 0.0
+        for ref, weight in self._dropped:
+            scale = self.level if ref.kind == "a" else ref.level
+            bound += abs(weight) * max_input * 2.0 ** (scale / 2.0)
+        return bound
+
+    def max_error_on(self, x: np.ndarray) -> float:
+        """Empirical max |exact - truncated| over a trace (Figure 13)."""
+        x = np.asarray(x, dtype=float)
+        padded = np.concatenate([np.zeros(self.window - 1), x])
+        h_full = self._h_dec.reconstruct()
+        worst = 0.0
+        for t in range(len(x)):
+            window = padded[t : t + self.window][::-1]
+            exact = float(np.dot(window, h_full))
+            approx = self.evaluate(window)
+            worst = max(worst, abs(exact - approx))
+        return worst

@@ -1,0 +1,90 @@
+"""Continuous wavelet transform (Morlet) for fine-scale scalograms.
+
+The paper's Figure-4 scalogram uses the dyadic DWT, whose scale axis
+jumps by octaves.  The CWT trades orthogonality for a *continuous* scale
+axis — useful when pinning down exactly where a current trace's energy
+sits relative to the supply resonance (e.g. distinguishing a 24-cycle
+loop from a 40-cycle one, both of which the DWT lumps into levels 4-5).
+
+Implemented as FFT-domain multiplication with analytic Morlet filters at
+log-spaced scales; filters are peak-normalized per scale so a tone of
+fixed amplitude produces a scale-independent response magnitude of ~1x
+the tone amplitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["morlet_cwt", "cwt_scale_for_period", "dominant_period"]
+
+#: Morlet centre frequency (cycles per unit time at scale 1).
+_OMEGA0 = 6.0
+
+
+def cwt_scale_for_period(period: float) -> float:
+    """The Morlet scale whose response peaks at the given period."""
+    if period <= 0:
+        raise ValueError("period must be positive")
+    # Peak pseudo-frequency of the omega0=6 Morlet: f = omega0 / (2 pi s).
+    return period * _OMEGA0 / (2.0 * np.pi)
+
+
+def morlet_cwt(
+    x: np.ndarray,
+    periods: np.ndarray | list[float],
+) -> np.ndarray:
+    """|CWT| magnitudes of ``x`` at the requested periods (in samples).
+
+    Returns a ``(len(periods), len(x))`` non-negative matrix — a
+    continuous-scale scalogram.  Periods must be at least 2 samples
+    (Nyquist) and shorter than the signal.
+    """
+    signal = np.asarray(x, dtype=float)
+    if signal.ndim != 1 or signal.size < 4:
+        raise ValueError("expected a 1-D signal of at least 4 samples")
+    period_arr = np.asarray(periods, dtype=float)
+    if period_arr.size == 0:
+        raise ValueError("need at least one period")
+    if np.any(period_arr < 2.0) or np.any(period_arr >= signal.size):
+        raise ValueError("periods must lie in [2, len(x))")
+
+    n = signal.size
+    spectrum = np.fft.fft(signal - signal.mean())
+    omega = 2.0 * np.pi * np.fft.fftfreq(n)
+    out = np.empty((period_arr.size, n))
+    for row, period in enumerate(period_arr):
+        scale = cwt_scale_for_period(float(period))
+        # Analytic Morlet: response only to positive frequencies.
+        arg = scale * omega - _OMEGA0
+        # Peak-normalized analytic filter: a unit-amplitude tone at this
+        # scale's period yields |coefficient| ~= 1 regardless of scale.
+        window = np.where(omega > 0, 2.0 * np.exp(-0.5 * arg**2), 0.0)
+        coeffs = np.fft.ifft(spectrum * window)
+        out[row] = np.abs(coeffs)
+    return out
+
+
+def dominant_period(
+    x: np.ndarray,
+    min_period: float = 4.0,
+    max_period: float | None = None,
+    voices: int = 48,
+) -> float:
+    """The oscillation period (samples) carrying the most CWT energy.
+
+    Scans ``voices`` log-spaced periods and returns the one whose mean
+    squared CWT magnitude is largest — a sharper tool than picking the
+    peak DWT level when calibrating workloads against a supply resonance.
+    """
+    signal = np.asarray(x, dtype=float)
+    if max_period is None:
+        max_period = signal.size / 4.0
+    if not 2.0 <= min_period < max_period:
+        raise ValueError("need 2 <= min_period < max_period")
+    periods = np.logspace(
+        np.log10(min_period), np.log10(max_period), voices
+    )
+    mags = morlet_cwt(signal, periods)
+    energy = np.mean(mags**2, axis=1)
+    return float(periods[int(np.argmax(energy))])

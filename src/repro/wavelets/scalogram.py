@@ -1,0 +1,73 @@
+"""Scalograms: time-scale magnitude maps of detail coefficients.
+
+Figure 4 of the paper visualizes a 256-cycle gzip current window as a
+scalogram — each block is one detail coefficient, darker meaning larger
+magnitude, exposing how the frequency composition of the current changes
+over time.  This module computes the underlying matrix and renders an
+ASCII version for terminal inspection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .coefficients import WaveletDecomposition, decompose
+from .filters import Wavelet
+
+__all__ = ["scalogram", "render_ascii"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def scalogram(
+    x: np.ndarray,
+    wavelet: str | Wavelet = "haar",
+    level: int | None = None,
+    normalize: bool = False,
+) -> np.ndarray:
+    """Detail-coefficient magnitude map on a common time grid.
+
+    Returns a ``(level, n)`` array: row 0 is the finest scale, and each
+    coefficient's magnitude is replicated across the ``2**level`` samples
+    it covers, so every row spans the full window like the blocks in
+    Figure 4.  With ``normalize`` the map is scaled to peak 1.
+    """
+    dec = x if isinstance(x, WaveletDecomposition) else decompose(x, wavelet, level)
+    n = dec.length
+    rows = []
+    for lvl in dec.levels:  # finest first
+        mags = np.abs(dec.detail(lvl))
+        rows.append(np.repeat(mags, 2**lvl)[:n])
+    out = np.vstack(rows)
+    if normalize:
+        peak = out.max()
+        if peak > 0:
+            out = out / peak
+    return out
+
+
+def render_ascii(mag: np.ndarray, width: int = 64) -> str:
+    """Render a scalogram matrix as ASCII art (darker = larger magnitude).
+
+    Rows are printed finest scale first, matching Figure 4's layout.  The
+    time axis is resampled to ``width`` columns by block-averaging.
+    """
+    mag = np.asarray(mag, dtype=float)
+    if mag.ndim != 2:
+        raise ValueError("expected a 2-D scalogram matrix")
+    if width < 1:
+        raise ValueError("width must be positive")
+    peak = mag.max()
+    scaled = mag / peak if peak > 0 else mag
+    lines = []
+    edges = np.linspace(0, mag.shape[1], width + 1).astype(int)
+    for row in scaled:
+        cells = []
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            chunk = row[lo:hi] if hi > lo else row[lo : lo + 1]
+            value = float(chunk.mean()) if chunk.size else 0.0
+            shade = _SHADES[min(int(value * (len(_SHADES) - 1) + 0.5),
+                                len(_SHADES) - 1)]
+            cells.append(shade)
+        lines.append("".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Wavelet subbands: projections of coefficient rows back into time signals.
+
+§2.2 of the paper: each scale's coefficients project to a time-domain
+*subband* signal (Eqs. 4–5); summing all subbands recreates the original
+signal, and dropping irrelevant subbands filters it.  For the dI/dt problem
+the supply network is linear, so voltage can be computed per subband and
+superposed — the foundation of both the offline estimator (§4) and the
+online wavelet-convolution monitor (§5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .coefficients import WaveletDecomposition, decompose
+from .filters import Wavelet
+
+__all__ = [
+    "subband_signals",
+    "approximation_signal",
+    "detail_signal",
+    "bandpass_filter",
+    "basis_function",
+]
+
+
+def _zeroed_like(dec: WaveletDecomposition) -> tuple[np.ndarray, list[np.ndarray]]:
+    approx = np.zeros_like(dec.approx)
+    details = [np.zeros_like(dec.detail(lvl)) for lvl in dec.levels]
+    return approx, details
+
+
+def detail_signal(dec: WaveletDecomposition, level: int) -> np.ndarray:
+    """Time-domain contribution of one detail scale (Eq. 5).
+
+    Reconstructs with every coefficient outside ``level`` zeroed.
+    """
+    approx, details = _zeroed_like(dec)
+    details[level - 1] = dec.detail(level).copy()
+    return WaveletDecomposition(approx, details, dec.wavelet).reconstruct()
+
+
+def approximation_signal(dec: WaveletDecomposition) -> np.ndarray:
+    """Time-domain contribution of the approximation row (Eq. 4)."""
+    approx, details = _zeroed_like(dec)
+    approx[:] = dec.approx
+    return WaveletDecomposition(approx, details, dec.wavelet).reconstruct()
+
+
+def subband_signals(dec: WaveletDecomposition) -> dict[str, np.ndarray]:
+    """All subband signals, keyed ``"a"`` and ``"d1"``.. ``"dJ"``.
+
+    Their sum equals the reconstructed signal exactly (tested as an
+    invariant) — the superposition property the paper exploits.
+    """
+    out: dict[str, np.ndarray] = {"a": approximation_signal(dec)}
+    for lvl in dec.levels:
+        out[f"d{lvl}"] = detail_signal(dec, lvl)
+    return out
+
+
+def bandpass_filter(
+    x: np.ndarray,
+    keep_levels: set[int],
+    wavelet: str | Wavelet = "haar",
+    level: int | None = None,
+    keep_approx: bool = False,
+) -> np.ndarray:
+    """Filter ``x`` by keeping only the chosen detail levels.
+
+    This is the "effectively filtering the original signal" operation of
+    §2.2 — e.g. keeping only the levels whose bands straddle the supply
+    resonance isolates the dI/dt-relevant current fluctuations.
+    """
+    dec = decompose(x, wavelet, level)
+    bad = [lvl for lvl in keep_levels if not 1 <= lvl <= dec.level]
+    if bad:
+        raise ValueError(f"levels {bad} out of range [1, {dec.level}]")
+    return dec.filter_levels(set(keep_levels), keep_approx).reconstruct()
+
+
+def basis_function(
+    n: int,
+    kind: str,
+    level: int,
+    index: int,
+    wavelet: str | Wavelet = "haar",
+    total_level: int | None = None,
+) -> np.ndarray:
+    """The time-domain basis vector behind a single coefficient.
+
+    Setting exactly one coefficient to 1 and inverting yields the
+    (periodized) wavelet ``psi_{level,index}`` or scaling function
+    ``phi_index``.  The online monitor precomputes the supply network's
+    response to each such basis vector (§5.1).
+    """
+    dec = decompose(np.zeros(n), wavelet, total_level)
+    approx, details = _zeroed_like(dec)
+    if kind == "a":
+        approx[index] = 1.0
+    elif kind == "d":
+        details[level - 1][index] = 1.0
+    else:
+        raise ValueError("kind must be 'a' or 'd'")
+    return WaveletDecomposition(approx, details, dec.wavelet).reconstruct()

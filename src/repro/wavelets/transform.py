@@ -1,0 +1,183 @@
+"""The discrete wavelet transform (Mallat's fast wavelet transform).
+
+Implements the periodized orthogonal DWT used throughout the paper: a
+256-cycle current window decomposes into 8 dyadic levels whose detail
+subbands correspond to the frequency bands relevant for dI/dt (§2.1).
+
+Conventions
+-----------
+``dwt`` splits a length-``N`` signal (``N`` even) into approximation and
+detail halves of length ``N/2``::
+
+    a[k] = sum_n dec_lo[n] * x[(2k + n) mod N]
+    d[k] = sum_n dec_hi[n] * x[(2k + n) mod N]
+
+With an orthogonal filter bank this is an orthonormal change of basis, so
+energy is preserved at every level (Parseval) and ``idwt`` reconstructs
+exactly.  Levels are numbered like PyWavelets: level 1 is the *finest*
+detail (highest frequency), level ``J`` the coarsest.  The paper's scale
+index ``j`` (larger = finer, Figure 2) maps to ``level = J - j``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .filters import Wavelet, get_wavelet
+
+__all__ = [
+    "dwt",
+    "idwt",
+    "wavedec",
+    "waverec",
+    "max_level",
+    "haar_dwt",
+    "haar_idwt",
+]
+
+
+def _as_signal(x: np.ndarray) -> np.ndarray:
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError("expected a 1-D signal")
+    return arr
+
+
+def max_level(n: int, wavelet: str | Wavelet = "haar") -> int:
+    """Deepest useful decomposition level for a length-``n`` signal.
+
+    For the periodized transform a level is useful while the working length
+    stays even; for a power of two this is ``log2(n)`` with Haar.
+    """
+    w = get_wavelet(wavelet)
+    level = 0
+    # Each level needs an even working length at least as long as the
+    # filter: for n >= L the periodized rows wrap at most once and stay
+    # orthonormal; below that the transform is no longer invertible.
+    while n % 2 == 0 and n >= w.length:
+        n //= 2
+        level += 1
+    return level
+
+
+def dwt(x: np.ndarray, wavelet: str | Wavelet = "haar") -> tuple[np.ndarray, np.ndarray]:
+    """One level of the periodized DWT.
+
+    Parameters
+    ----------
+    x:
+        Signal of even length.
+    wavelet:
+        Wavelet name or :class:`~repro.wavelets.filters.Wavelet`.
+
+    Returns
+    -------
+    (approx, detail):
+        Each of length ``len(x) // 2``.
+    """
+    x = _as_signal(x)
+    n = len(x)
+    if n % 2 != 0:
+        raise ValueError("periodized DWT requires an even-length signal")
+    if n == 0:
+        raise ValueError("cannot transform an empty signal")
+    w = get_wavelet(wavelet)
+    half = n // 2
+    # Gather x[(2k + m) mod n] for k in [0, half), m in [0, L): a (half, L)
+    # matrix of periodized samples, then one matmul per channel.
+    k2 = 2 * np.arange(half)[:, None]
+    idx = (k2 + np.arange(w.length)[None, :]) % n
+    windows = x[idx]
+    return windows @ w.dec_lo, windows @ w.dec_hi
+
+
+def idwt(
+    approx: np.ndarray, detail: np.ndarray, wavelet: str | Wavelet = "haar"
+) -> np.ndarray:
+    """Invert one level of the periodized DWT.
+
+    Reconstructs ``x[m] = sum_k a[k] h[(m - 2k) mod n] + d[k] g[(m - 2k) mod n]``.
+    """
+    a = _as_signal(approx)
+    d = _as_signal(detail)
+    if len(a) != len(d):
+        raise ValueError("approximation and detail must have equal length")
+    if len(a) == 0:
+        raise ValueError("cannot invert an empty decomposition")
+    w = get_wavelet(wavelet)
+    half = len(a)
+    n = 2 * half
+    x = np.zeros(n)
+    k2 = 2 * np.arange(half)[:, None]
+    idx = (k2 + np.arange(w.length)[None, :]) % n
+    np.add.at(x, idx, a[:, None] * w.dec_lo[None, :])
+    np.add.at(x, idx, d[:, None] * w.dec_hi[None, :])
+    return x
+
+
+def wavedec(
+    x: np.ndarray, wavelet: str | Wavelet = "haar", level: int | None = None
+) -> list[np.ndarray]:
+    """Multilevel DWT (the fast wavelet transform, O(N)).
+
+    Returns ``[aJ, dJ, dJ-1, ..., d1]`` — coarsest approximation first, then
+    details from coarsest (level ``J``) to finest (level 1), mirroring the
+    coefficient matrix of Figure 2 read top-to-bottom after the first row.
+    """
+    x = _as_signal(x)
+    w = get_wavelet(wavelet)
+    limit = max_level(len(x), w)
+    if level is None:
+        level = limit
+    if level < 0:
+        raise ValueError("level must be non-negative")
+    if level > limit:
+        raise ValueError(
+            f"level {level} too deep for signal of length {len(x)} (max {limit})"
+        )
+    details: list[np.ndarray] = []
+    approx = x
+    for _ in range(level):
+        approx, det = dwt(approx, w)
+        details.append(det)
+    return [approx] + details[::-1]
+
+
+def waverec(coeffs: list[np.ndarray], wavelet: str | Wavelet = "haar") -> np.ndarray:
+    """Invert :func:`wavedec`."""
+    if not coeffs:
+        raise ValueError("empty coefficient list")
+    w = get_wavelet(wavelet)
+    approx = _as_signal(coeffs[0])
+    for det in coeffs[1:]:
+        approx = idwt(approx, _as_signal(det), w)
+    return approx
+
+
+def haar_dwt(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Single-level Haar DWT without the generic filter machinery.
+
+    The closed form ``a[k] = (x[2k] + x[2k+1])/sqrt(2)``,
+    ``d[k] = (x[2k] - x[2k+1])/sqrt(2)`` is what the shift-register hardware
+    of Figure 14 computes; this fast path exists so the hardware model and
+    the online monitor can be validated against an independent reference.
+    """
+    x = _as_signal(x)
+    if len(x) % 2 != 0:
+        raise ValueError("Haar DWT requires an even-length signal")
+    even, odd = x[0::2], x[1::2]
+    inv_sqrt2 = 1.0 / np.sqrt(2.0)
+    return (even + odd) * inv_sqrt2, (even - odd) * inv_sqrt2
+
+
+def haar_idwt(approx: np.ndarray, detail: np.ndarray) -> np.ndarray:
+    """Invert :func:`haar_dwt`."""
+    a = _as_signal(approx)
+    d = _as_signal(detail)
+    if len(a) != len(d):
+        raise ValueError("approximation and detail must have equal length")
+    inv_sqrt2 = 1.0 / np.sqrt(2.0)
+    out = np.empty(2 * len(a))
+    out[0::2] = (a + d) * inv_sqrt2
+    out[1::2] = (a - d) * inv_sqrt2
+    return out

@@ -1,0 +1,27 @@
+"""Workload substrate: synthetic SPEC2000 models and the dI/dt stressmark."""
+
+from .generator import InstructionGenerator, generate, instruction_stream
+from .microbench import stressmark_stream
+from .phases import PhaseScheduler
+from .spec import (
+    SPEC2000,
+    SPEC_FP,
+    SPEC_INT,
+    PhaseSpec,
+    WorkloadProfile,
+    get_profile,
+)
+
+__all__ = [
+    "InstructionGenerator",
+    "PhaseScheduler",
+    "PhaseSpec",
+    "SPEC2000",
+    "SPEC_FP",
+    "SPEC_INT",
+    "WorkloadProfile",
+    "generate",
+    "get_profile",
+    "instruction_stream",
+    "stressmark_stream",
+]

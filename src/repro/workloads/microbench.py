@@ -1,0 +1,65 @@
+"""The dI/dt stressmark: a worst-case execution sequence (§3.1).
+
+Commercial designers benchmark supply networks with hand-crafted
+microbenchmarks [1]; ours alternates, at the supply's resonant half-period,
+between a maximum-activity burst (independent FP/INT work saturating every
+unit) and a dead stretch (one long serially-dependent chain that idles the
+machine) — the instruction-level counterpart of the square-wave current
+used by :func:`repro.power.worst_case_current`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..uarch.isa import Instruction, OpClass
+
+__all__ = ["stressmark_stream"]
+
+_CODE_BASE = 0x0080_0000
+_HOT_BASE = 0x1800_0000
+
+
+def stressmark_stream(
+    half_period_cycles: int,
+    burst_ipc: float = 3.5,
+    seed: int = 0,
+) -> Iterator[Instruction]:
+    """Alternating burst/dead instruction stream.
+
+    Parameters
+    ----------
+    half_period_cycles:
+        Half the supply's resonant period in cycles (15 at the default
+        100 MHz resonance / 3 GHz clock).
+    burst_ipc:
+        Expected throughput during bursts, used to size the burst group so
+        each burst lasts about one half-period.
+    """
+    if half_period_cycles < 1:
+        raise ValueError("half_period_cycles must be positive")
+    if burst_ipc <= 0:
+        raise ValueError("burst_ipc must be positive")
+    rng = np.random.default_rng(seed)
+    burst_len = max(1, int(round(half_period_cycles * burst_ipc)))
+    chain = max(1, int(np.ceil(half_period_cycles / 4)))
+    # The stressmark is a tight loop: PCs repeat so the front end streams
+    # from the I-cache at full speed (a real hand-written kernel would).
+    code_slots = burst_len + chain
+    k = 0
+    while True:
+        # Burst: independent mixed work that fills all issue slots.
+        for i in range(burst_len):
+            op = (OpClass.IALU, OpClass.FPALU, OpClass.IALU, OpClass.LOAD)[i % 4]
+            addr = _HOT_BASE + 8 * int(rng.integers(0, 512))
+            pc = _CODE_BASE + 4 * (k % code_slots)
+            k += 1
+            yield Instruction(op, pc=pc, src1_dist=0, src2_dist=0, addr=addr)
+        # Dead stretch: a serial chain of long-latency multiplies stalls
+        # issue for about one half-period (each depends on the previous).
+        for _ in range(chain):
+            pc = _CODE_BASE + 4 * (k % code_slots)
+            k += 1
+            yield Instruction(OpClass.FPMULT, pc=pc, src1_dist=1)

@@ -1,0 +1,49 @@
+"""Phase scheduling for workload generation.
+
+Real programs move through phases (the paper leans on Sherwood et al.'s
+SimPoint work [20]); the generator reproduces that by cycling through a
+profile's :class:`~repro.workloads.spec.PhaseSpec` list with geometrically
+distributed dwell times, so phase boundaries arrive at random but with the
+profile's characteristic period — the mechanism that places current energy
+into specific wavelet scales.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .spec import PhaseSpec
+
+__all__ = ["PhaseScheduler"]
+
+
+class PhaseScheduler:
+    """Round-robin phase walker with geometric dwell times."""
+
+    def __init__(self, phases: tuple[PhaseSpec, ...], rng: np.random.Generator
+                 ) -> None:
+        if not phases:
+            raise ValueError("need at least one phase")
+        self._phases = phases
+        self._rng = rng
+        self._index = 0
+        self._remaining = self._draw(phases[0])
+
+    def _draw(self, phase: PhaseSpec) -> int:
+        # Geometric with the requested mean, at least one instruction.
+        p = min(1.0, 1.0 / phase.duration)
+        return int(self._rng.geometric(p))
+
+    @property
+    def current(self) -> PhaseSpec:
+        """The phase governing the next instruction."""
+        return self._phases[self._index]
+
+    def advance(self) -> PhaseSpec:
+        """Consume one instruction; returns the phase it belongs to."""
+        phase = self._phases[self._index]
+        self._remaining -= 1
+        if self._remaining <= 0:
+            self._index = (self._index + 1) % len(self._phases)
+            self._remaining = self._draw(self._phases[self._index])
+        return phase

@@ -1,0 +1,158 @@
+"""Unit tests for the closed-loop controller and baseline schemes."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PipelineDampingController,
+    ThresholdController,
+    WaveletVoltageMonitor,
+    calibrated_supply,
+    run_control_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def net():
+    return calibrated_supply(150)
+
+
+class TestThresholdController:
+    def test_stalls_on_low_estimate(self, net):
+        class FakeMonitor:
+            def observe(self, current):
+                return 0.951  # just above the fault level, below control
+
+        ctl = ThresholdController(FakeMonitor(), net, margin=0.010)
+        stall, noops = ctl.update(50.0)
+        assert stall and noops == 0
+        assert ctl.stall_decisions == 1
+
+    def test_boosts_on_high_estimate(self, net):
+        class FakeMonitor:
+            def observe(self, current):
+                return 1.049
+
+        ctl = ThresholdController(FakeMonitor(), net, margin=0.010, noop_rate=3)
+        stall, noops = ctl.update(10.0)
+        assert not stall and noops == 3
+        assert ctl.boost_decisions == 1
+
+    def test_idle_in_band(self, net):
+        class FakeMonitor:
+            def observe(self, current):
+                return 1.0
+
+        ctl = ThresholdController(FakeMonitor(), net)
+        assert ctl.update(30.0) == (False, 0)
+        assert ctl.engagement_rate == 0.0
+
+    def test_margin_validation(self, net):
+        mon = WaveletVoltageMonitor(net, terms=5)
+        with pytest.raises(ValueError):
+            ThresholdController(mon, net, margin=-0.01)
+        with pytest.raises(ValueError):
+            ThresholdController(mon, net, margin=0.2)  # no window left
+        with pytest.raises(ValueError):
+            ThresholdController(mon, net, noop_rate=-1)
+
+    def test_control_points(self, net):
+        ctl = ThresholdController(WaveletVoltageMonitor(net, 13), net, 0.010)
+        assert ctl.v_low_control == pytest.approx(0.96)
+        assert ctl.v_high_control == pytest.approx(1.04)
+
+
+class TestPipelineDamping:
+    def test_stalls_on_rising_current(self, net):
+        ctl = PipelineDampingController(net, delta=5.0, window=4)
+        for amps in (10, 10, 10, 10, 10):
+            ctl.update(amps)
+        stall, noops = ctl.update(40.0)
+        assert stall
+
+    def test_boosts_on_falling_current(self, net):
+        ctl = PipelineDampingController(net, delta=5.0, window=4, noop_rate=2)
+        for amps in (40, 40, 40, 40, 40):
+            ctl.update(amps)
+        stall, noops = ctl.update(10.0)
+        assert not stall and noops == 2
+
+    def test_quiet_for_small_slew(self, net):
+        ctl = PipelineDampingController(net, delta=50.0, window=4)
+        for amps in (10, 20, 15, 25, 18, 22):
+            assert ctl.update(amps) == (False, 0)
+
+    def test_validation(self, net):
+        with pytest.raises(ValueError):
+            PipelineDampingController(net, delta=0.0)
+        with pytest.raises(ValueError):
+            PipelineDampingController(net, delta=1.0, window=0)
+
+    def test_false_positive_prone(self, net):
+        # A slew that the supply tolerates (single step, no resonance)
+        # still triggers damping: the scheme's defining weakness.
+        ctl = PipelineDampingController(net, delta=8.0, window=4)
+        trace = np.concatenate([np.full(20, 15.0), np.full(20, 35.0)])
+        engaged = sum(ctl.update(x)[0] for x in trace)
+        assert engaged > 0
+
+
+class TestControlExperiment:
+    def test_wavelet_control_reduces_faults_cheaply(self, net):
+        result = run_control_experiment(
+            "mgrid",
+            net,
+            lambda: ThresholdController(
+                WaveletVoltageMonitor(net, terms=13), net, margin=0.012
+            ),
+            cycles=6000,
+            warmup_cycles=2048,
+        )
+        assert result.baseline_faults > 0  # mgrid faults at 150% impedance
+        assert result.controlled_faults < result.baseline_faults
+        assert result.slowdown < 0.08
+        assert result.instructions > 0
+
+    def test_quiet_benchmark_untouched(self, net):
+        result = run_control_experiment(
+            "vpr",
+            net,
+            lambda: ThresholdController(
+                WaveletVoltageMonitor(net, terms=13), net, margin=0.010
+            ),
+            cycles=4000,
+            warmup_cycles=2048,
+        )
+        assert result.slowdown < 0.02
+
+    def test_damping_slows_more_than_wavelet(self, net):
+        wavelet = run_control_experiment(
+            "mgrid",
+            net,
+            lambda: ThresholdController(
+                WaveletVoltageMonitor(net, terms=13), net, margin=0.012
+            ),
+            cycles=5000,
+            warmup_cycles=2048,
+        )
+        damping = run_control_experiment(
+            "mgrid",
+            net,
+            lambda: PipelineDampingController(net, delta=6.0, window=8),
+            cycles=5000,
+            warmup_cycles=2048,
+        )
+        assert damping.slowdown > wavelet.slowdown
+
+    def test_result_properties(self, net):
+        result = run_control_experiment(
+            "vpr",
+            net,
+            lambda: ThresholdController(
+                WaveletVoltageMonitor(net, terms=8), net, margin=0.010
+            ),
+            cycles=3000,
+            warmup_cycles=1024,
+        )
+        assert 0.0 <= result.false_positive_rate <= 1.0
+        assert result.slowdown >= -0.05  # controlled run can't be much faster

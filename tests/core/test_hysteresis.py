@@ -1,0 +1,97 @@
+"""Unit tests for the hysteresis controller variant."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HysteresisController,
+    ThresholdController,
+    WaveletVoltageMonitor,
+    calibrated_supply,
+    run_control_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def net():
+    return calibrated_supply(150)
+
+
+class _ScriptedMonitor:
+    """Feeds a pre-scripted voltage estimate sequence to the controller."""
+
+    def __init__(self, values):
+        self._values = iter(values)
+
+    def observe(self, current):
+        return next(self._values)
+
+
+class TestLatching:
+    def test_stays_engaged_until_release(self, net):
+        # Dip below control (0.96), hover between control and release,
+        # then recover: plain control would disengage mid-hover.
+        seq = [1.00, 0.955, 0.962, 0.963, 0.967, 1.00]
+        ctl = HysteresisController(
+            _ScriptedMonitor(seq), net, margin=0.010, release=0.006
+        )
+        stalls = [ctl.update(0.0)[0] for _ in seq]
+        assert stalls == [False, True, True, True, False, False]
+
+    def test_plain_controller_chatter_for_comparison(self, net):
+        seq = [1.00, 0.955, 0.962, 0.955, 0.962, 1.00]
+        plain = ThresholdController(_ScriptedMonitor(seq), net, margin=0.010)
+        hyst = HysteresisController(
+            _ScriptedMonitor(seq), net, margin=0.010, release=0.006
+        )
+        plain_stalls = [plain.update(0.0)[0] for _ in seq]
+        hyst_stalls = [hyst.update(0.0)[0] for _ in seq]
+        # Plain flips with every sample; hysteresis holds through.
+        assert plain_stalls == [False, True, False, True, False, False]
+        assert hyst_stalls == [False, True, True, True, True, False]
+
+    def test_boost_side_latches_too(self, net):
+        seq = [1.00, 1.045, 1.038, 1.036, 1.030, 1.00]
+        ctl = HysteresisController(
+            _ScriptedMonitor(seq), net, margin=0.010, release=0.006
+        )
+        boosts = [ctl.update(0.0)[1] > 0 for _ in seq]
+        assert boosts == [False, True, True, True, False, False]
+
+    def test_transition_count(self, net):
+        seq = [1.00, 0.955, 0.963, 0.968, 0.955, 0.968]
+        ctl = HysteresisController(
+            _ScriptedMonitor(seq), net, margin=0.010, release=0.006
+        )
+        for _ in seq:
+            ctl.update(0.0)
+        assert ctl.transitions == 4  # engage, release, engage, release
+
+    def test_validation(self, net):
+        mon = WaveletVoltageMonitor(net, terms=5)
+        with pytest.raises(ValueError):
+            HysteresisController(mon, net, margin=0.010, release=-0.001)
+        with pytest.raises(ValueError):
+            HysteresisController(mon, net, margin=0.045, release=0.02)
+
+
+class TestClosedLoop:
+    def test_suppresses_at_least_as_many_faults(self, net):
+        plain = run_control_experiment(
+            "galgel",
+            net,
+            lambda: ThresholdController(
+                WaveletVoltageMonitor(net, 13), net, 0.012
+            ),
+            cycles=8192,
+        )
+        hyst = run_control_experiment(
+            "galgel",
+            net,
+            lambda: HysteresisController(
+                WaveletVoltageMonitor(net, 13), net, 0.012, release=0.006
+            ),
+            cycles=8192,
+        )
+        assert hyst.controlled_faults <= plain.controlled_faults
+        assert hyst.slowdown < 0.05

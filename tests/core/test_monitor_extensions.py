@@ -1,0 +1,132 @@
+"""Unit tests for monitor extensions: non-Haar bases and packet best-basis."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PacketVoltageMonitor,
+    WaveletVoltageMonitor,
+    calibrated_supply,
+)
+from repro.power import impulse_response
+
+
+@pytest.fixture(scope="module")
+def net():
+    return calibrated_supply(150)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    rng = np.random.default_rng(23)
+    n = np.arange(2500)
+    return 35 + 9 * np.sign(np.sin(2 * np.pi * n / 30)) + 3 * rng.normal(size=2500)
+
+
+class TestAlternateBases:
+    @pytest.mark.parametrize("wavelet", ["db2", "db3", "db4"])
+    def test_full_terms_exact(self, net, trace, wavelet):
+        mon = WaveletVoltageMonitor(net, terms=None, wavelet=wavelet)
+        kernel = impulse_response(net, mon.taps)
+        np.testing.assert_allclose(mon.compressed_kernel, kernel, atol=1e-10)
+
+    @pytest.mark.parametrize("wavelet", ["db2", "db4"])
+    def test_truncated_error_reasonable(self, net, trace, wavelet):
+        mon = WaveletVoltageMonitor(net, terms=20, wavelet=wavelet)
+        assert mon.max_error_on(trace) < 0.03
+
+    def test_streaming_matches_batch(self, net, trace):
+        mon = WaveletVoltageMonitor(net, terms=13, wavelet="db2")
+        batch = mon.estimate_trace(trace[:300])
+        mon.reset()
+        stream = np.array([mon.observe(x) for x in trace[:300]])
+        np.testing.assert_allclose(batch, stream, atol=1e-9)
+
+
+class TestPacketMonitor:
+    def test_full_terms_exact(self, net):
+        mon = PacketVoltageMonitor(net, terms=None)
+        kernel = impulse_response(net, mon.taps)
+        np.testing.assert_allclose(mon.compressed_kernel, kernel, atol=1e-10)
+
+    def test_error_trends_down(self, net, trace):
+        errs = [
+            PacketVoltageMonitor(net, terms=k).max_error_on(trace)
+            for k in (2, 8, 32, 128)
+        ]
+        assert errs[-1] < errs[0]
+        assert errs[-1] < 0.02
+
+    def test_cover_is_disjoint_and_complete(self, net):
+        mon = PacketVoltageMonitor(net, terms=10)
+        covered = sum(len(c) for c in mon._cover.values())
+        assert covered == mon.taps
+        assert mon.total_terms == mon.taps
+
+    def test_depth_limit(self, net):
+        mon = PacketVoltageMonitor(net, terms=10, depth=4)
+        assert all(node[0] <= 4 for node in mon._cover)
+
+    def test_terms_validation(self, net):
+        with pytest.raises(ValueError):
+            PacketVoltageMonitor(net, terms=10**9)
+
+    def test_zero_terms_estimates_vdd(self, net, trace):
+        mon = PacketVoltageMonitor(net, terms=0)
+        v = [mon.observe(x) for x in trace[:50]]
+        np.testing.assert_allclose(v, net.vdd)
+
+    def test_reset(self, net):
+        mon = PacketVoltageMonitor(net, terms=8)
+        mon.observe(80.0)
+        mon.reset()
+        assert mon.observe(0.0) == pytest.approx(net.vdd)
+
+
+class TestRecommendedMargin:
+    def test_margin_covers_monitor_error(self, net, trace):
+        from repro.core import WaveletVoltageMonitor, recommended_margin
+
+        margin = recommended_margin(net, 13, trace)
+        error = WaveletVoltageMonitor(net, terms=13).max_error_on(trace)
+        assert margin > error
+
+    def test_margin_shrinks_with_terms(self, net, trace):
+        from repro.core import recommended_margin
+
+        loose = recommended_margin(net, 3, trace)
+        tight = recommended_margin(net, 40, trace)
+        assert tight < loose
+
+    def test_safe_margin_eliminates_faults(self, net):
+        from repro.core import (
+            ThresholdController,
+            WaveletVoltageMonitor,
+            recommended_margin,
+            run_control_experiment,
+        )
+        from repro.uarch import simulate_benchmark
+
+        calib = simulate_benchmark("gcc", cycles=8192).current
+        margin = recommended_margin(net, 13, calib)
+        result = run_control_experiment(
+            "galgel",
+            net,
+            lambda: ThresholdController(
+                WaveletVoltageMonitor(net, terms=13), net, margin=margin
+            ),
+            cycles=8192,
+        )
+        assert result.baseline_faults > 50
+        assert result.controlled_faults == 0
+        assert result.slowdown < 0.08
+
+    def test_validation(self, net, trace):
+        from repro.core import recommended_margin
+
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            recommended_margin(net, 13, trace, sensor_delay_cycles=-1)
+        with _pytest.raises(ValueError):
+            recommended_margin(net, 13, trace, slack=-0.01)

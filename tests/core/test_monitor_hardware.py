@@ -1,0 +1,156 @@
+"""Unit tests for the online monitor (§5.1) and Figure-14 hardware model."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FullConvolutionMonitor,
+    ShiftRegisterMonitor,
+    WaveletVoltageMonitor,
+    calibrated_supply,
+    coefficient_error_curve,
+)
+from repro.power import StreamingVoltageModel
+
+
+@pytest.fixture(scope="module")
+def net():
+    return calibrated_supply(150)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    rng = np.random.default_rng(11)
+    n = np.arange(3000)
+    return (
+        35
+        + 10 * np.sign(np.sin(2 * np.pi * n / 30))
+        + 4 * rng.normal(size=3000)
+    )
+
+
+class TestWaveletVoltageMonitor:
+    def test_full_terms_match_exact_convolution(self, net, trace):
+        mon = WaveletVoltageMonitor(net, terms=None)
+        ref = FullConvolutionMonitor(net, taps=mon.taps)
+        est = [mon.observe(x) for x in trace[:400]]
+        exact = [ref.observe(x) for x in trace[:400]]
+        np.testing.assert_allclose(est, exact, atol=1e-12)
+
+    def test_truncated_error_bounded(self, net, trace):
+        mon = WaveletVoltageMonitor(net, terms=13)
+        assert mon.max_error_on(trace) < 0.06
+
+    def test_error_monotone_in_terms(self, net, trace):
+        errs = [
+            WaveletVoltageMonitor(net, terms=k).max_error_on(trace)
+            for k in (1, 5, 13, 40, 512)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(errs, errs[1:]))
+        assert errs[-1] < 1e-10
+
+    def test_estimate_trace_matches_streaming(self, net, trace):
+        mon = WaveletVoltageMonitor(net, terms=13)
+        batch = mon.estimate_trace(trace[:300])
+        mon.reset()
+        stream = np.array([mon.observe(x) for x in trace[:300]])
+        np.testing.assert_allclose(batch, stream, atol=1e-9)
+
+    def test_reset(self, net):
+        mon = WaveletVoltageMonitor(net, terms=8)
+        mon.observe(100.0)
+        mon.reset()
+        assert mon.observe(0.0) == pytest.approx(net.vdd)
+
+    def test_error_curve_scales_with_impedance(self, net, trace):
+        k = [5, 13]
+        e150 = coefficient_error_curve(net, trace, k)
+        e300 = coefficient_error_curve(net.with_scale(3.0), trace, k)
+        for kk in k:
+            assert e300[kk] == pytest.approx(2.0 * e150[kk], rel=1e-6)
+
+    def test_compressed_kernel_length(self, net):
+        mon = WaveletVoltageMonitor(net, terms=13)
+        assert len(mon.compressed_kernel) == mon.taps
+        assert mon.taps & (mon.taps - 1) == 0
+
+
+class TestShiftRegisterHardware:
+    @pytest.mark.parametrize("terms", [1, 4, 13, 32])
+    def test_matches_reference_monitor(self, net, trace, terms):
+        mon = WaveletVoltageMonitor(net, terms=terms)
+        hw = ShiftRegisterMonitor(net, terms=terms)
+        a = np.array([mon.observe(x) for x in trace[:700]])
+        b = np.array([hw.observe(x) for x in trace[:700]])
+        np.testing.assert_allclose(a, b, atol=1e-10)
+
+    def test_cheaper_than_full_convolution(self, net):
+        hw = ShiftRegisterMonitor(net, terms=20)
+        full = FullConvolutionMonitor(net)
+        assert hw.adds_per_cycle < full.ops_per_cycle / 5
+
+    def test_adds_scale_with_terms(self, net):
+        small = ShiftRegisterMonitor(net, terms=5)
+        large = ShiftRegisterMonitor(net, terms=20)
+        assert small.adds_per_cycle < large.adds_per_cycle
+
+    def test_reset(self, net):
+        hw = ShiftRegisterMonitor(net, terms=8)
+        hw.observe(90.0)
+        hw.reset()
+        assert hw.observe(0.0) == pytest.approx(net.vdd)
+
+    def test_term_geometry(self, net):
+        hw = ShiftRegisterMonitor(net, terms=16)
+        for term in hw.terms:
+            assert term.end <= hw.window
+            assert term.span & (term.span - 1) == 0
+
+    def test_register_term_validation(self):
+        from repro.core import HaarTermRegister
+
+        with pytest.raises(ValueError):
+            HaarTermRegister(start=0, span=3, weight=1.0, is_detail=True)
+        with pytest.raises(ValueError):
+            HaarTermRegister(start=0, span=1, weight=1.0, is_detail=True)
+
+
+class TestBaselineMonitors:
+    def test_full_convolution_tracks_truth(self, net, trace):
+        mon = FullConvolutionMonitor(net)
+        truth = StreamingVoltageModel(net)
+        est = np.array([mon.observe(x) for x in trace])
+        exact = truth.run(trace)
+        # FIR truncation of the IIR tail is the only difference.
+        np.testing.assert_allclose(est[600:], exact[600:], atol=1e-3)
+
+    def test_analog_sensor_is_delayed_truth(self, net, trace):
+        from repro.core import AnalogVoltageSensor
+
+        sensor = AnalogVoltageSensor(net, delay=3)
+        truth = StreamingVoltageModel(net)
+        sensed = np.array([sensor.observe(x) for x in trace[:200]])
+        exact = truth.run(trace[:200])
+        np.testing.assert_allclose(sensed[3:], exact[:-3], atol=1e-12)
+
+    def test_analog_zero_delay(self, net, trace):
+        from repro.core import AnalogVoltageSensor
+
+        sensor = AnalogVoltageSensor(net, delay=0)
+        truth = StreamingVoltageModel(net)
+        sensed = np.array([sensor.observe(x) for x in trace[:100]])
+        np.testing.assert_allclose(sensed, truth.run(trace[:100]), atol=1e-12)
+
+    def test_analog_reset(self, net):
+        from repro.core import AnalogVoltageSensor
+
+        sensor = AnalogVoltageSensor(net, delay=2)
+        sensor.observe(50.0)
+        sensor.reset()
+        assert sensor.observe(0.0) == pytest.approx(net.vdd)
+
+    def test_analog_delay_validation(self, net):
+        from repro.core import AnalogVoltageSensor
+
+        with pytest.raises(ValueError):
+            AnalogVoltageSensor(net, delay=-1)

@@ -1,0 +1,124 @@
+"""Unit tests for the phase-aware controller."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PhaseAwareController,
+    ThresholdController,
+    WaveletPhaseClassifier,
+    WaveletVoltageMonitor,
+    calibrated_supply,
+    run_control_experiment,
+)
+from repro.core.characterization import WINDOW
+from repro.uarch import simulate_benchmark
+
+
+@pytest.fixture(scope="module")
+def net():
+    return calibrated_supply(150)
+
+
+@pytest.fixture(scope="module")
+def fitted(net):
+    prof = simulate_benchmark("applu", cycles=32768)
+    clf = WaveletPhaseClassifier(phases=3).fit(prof.current)
+    summaries = clf.summarize(net)
+    risky = {
+        s.phase
+        for s in summaries
+        if (s.emergency_probability or 0.0) > 0.005
+    }
+    return clf, risky
+
+
+class TestConstruction:
+    def test_requires_fitted_classifier(self, net):
+        with pytest.raises(ValueError):
+            PhaseAwareController(
+                WaveletVoltageMonitor(net, 13), net,
+                WaveletPhaseClassifier(), {0},
+            )
+
+    def test_margin_ordering(self, net, fitted):
+        clf, risky = fitted
+        with pytest.raises(ValueError):
+            PhaseAwareController(
+                WaveletVoltageMonitor(net, 13), net, clf, risky,
+                tight=0.005, loose=0.010,
+            )
+
+    def test_unknown_phase_rejected(self, net, fitted):
+        clf, _ = fitted
+        with pytest.raises(ValueError):
+            PhaseAwareController(
+                WaveletVoltageMonitor(net, 13), net, clf, {99},
+            )
+
+
+class TestBehaviour:
+    def test_starts_armed(self, net, fitted):
+        clf, risky = fitted
+        ctl = PhaseAwareController(
+            WaveletVoltageMonitor(net, 13), net, clf, risky
+        )
+        assert ctl.v_low_control == pytest.approx(net.v_min + 0.020)
+
+    def test_reclassifies_every_window(self, net, fitted):
+        clf, risky = fitted
+        ctl = PhaseAwareController(
+            WaveletVoltageMonitor(net, 13), net, clf, risky
+        )
+        for _ in range(3 * WINDOW):
+            ctl.update(25.0)
+        assert ctl.classifications == 3  # once per completed window
+
+    def test_quiet_history_disarms(self, net, fitted):
+        clf, risky = fitted
+        ctl = PhaseAwareController(
+            WaveletVoltageMonitor(net, 13), net, clf, risky
+        )
+        # A flat low-current history is the stall phase: not risky.
+        for _ in range(2 * WINDOW):
+            ctl.update(18.5)
+        assert not ctl._armed
+        assert ctl.armed_fraction < 1.0
+
+    def test_intervention_counters_aggregate(self, net, fitted):
+        clf, risky = fitted
+        ctl = PhaseAwareController(
+            WaveletVoltageMonitor(net, 13), net, clf, risky
+        )
+        for _ in range(100):
+            ctl.update(60.0)  # heavy draw: will trip the low threshold
+        assert ctl.stall_decisions + ctl.boost_decisions > 0
+
+
+class TestClosedLoop:
+    def test_matches_tight_suppression_with_fewer_interventions(
+        self, net, fitted
+    ):
+        clf, risky = fitted
+
+        def tight():
+            return ThresholdController(
+                WaveletVoltageMonitor(net, 13), net, margin=0.020
+            )
+
+        def aware():
+            return PhaseAwareController(
+                WaveletVoltageMonitor(net, 13), net, clf, risky,
+                tight=0.020, loose=0.006,
+            )
+
+        r_tight = run_control_experiment("applu", net, tight, cycles=12288)
+        r_aware = run_control_experiment("applu", net, aware, cycles=12288)
+        # Same ballpark of protection...
+        assert r_aware.controlled_faults <= r_tight.controlled_faults + 3
+        # ...with no more (and typically fewer) interventions.
+        assert (
+            r_aware.stall_cycles + r_aware.boost_cycles
+            <= r_tight.stall_cycles + r_tight.boost_cycles
+        )
+        assert r_aware.slowdown < 0.02

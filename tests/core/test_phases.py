@@ -1,0 +1,104 @@
+"""Unit tests for the wavelet-signature phase classifier."""
+
+import numpy as np
+import pytest
+
+from repro.core import WINDOW, WaveletPhaseClassifier, calibrated_supply
+from repro.uarch import simulate_benchmark
+
+
+def two_phase_trace(windows_per_phase: int = 24, seed: int = 0) -> np.ndarray:
+    """Alternating blocks: quiet DC-ish phase vs loud resonant phase."""
+    rng = np.random.default_rng(seed)
+    n = np.arange(WINDOW)
+    blocks = []
+    for k in range(2 * windows_per_phase):
+        if k % 2 == 0:
+            blocks.append(18 + 0.5 * rng.normal(size=WINDOW))
+        else:
+            blocks.append(
+                40
+                + 12 * np.sign(np.sin(2 * np.pi * n / 32))
+                + 2 * rng.normal(size=WINDOW)
+            )
+    return np.concatenate(blocks)
+
+
+class TestFit:
+    def test_recovers_planted_phases(self):
+        trace = two_phase_trace()
+        clf = WaveletPhaseClassifier(phases=2).fit(trace)
+        labels = clf.labels_
+        # Phase ids are ordered by mean current: loud blocks (odd) -> 0.
+        expected = np.array([1, 0] * 24)
+        assert np.mean(labels == expected) > 0.95
+
+    def test_deterministic(self):
+        trace = two_phase_trace()
+        a = WaveletPhaseClassifier(phases=2, seed=5).fit(trace).labels_
+        b = WaveletPhaseClassifier(phases=2, seed=5).fit(trace).labels_
+        np.testing.assert_array_equal(a, b)
+
+    def test_phase_zero_is_hottest(self):
+        trace = two_phase_trace()
+        clf = WaveletPhaseClassifier(phases=2).fit(trace)
+        summaries = clf.summarize()
+        assert summaries[0].mean_current > summaries[1].mean_current
+
+    def test_needs_enough_windows(self):
+        with pytest.raises(ValueError):
+            WaveletPhaseClassifier(phases=4).fit(np.zeros(2 * WINDOW))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WaveletPhaseClassifier(phases=0)
+        with pytest.raises(ValueError):
+            WaveletPhaseClassifier(levels=4)
+
+
+class TestClassify:
+    def test_classify_matches_fit_labels(self):
+        trace = two_phase_trace()
+        clf = WaveletPhaseClassifier(phases=2).fit(trace)
+        windows = trace[: (len(trace) // WINDOW) * WINDOW].reshape(-1, WINDOW)
+        agree = np.mean(
+            [clf.classify(w) == l for w, l in zip(windows, clf.labels_)]
+        )
+        assert agree > 0.95
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            WaveletPhaseClassifier().classify(np.zeros(WINDOW))
+
+    def test_window_shape_checked(self):
+        clf = WaveletPhaseClassifier(phases=2).fit(two_phase_trace())
+        with pytest.raises(ValueError):
+            clf.classify(np.zeros(100))
+
+
+class TestSummaries:
+    def test_fractions_sum_to_one(self):
+        clf = WaveletPhaseClassifier(phases=3).fit(two_phase_trace())
+        total = sum(s.fraction for s in clf.summarize())
+        assert total == pytest.approx(1.0)
+
+    def test_emergency_probability_ordered_with_activity(self):
+        net = calibrated_supply(150)
+        clf = WaveletPhaseClassifier(phases=2).fit(two_phase_trace())
+        hot, cold = clf.summarize(net)
+        assert hot.emergency_probability > cold.emergency_probability
+
+    def test_summarize_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            WaveletPhaseClassifier().summarize()
+
+    def test_on_real_benchmark(self):
+        # applu's memory/compute alternation should yield phases with
+        # clearly different mean currents (needs enough windows for the
+        # clustering to see both phases).
+        r = simulate_benchmark("applu", cycles=32768)
+        clf = WaveletPhaseClassifier(phases=2).fit(r.current)
+        s = clf.summarize()
+        occupied = [p for p in s if p.fraction > 0.05]
+        assert len(occupied) == 2
+        assert occupied[0].mean_current > occupied[1].mean_current + 1.0

@@ -1,0 +1,164 @@
+"""Integration tests: the full paper pipeline, end to end.
+
+These cross-module tests exercise workload → simulator → supply →
+characterization/control exactly the way the benches do, with smaller
+inputs, and pin down the system-level contracts the figures rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FullConvolutionMonitor,
+    ShiftRegisterMonitor,
+    ThresholdController,
+    WaveletVoltageEstimator,
+    WaveletVoltageMonitor,
+    calibrated_supply,
+    predict_trace,
+    run_control_experiment,
+)
+from repro.power import StreamingVoltageModel, simulate_voltage
+from repro.uarch import Simulator, simulate_benchmark
+from repro.workloads import stressmark_stream
+
+CYCLES = 16384
+
+
+@pytest.fixture(scope="module")
+def net150():
+    return calibrated_supply(150)
+
+
+class TestOfflinePipeline:
+    def test_estimator_accuracy_across_groups(self, net150):
+        """One benchmark from each behavioural group: estimates track truth."""
+        estimator = WaveletVoltageEstimator(net150)
+        for name in ("gzip", "mcf", "mgrid", "vpr"):
+            r = simulate_benchmark(name, cycles=CYCLES)
+            p = predict_trace(net150, r.current, name=name, estimator=estimator)
+            assert abs(p.error) < 0.05, f"{name}: {p.estimated} vs {p.observed}"
+
+    def test_group_separation(self, net150):
+        """The Figure-9 group structure holds at integration scale."""
+        estimator = WaveletVoltageEstimator(net150)
+        problematic = predict_trace(
+            net150,
+            simulate_benchmark("galgel", cycles=CYCLES).current,
+            estimator=estimator,
+        )
+        quiet = predict_trace(
+            net150,
+            simulate_benchmark("gap", cycles=CYCLES).current,
+            estimator=estimator,
+        )
+        assert problematic.observed > 4 * max(quiet.observed, 1e-4)
+        assert problematic.estimated > 4 * max(quiet.estimated, 1e-4)
+
+    def test_impedance_scaling_raises_emergencies(self):
+        """More target impedance -> more cycles below the control point."""
+        trace = simulate_benchmark("mgrid", cycles=CYCLES).current
+        below = []
+        for pct in (100, 150, 200):
+            net = calibrated_supply(pct)
+            v = simulate_voltage(net, trace)[2048:]
+            below.append(float(np.mean(v < 0.97)))
+        assert below[0] < below[1] < below[2]
+
+
+class TestOnlinePipeline:
+    def test_monitor_chain_consistency(self, net150):
+        """Hardware monitor == linear monitor == near full convolution."""
+        trace = simulate_benchmark("gcc", cycles=4096).current[:1500]
+        hw = ShiftRegisterMonitor(net150, terms=13)
+        lin = WaveletVoltageMonitor(net150, terms=13)
+        full = FullConvolutionMonitor(net150)
+        v_hw = np.array([hw.observe(x) for x in trace])
+        v_lin = np.array([lin.observe(x) for x in trace])
+        v_full = np.array([full.observe(x) for x in trace])
+        np.testing.assert_allclose(v_hw, v_lin, atol=1e-10)
+        assert np.max(np.abs(v_lin[600:] - v_full[600:])) < 0.03
+
+    def test_truth_model_agrees_with_offline_truth(self, net150):
+        """The controller's streaming truth equals the offline simulator."""
+        trace = simulate_benchmark("gzip", cycles=4096).current
+        stream = StreamingVoltageModel(net150).run(trace)
+        batch = simulate_voltage(net150, trace, taps=8192)
+        np.testing.assert_allclose(stream, batch, atol=1e-9)
+
+    def test_control_with_more_terms_is_no_worse(self, net150):
+        """More monitor terms -> equal or fewer residual faults."""
+        def run(terms):
+            return run_control_experiment(
+                "galgel",
+                net150,
+                lambda: ThresholdController(
+                    WaveletVoltageMonitor(net150, terms=terms),
+                    net150,
+                    margin=0.012,
+                ),
+                cycles=8192,
+            )
+
+        coarse = run(3)
+        fine = run(20)
+        assert fine.controlled_faults <= coarse.controlled_faults + 5
+
+    def test_wider_margin_cuts_more_faults(self, net150):
+        def run(margin):
+            return run_control_experiment(
+                "galgel",
+                net150,
+                lambda: ThresholdController(
+                    WaveletVoltageMonitor(net150, terms=13),
+                    net150,
+                    margin=margin,
+                ),
+                cycles=8192,
+            )
+
+        tight = run(0.005)
+        wide = run(0.025)
+        assert wide.controlled_faults <= tight.controlled_faults
+        # And costs at least as much intervention.
+        assert (
+            wide.stall_cycles + wide.boost_cycles
+            >= tight.stall_cycles + tight.boost_cycles
+        )
+
+
+class TestDeterminism:
+    def test_whole_pipeline_reproducible(self, net150):
+        """Same seed -> bit-identical predictions and control outcomes."""
+        def offline():
+            r = simulate_benchmark("swim", cycles=8192, use_cache=False)
+            return predict_trace(net150, r.current)
+
+        a, b = offline(), offline()
+        assert a.estimated == b.estimated
+        assert a.observed == b.observed
+
+    def test_stressmark_reproducible(self):
+        r1 = Simulator().run(stressmark_stream(15), 4096, name="a")
+        r2 = Simulator().run(stressmark_stream(15), 4096, name="b")
+        np.testing.assert_array_equal(r1.current, r2.current)
+
+
+class TestCrossImpedanceConsistency:
+    def test_voltage_scales_linearly_with_impedance(self, net150):
+        """Droop at 200% is exactly 4/3 the droop at 150% (linearity)."""
+        trace = simulate_benchmark("eon", cycles=4096).current
+        net200 = calibrated_supply(200)
+        d150 = net150.vdd - simulate_voltage(net150, trace)
+        d200 = net200.vdd - simulate_voltage(net200, trace)
+        np.testing.assert_allclose(d200, d150 * (200 / 150), rtol=1e-9)
+
+    def test_estimator_must_match_its_network(self, net150):
+        """Using a 150% estimator against 200% truth biases low."""
+        trace = simulate_benchmark("mgrid", cycles=CYCLES).current
+        net200 = calibrated_supply(200)
+        wrong = WaveletVoltageEstimator(net150)
+        est = wrong.estimate_fraction_below(trace, 0.97)
+        v = simulate_voltage(net200, trace)[2048:]
+        observed = float(np.mean(v < 0.97))
+        assert est < observed  # systematic underestimate, as expected

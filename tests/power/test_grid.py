@@ -1,0 +1,118 @@
+"""Unit tests for the on-die power grid (spatial IR drop)."""
+
+import numpy as np
+import pytest
+
+from repro.power import DEFAULT_FLOORPLAN, Floorplan, PowerGrid
+from repro.uarch import ActivityCounters, WattchPowerModel
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return PowerGrid()
+
+
+class TestConstruction:
+    def test_default_pads_are_corners(self, grid):
+        assert set(grid.pad_nodes) == {(0, 0), (0, 7), (7, 0), (7, 7)}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerGrid(rows=1)
+        with pytest.raises(ValueError):
+            PowerGrid(segment_resistance=0.0)
+        with pytest.raises(ValueError):
+            PowerGrid(pad_nodes=((9, 9),))
+
+
+class TestSolve:
+    def test_zero_current_is_vdd_everywhere(self, grid):
+        v = grid.voltage_map(np.zeros((8, 8)))
+        np.testing.assert_allclose(v, grid.vdd)
+
+    def test_uniform_load_symmetry(self, grid):
+        v = grid.voltage_map(np.full((8, 8), 0.5))
+        # Corner pads + uniform load: the map is symmetric under both
+        # flips, and the centre sags deepest.
+        np.testing.assert_allclose(v, v[::-1, :], atol=1e-12)
+        np.testing.assert_allclose(v, v[:, ::-1], atol=1e-12)
+        r, c, _ = grid.worst_node(np.full((8, 8), 0.5))
+        assert r in (3, 4) and c in (3, 4)
+
+    def test_superposition(self, grid):
+        a = np.zeros((8, 8))
+        a[2, 5] = 8.0
+        b = np.zeros((8, 8))
+        b[6, 1] = 3.0
+        da = grid.ir_drop_map(a)
+        db = grid.ir_drop_map(b)
+        np.testing.assert_allclose(grid.ir_drop_map(a + b), da + db, atol=1e-12)
+
+    def test_linearity_in_magnitude(self, grid):
+        m = np.random.default_rng(0).uniform(0, 1, (8, 8))
+        np.testing.assert_allclose(
+            grid.ir_drop_map(3 * m), 3 * grid.ir_drop_map(m), atol=1e-12
+        )
+
+    def test_drop_deepest_far_from_pads(self, grid):
+        m = np.full((8, 8), 0.3)
+        drop = grid.ir_drop_map(m)
+        assert drop[3, 3] > drop[0, 0]
+        assert drop[0, 0] > 0
+
+    def test_more_pads_less_drop(self):
+        few = PowerGrid()
+        many = PowerGrid(
+            pad_nodes=tuple((r, c) for r in (0, 7) for c in range(8))
+        )
+        m = np.full((8, 8), 0.5)
+        assert many.ir_drop_map(m).max() < few.ir_drop_map(m).max()
+
+    def test_local_hotspot_sags_locally(self, grid):
+        m = np.zeros((8, 8))
+        m[5, 5] = 20.0
+        drop = grid.ir_drop_map(m)
+        assert drop[5, 5] == drop.max()
+
+    def test_input_validation(self, grid):
+        with pytest.raises(ValueError):
+            grid.voltage_map(np.zeros((4, 4)))
+        bad = np.zeros((8, 8))
+        bad[0, 0] = -1.0
+        with pytest.raises(ValueError):
+            grid.voltage_map(bad)
+
+
+class TestFloorplan:
+    def test_current_map_conserves_total(self):
+        model = WattchPowerModel()
+        act = ActivityCounters()
+        act.issued_ialu = 4
+        act.dcache_accesses = 2
+        cm = DEFAULT_FLOORPLAN.current_map(model, act)
+        assert cm.sum() == pytest.approx(model.current(act))
+
+    def test_activity_localizes(self):
+        model = WattchPowerModel()
+        idle = ActivityCounters()
+        busy = ActivityCounters()
+        busy.dcache_accesses = 2
+        fp = DEFAULT_FLOORPLAN
+        delta = fp.current_map(model, busy) - fp.current_map(model, idle)
+        r0, r1, c0, c1 = fp.regions["dcache_accesses"]
+        inside = delta[r0:r1, c0:c1].sum()
+        assert inside == pytest.approx(delta.sum(), rel=1e-9)
+
+    def test_region_validation(self):
+        with pytest.raises(ValueError):
+            Floorplan(rows=4, cols=4, regions={"x": (0, 5, 0, 2)})
+
+    def test_grid_integration(self):
+        model = WattchPowerModel()
+        act = ActivityCounters()
+        act.issued_fpalu = 2
+        act.issued_fpmult = 1
+        grid = PowerGrid()
+        v = grid.voltage_map(DEFAULT_FLOORPLAN.current_map(model, act))
+        assert v.min() < grid.vdd
+        assert v.max() <= grid.vdd

@@ -1,0 +1,103 @@
+"""Unit tests for target-impedance calibration (§3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.power import (
+    PowerSupplyNetwork,
+    calibrate_peak_impedance,
+    calibrated_network,
+    count_emergencies,
+    didt_reduction,
+    simulate_voltage,
+    worst_case_current,
+)
+
+I_MIN, I_MAX = 5.0, 65.0
+
+
+@pytest.fixture
+def net():
+    return PowerSupplyNetwork()
+
+
+@pytest.fixture
+def cal100(net):
+    return calibrated_network(net, I_MIN, I_MAX, percent=100)
+
+
+class TestWorstCaseCurrent:
+    def test_bounds(self, net):
+        i = worst_case_current(net, 4096, I_MIN, I_MAX)
+        assert i.min() >= I_MIN
+        assert i.max() <= I_MAX
+
+    def test_resonant_period(self, net):
+        i = worst_case_current(net, 4096, I_MIN, I_MAX)
+        tail = i[-1024:]
+        # The square wave flips every half resonant period.
+        flips = np.where(np.diff(tail) != 0)[0]
+        assert np.median(np.diff(flips)) == pytest.approx(
+            net.resonant_period_cycles / 2, abs=1
+        )
+
+    def test_warmup_at_midpoint(self, net):
+        i = worst_case_current(net, 4096, I_MIN, I_MAX)
+        assert (i[:60] == 0.5 * (I_MIN + I_MAX)).all()
+
+    def test_validation(self, net):
+        with pytest.raises(ValueError):
+            worst_case_current(net, 0, I_MIN, I_MAX)
+        with pytest.raises(ValueError):
+            worst_case_current(net, 100, 10.0, 5.0)
+
+
+class TestCalibration:
+    def test_calibrated_100_exactly_fills_band(self, cal100):
+        stress = worst_case_current(cal100, 8192, I_MIN, I_MAX)
+        v = simulate_voltage(cal100, stress)
+        settled = v[1024:]
+        assert settled.min() == pytest.approx(cal100.v_min, abs=1e-6)
+        assert count_emergencies(cal100, settled) == 0
+
+    def test_150_faults_under_stress(self, net):
+        cal150 = calibrated_network(net, I_MIN, I_MAX, percent=150)
+        stress = worst_case_current(cal150, 8192, I_MIN, I_MAX)
+        v = simulate_voltage(cal150, stress)
+        assert count_emergencies(cal150, v[1024:]) > 0
+
+    def test_percentages_scale_linearly(self, net):
+        c125 = calibrated_network(net, I_MIN, I_MAX, percent=125)
+        c200 = calibrated_network(net, I_MIN, I_MAX, percent=200)
+        assert c200.parameters.resistance / c125.parameters.resistance == (
+            pytest.approx(200 / 125)
+        )
+
+    def test_rebase_independent_of_initial_scale(self, net):
+        a = calibrated_network(net, I_MIN, I_MAX, percent=100)
+        b = calibrated_network(net.with_scale(3.0), I_MIN, I_MAX, percent=100)
+        assert a.parameters.resistance == pytest.approx(
+            b.parameters.resistance, rel=1e-9
+        )
+
+    def test_flat_stressmark_rejected(self, net):
+        with pytest.raises(ValueError):
+            calibrate_peak_impedance(net, np.zeros(4096))
+
+    def test_bad_percent(self, net):
+        with pytest.raises(ValueError):
+            calibrated_network(net, I_MIN, I_MAX, percent=0)
+
+
+class TestDidtReduction:
+    def test_paper_values(self):
+        # "If microarchitectural techniques can eliminate voltage faults on
+        # a system with a 150% target impedance power supply, we say that
+        # we have reduced dI/dt by 33%."
+        assert didt_reduction(150) == pytest.approx(1 / 3)
+        assert didt_reduction(100) == 0.0
+        assert didt_reduction(200) == pytest.approx(0.5)
+
+    def test_below_100_rejected(self):
+        with pytest.raises(ValueError):
+            didt_reduction(50)

@@ -1,0 +1,151 @@
+"""Unit tests for the impulse response and voltage simulation engines."""
+
+import numpy as np
+import pytest
+
+from repro.power import (
+    ConvolutionVoltageSimulator,
+    PowerSupplyNetwork,
+    StreamingVoltageModel,
+    biquad_coefficients,
+    count_emergencies,
+    default_tap_count,
+    discrete_impedance_magnitude,
+    emergency_fraction,
+    impulse_response,
+    settle_cycles,
+    simulate_voltage,
+)
+
+
+@pytest.fixture
+def net():
+    return PowerSupplyNetwork()
+
+
+class TestImpulseResponse:
+    def test_dc_gain_is_resistance(self, net):
+        bq = biquad_coefficients(net)
+        assert bq.dc_gain() == pytest.approx(net.parameters.resistance)
+
+    def test_kernel_matches_biquad(self, net):
+        h = impulse_response(net, 256)
+        np.testing.assert_allclose(h, biquad_coefficients(net).impulse(256))
+
+    def test_starts_positive(self, net):
+        h = impulse_response(net, 64)
+        assert h[0] > 0
+
+    def test_rings_at_resonant_period(self, net):
+        h = impulse_response(net, 512)
+        # Zero crossings spaced ~ half the resonant period (15 cycles).
+        crossings = np.where(np.diff(np.sign(h)) != 0)[0]
+        spacing = np.diff(crossings)
+        assert np.median(spacing) == pytest.approx(
+            net.resonant_period_cycles / 2, abs=2
+        )
+
+    def test_decays(self, net):
+        h = impulse_response(net, 1024)
+        assert np.abs(h[-64:]).max() < 0.05 * np.abs(h[:64]).max()
+
+    def test_default_taps_power_of_two(self, net):
+        taps = default_tap_count(net)
+        assert taps & (taps - 1) == 0
+        assert taps >= settle_cycles(net, 0.01)
+
+    def test_settle_fraction_validation(self, net):
+        with pytest.raises(ValueError):
+            settle_cycles(net, 2.0)
+
+    def test_bad_taps(self, net):
+        with pytest.raises(ValueError):
+            impulse_response(net, 0)
+
+    def test_discrete_matches_analytic_response(self, net):
+        freqs = np.array([20e6, 50e6, 100e6, 200e6, 400e6])
+        from repro.power import impedance_magnitude
+
+        analytic = impedance_magnitude(net, freqs)
+        discrete = discrete_impedance_magnitude(net, freqs, taps=4096)
+        # Exact at 100 MHz (pre-warped); bilinear warping allows a few
+        # percent drift elsewhere, worst at the highest frequency.
+        np.testing.assert_allclose(discrete, analytic, rtol=0.08)
+        assert discrete[2] == pytest.approx(analytic[2], rel=1e-6)
+
+
+class TestVoltageSimulation:
+    def test_constant_current_gives_ir_drop(self, net):
+        i = np.full(4000, 40.0)
+        v = simulate_voltage(net, i)
+        expected = net.vdd - 40.0 * net.parameters.resistance
+        assert v[-1] == pytest.approx(expected, rel=1e-3)
+
+    def test_zero_current_is_vdd(self, net):
+        v = simulate_voltage(net, np.zeros(100))
+        np.testing.assert_allclose(v, net.vdd)
+
+    def test_step_undershoots_then_settles(self, net):
+        i = np.concatenate([np.zeros(100), np.full(3000, 50.0)])
+        v = simulate_voltage(net, i)
+        settled = net.vdd - 50.0 * net.parameters.resistance
+        assert v.min() < settled - 1e-5  # resonant undershoot
+        assert v[-1] == pytest.approx(settled, rel=1e-3)
+
+    def test_linearity_in_current(self, net):
+        rng = np.random.default_rng(0)
+        i = rng.normal(40, 5, 500)
+        sim = ConvolutionVoltageSimulator(net)
+        d1 = sim.droop(i)
+        d2 = sim.droop(2 * i)
+        np.testing.assert_allclose(d2, 2 * d1, rtol=1e-9)
+
+    def test_resonant_drive_amplifies(self, net):
+        # Same amplitude drive at resonance vs far off resonance.
+        n = np.arange(6000)
+        period = net.resonant_period_cycles
+        at_res = 40 + 10 * np.sign(np.sin(2 * np.pi * n / period))
+        off_res = 40 + 10 * np.sign(np.sin(2 * np.pi * n / (period * 8)))
+        v_res = simulate_voltage(net, at_res)[1000:]
+        v_off = simulate_voltage(net, off_res)[1000:]
+        assert np.ptp(v_res) > 3 * np.ptp(v_off)
+
+    def test_empty_trace(self, net):
+        assert simulate_voltage(net, np.array([])).size == 0
+
+    def test_rejects_2d(self, net):
+        with pytest.raises(ValueError):
+            ConvolutionVoltageSimulator(net).droop(np.zeros((2, 2)))
+
+
+class TestStreamingModel:
+    def test_matches_convolution(self, net):
+        rng = np.random.default_rng(1)
+        i = rng.normal(40, 8, 3000)
+        v_conv = ConvolutionVoltageSimulator(net, taps=8192).voltage(i)
+        v_stream = StreamingVoltageModel(net).run(i)
+        np.testing.assert_allclose(v_stream, v_conv, atol=1e-9)
+
+    def test_step_matches_run(self, net):
+        rng = np.random.default_rng(2)
+        i = rng.normal(40, 8, 400)
+        m1 = StreamingVoltageModel(net)
+        stepped = np.array([m1.step(x) for x in i])
+        m2 = StreamingVoltageModel(net)
+        np.testing.assert_allclose(stepped, m2.run(i), atol=1e-12)
+
+    def test_reset_clears_state(self, net):
+        m = StreamingVoltageModel(net)
+        m.step(100.0)
+        m.reset()
+        assert m.step(0.0) == pytest.approx(net.vdd)
+
+
+class TestEmergencies:
+    def test_counts(self, net):
+        v = np.array([1.0, 0.94, 1.06, 0.96, 1.04])
+        assert count_emergencies(net, v) == 2
+        assert emergency_fraction(net, v) == pytest.approx(0.4)
+
+    def test_empty(self, net):
+        assert emergency_fraction(net, np.array([])) == 0.0

@@ -1,0 +1,112 @@
+"""Unit tests for the power-supply network model (§3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.power import (
+    PowerSupplyNetwork,
+    impedance_magnitude,
+    resonant_peak,
+    response_curve,
+)
+
+
+@pytest.fixture
+def net():
+    return PowerSupplyNetwork()
+
+
+class TestParameters:
+    def test_defaults_match_paper(self, net):
+        assert net.vdd == 1.0
+        assert net.clock_hz == 3.0e9
+        assert net.tolerance == 0.05
+        assert net.v_min == pytest.approx(0.95)
+        assert net.v_max == pytest.approx(1.05)
+
+    def test_resonant_period_in_didt_band(self, net):
+        # 50-200 MHz at 3 GHz = periods of 15-60 cycles.
+        assert 15 <= net.resonant_period_cycles <= 60
+
+    def test_rlc_consistency(self, net):
+        p = net.parameters
+        w0 = 1.0 / np.sqrt(p.inductance * p.capacitance)
+        assert w0 == pytest.approx(2 * np.pi * net.resonant_hz)
+        q = w0 * p.inductance / p.resistance
+        assert q == pytest.approx(net.quality_factor)
+
+    def test_underdamped(self, net):
+        p = net.parameters
+        assert p.damping_rate < p.resonant_rad
+        assert p.damped_rad < p.resonant_rad
+
+    def test_overdamped_rejected(self):
+        with pytest.raises(ValueError):
+            PowerSupplyNetwork(quality_factor=0.4)
+
+    def test_resonance_above_nyquist_rejected(self):
+        with pytest.raises(ValueError):
+            PowerSupplyNetwork(resonant_hz=2.0e9)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"vdd": -1.0},
+            {"peak_impedance": 0.0},
+            {"impedance_scale": -2.0},
+            {"tolerance": 0.0},
+            {"tolerance": 1.5},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            PowerSupplyNetwork(**kwargs)
+
+
+class TestScaling:
+    def test_with_scale_scales_resistance(self, net):
+        scaled = net.with_scale(1.5)
+        assert scaled.parameters.resistance == pytest.approx(
+            1.5 * net.parameters.resistance
+        )
+
+    def test_with_scale_preserves_resonance(self, net):
+        scaled = net.with_scale(2.0)
+        assert scaled.parameters.resonant_rad == pytest.approx(
+            net.parameters.resonant_rad
+        )
+
+    def test_with_peak_impedance(self, net):
+        rebased = net.with_peak_impedance(2e-3)
+        assert rebased.peak_impedance == 2e-3
+        assert rebased.impedance_scale == net.impedance_scale
+
+
+class TestFrequencyResponse:
+    def test_dc_value_is_resistance(self, net):
+        z0 = impedance_magnitude(net, [0.0])[0]
+        assert z0 == pytest.approx(net.parameters.resistance)
+
+    def test_peak_at_resonance(self, net):
+        f, z = resonant_peak(net)
+        assert f == pytest.approx(net.resonant_hz, rel=0.02)
+        assert z == pytest.approx(net.peak_impedance, rel=0.01)
+
+    def test_bandpass_shape(self, net):
+        # Figure 5: rises from DC to the resonant peak, falls past it.
+        z_low = impedance_magnitude(net, [net.resonant_hz / 20])[0]
+        z_res = impedance_magnitude(net, [net.resonant_hz])[0]
+        z_high = impedance_magnitude(net, [net.resonant_hz * 20])[0]
+        assert z_res > 5 * z_low
+        assert z_res > 5 * z_high
+
+    def test_response_curve_shapes(self, net):
+        freqs, mags = response_curve(net, points=100)
+        assert freqs.shape == mags.shape == (100,)
+        assert (mags > 0).all()
+
+    def test_scaling_scales_whole_curve(self, net):
+        freqs = np.logspace(6, 9, 50)
+        z1 = impedance_magnitude(net, freqs)
+        z2 = impedance_magnitude(net.with_scale(1.5), freqs)
+        np.testing.assert_allclose(z2, 1.5 * z1, rtol=1e-9)

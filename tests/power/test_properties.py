@@ -1,0 +1,91 @@
+"""Property-based tests (hypothesis) for the power-delivery substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.power import (
+    ConvolutionVoltageSimulator,
+    PowerSupplyNetwork,
+    StreamingVoltageModel,
+    biquad_coefficients,
+    impulse_response,
+)
+
+currents = arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=400),
+    elements=st.floats(0.0, 200.0, allow_nan=False, width=64),
+)
+
+networks = st.builds(
+    PowerSupplyNetwork,
+    resonant_hz=st.floats(40e6, 250e6),
+    quality_factor=st.floats(2.0, 15.0),
+    peak_impedance=st.floats(1e-4, 1e-2),
+    impedance_scale=st.floats(0.5, 3.0),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(networks)
+def test_dc_gain_is_always_resistance(net):
+    bq = biquad_coefficients(net)
+    assert bq.dc_gain() == pytest.approx(net.parameters.resistance, rel=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(networks)
+def test_resonant_gain_matches_analytic(net):
+    from repro.power import impedance_magnitude
+
+    bq = biquad_coefficients(net)
+    analytic = impedance_magnitude(net, [net.resonant_hz])[0]
+    assert bq.gain_at(net.resonant_hz, net.clock_hz) == pytest.approx(
+        analytic, rel=1e-6
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(networks)
+def test_impulse_response_is_stable(net):
+    h = impulse_response(net, 2048)
+    assert np.all(np.isfinite(h))
+    # Ring-down: the last tenth is tiny relative to the peak.
+    assert np.abs(h[-204:]).max() <= np.abs(h).max()
+
+
+@settings(max_examples=20, deadline=None)
+@given(currents)
+def test_streaming_equals_convolution(i):
+    net = PowerSupplyNetwork()
+    conv = ConvolutionVoltageSimulator(net, taps=4096).voltage(i)
+    stream = StreamingVoltageModel(net).run(i)
+    np.testing.assert_allclose(stream, conv, atol=1e-7)
+
+
+@settings(max_examples=20, deadline=None)
+@given(currents, st.floats(0.1, 5.0))
+def test_voltage_droop_is_linear_and_monotone_in_scale(i, scale):
+    net = PowerSupplyNetwork()
+    d1 = net.vdd - ConvolutionVoltageSimulator(net).voltage(i)
+    d2 = net.with_scale(scale).vdd - ConvolutionVoltageSimulator(
+        net.with_scale(scale)
+    ).voltage(i)
+    np.testing.assert_allclose(d2, scale * d1, rtol=1e-9, atol=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(currents)
+def test_voltage_finite_and_zero_current_gives_vdd(i):
+    """Any bounded trace keeps the voltage finite, and appending a long
+    zero-current tail rings the voltage back to exactly vdd."""
+    net = PowerSupplyNetwork()
+    sim = ConvolutionVoltageSimulator(net)
+    v = sim.voltage(i)
+    assert np.all(np.isfinite(v))
+    padded = np.concatenate([i, np.zeros(sim.taps)])
+    v_tail = sim.voltage(padded)[-1]
+    assert v_tail == pytest.approx(net.vdd, abs=1e-4)

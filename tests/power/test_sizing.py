@@ -1,0 +1,72 @@
+"""Unit tests for supply-sizing helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import calibrated_supply
+from repro.power import exposure_at, max_tolerable_impedance
+from repro.uarch import simulate_benchmark
+
+
+@pytest.fixture(scope="module")
+def base():
+    return calibrated_supply(100)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {
+        name: simulate_benchmark(name, cycles=12288).current
+        for name in ("mgrid", "gzip", "mcf")
+    }
+
+
+class TestExposure:
+    def test_monotone_in_impedance(self, base, traces):
+        low = exposure_at(base.with_scale(1.0), traces, threshold=0.97)
+        high = exposure_at(base.with_scale(2.0), traces, threshold=0.97)
+        for name in traces:
+            assert high[name] >= low[name]
+
+    def test_default_threshold_is_fault_limit(self, base, traces):
+        # At 100% calibrated impedance SPEC traces don't fault at all.
+        exp = exposure_at(base, traces)
+        assert max(exp.values()) == 0.0
+
+    def test_short_trace_rejected(self, base):
+        with pytest.raises(ValueError):
+            exposure_at(base, {"x": np.full(100, 30.0)}, settle=1024)
+
+
+class TestMaxTolerableImpedance:
+    def test_bisection_result_is_feasible_and_tight(self, base, traces):
+        pct = max_tolerable_impedance(base, traces, budget=0.0)
+        assert 100.0 <= pct < 400.0
+        # Feasible at the answer...
+        exp = exposure_at(base.with_scale(pct / 100.0), traces)
+        assert max(exp.values()) == 0.0
+        # ...and infeasible a few percent above it.
+        exp_above = exposure_at(base.with_scale((pct + 5) / 100.0), traces)
+        assert max(exp_above.values()) > 0.0
+
+    def test_budget_buys_impedance(self, base, traces):
+        strict = max_tolerable_impedance(base, traces, budget=0.0)
+        relaxed = max_tolerable_impedance(base, traces, budget=0.002)
+        assert relaxed > strict
+
+    def test_infeasible_low_raises(self, base, traces):
+        with pytest.raises(ValueError):
+            max_tolerable_impedance(
+                base, traces, budget=0.0, lo=300.0, hi=400.0
+            )
+
+    def test_validation(self, base, traces):
+        with pytest.raises(ValueError):
+            max_tolerable_impedance(base, traces, budget=-0.1)
+        with pytest.raises(ValueError):
+            max_tolerable_impedance(base, traces, lo=200.0, hi=100.0)
+
+    def test_hi_returned_when_everything_passes(self, base):
+        flat = {"idle": np.full(8192, 18.0)}
+        pct = max_tolerable_impedance(base, flat, budget=0.0, hi=300.0)
+        assert pct == 300.0

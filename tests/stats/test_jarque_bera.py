@@ -1,0 +1,75 @@
+"""Unit tests for the Jarque-Bera normality test."""
+
+import numpy as np
+import pytest
+
+from repro.stats import jarque_bera_test
+
+
+class TestJarqueBera:
+    def test_gaussian_acceptance_near_significance(self):
+        rng = np.random.default_rng(0)
+        accepted = sum(
+            jarque_bera_test(rng.normal(30, 5, 64)).accepted
+            for _ in range(500)
+        )
+        assert 0.90 <= accepted / 500 <= 0.99
+
+    def test_bimodal_rejected(self):
+        rng = np.random.default_rng(1)
+        x = np.concatenate([rng.normal(0, 0.3, 48), rng.normal(10, 0.3, 48)])
+        assert not jarque_bera_test(x).accepted
+
+    def test_heavy_tails_rejected(self):
+        rng = np.random.default_rng(2)
+        rejected = sum(
+            not jarque_bera_test(rng.standard_t(df=2, size=128)).accepted
+            for _ in range(100)
+        )
+        assert rejected > 60  # strong power against leptokurtic data
+
+    def test_skewed_rejected(self):
+        rng = np.random.default_rng(3)
+        rejected = sum(
+            not jarque_bera_test(rng.exponential(1.0, 128)).accepted
+            for _ in range(100)
+        )
+        assert rejected > 90
+
+    def test_flat_window_degenerate(self):
+        res = jarque_bera_test(np.full(64, 40.0))
+        assert res.degenerate and not res.accepted
+
+    def test_moments_reported(self):
+        rng = np.random.default_rng(4)
+        res = jarque_bera_test(rng.exponential(1.0, 4096))
+        assert res.skewness == pytest.approx(2.0, rel=0.2)
+        assert res.excess_kurtosis > 2.0
+
+    def test_matches_scipy(self):
+        from scipy import stats as sstats
+
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=256)
+        ours = jarque_bera_test(x)
+        theirs = sstats.jarque_bera(x)
+        assert ours.statistic == pytest.approx(theirs.statistic, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jarque_bera_test(np.zeros(4))
+        with pytest.raises(ValueError):
+            jarque_bera_test(np.zeros(64), significance=2.0)
+
+    def test_agreement_with_chi2_on_clear_cases(self):
+        from repro.stats import chi_square_gaussian_test
+
+        rng = np.random.default_rng(6)
+        gauss = rng.normal(10, 2, 128)
+        bimodal = np.concatenate(
+            [rng.normal(0, 0.2, 64), rng.normal(5, 0.2, 64)]
+        )
+        assert jarque_bera_test(gauss).accepted
+        assert chi_square_gaussian_test(gauss).accepted
+        assert not jarque_bera_test(bimodal).accepted
+        assert not chi_square_gaussian_test(bimodal).accepted

@@ -1,0 +1,205 @@
+"""Unit tests for the statistics substrate (Gaussian model, χ² test, windows)."""
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    GaussianModel,
+    chi_square_gaussian_test,
+    extract_windows,
+    is_gaussian_window,
+    normal_cdf,
+    normal_quantile,
+    random_window_starts,
+    study_windows,
+    voltage_histogram,
+    window_variances,
+)
+
+
+class TestNormalFunctions:
+    def test_cdf_symmetry(self):
+        assert normal_cdf(0.0) == pytest.approx(0.5)
+        assert normal_cdf(1.0) + normal_cdf(-1.0) == pytest.approx(1.0)
+
+    def test_cdf_known_value(self):
+        assert normal_cdf(1.96) == pytest.approx(0.975, abs=1e-3)
+
+    def test_quantile_inverts_cdf(self):
+        for p in (0.025, 0.5, 0.9, 0.999):
+            assert normal_cdf(normal_quantile(p)) == pytest.approx(p)
+
+    def test_quantile_domain(self):
+        with pytest.raises(ValueError):
+            normal_quantile(0.0)
+        with pytest.raises(ValueError):
+            normal_quantile(1.0)
+
+
+class TestGaussianModel:
+    def test_fit_moments(self):
+        x = np.random.default_rng(0).normal(3.0, 2.0, 100_000)
+        g = GaussianModel.fit(x)
+        assert g.mean == pytest.approx(3.0, abs=0.05)
+        assert g.std == pytest.approx(2.0, abs=0.05)
+
+    def test_prob_below_matches_empirical(self):
+        x = np.random.default_rng(1).normal(0.99, 0.01, 200_000)
+        g = GaussianModel.fit(x)
+        empirical = float(np.mean(x < 0.97))
+        assert g.prob_below(0.97) == pytest.approx(empirical, abs=0.002)
+
+    def test_prob_outside(self):
+        g = GaussianModel(1.0, 0.01**2)
+        assert g.prob_outside(0.98, 1.02) == pytest.approx(
+            2 * g.prob_below(0.98), rel=1e-9
+        )
+
+    def test_zero_variance_degenerate(self):
+        g = GaussianModel(1.0, 0.0)
+        assert g.prob_below(0.9) == 0.0
+        assert g.prob_below(1.1) == 1.0
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianModel(0.0, -1.0)
+
+    def test_quantile(self):
+        g = GaussianModel(10.0, 4.0)
+        assert g.quantile(0.5) == pytest.approx(10.0)
+        assert g.quantile(0.975) == pytest.approx(10.0 + 2 * 1.959964, abs=1e-3)
+
+    def test_fit_needs_samples(self):
+        with pytest.raises(ValueError):
+            GaussianModel.fit(np.array([1.0]))
+
+
+class TestChiSquare:
+    def test_gaussian_acceptance_near_significance(self):
+        rng = np.random.default_rng(2)
+        accepted = sum(
+            chi_square_gaussian_test(rng.normal(40, 5, 64)).accepted
+            for _ in range(500)
+        )
+        # At 95% significance roughly 95% of truly Gaussian windows pass.
+        assert 0.88 <= accepted / 500 <= 0.99
+
+    def test_uniform_rejected(self):
+        rng = np.random.default_rng(3)
+        accepted = sum(
+            chi_square_gaussian_test(rng.uniform(0, 1, 128)).accepted
+            for _ in range(200)
+        )
+        assert accepted / 200 < 0.55  # uniform is clearly non-normal
+
+    def test_bimodal_rejected(self):
+        rng = np.random.default_rng(4)
+        x = np.concatenate([rng.normal(0, 0.3, 32), rng.normal(10, 0.3, 32)])
+        assert not chi_square_gaussian_test(x).accepted
+
+    def test_flat_window_degenerate(self):
+        res = chi_square_gaussian_test(np.full(64, 40.0))
+        assert res.degenerate
+        assert not res.accepted
+
+    def test_too_small_window(self):
+        with pytest.raises(ValueError):
+            chi_square_gaussian_test(np.zeros(8))
+
+    def test_bad_significance(self):
+        with pytest.raises(ValueError):
+            chi_square_gaussian_test(np.random.default_rng(0).normal(size=64), 1.5)
+
+    def test_result_fields(self):
+        res = chi_square_gaussian_test(np.random.default_rng(5).normal(size=64))
+        assert res.dof == res.bins - 3
+        assert res.accepted == (res.statistic <= res.critical)
+
+    def test_predicate_wrapper(self):
+        rng = np.random.default_rng(6)
+        assert isinstance(is_gaussian_window(rng.normal(size=64)), bool)
+
+
+class TestWindows:
+    def test_starts_in_range(self):
+        rng = np.random.default_rng(0)
+        starts = random_window_starts(1000, 64, 200, rng)
+        assert starts.min() >= 0
+        assert starts.max() <= 1000 - 64
+
+    def test_extract_shape(self):
+        t = np.arange(100.0)
+        w = extract_windows(t, np.array([0, 10, 36]), 64)
+        assert w.shape == (3, 64)
+        np.testing.assert_allclose(w[1], np.arange(10.0, 74.0))
+
+    def test_extract_bounds_checked(self):
+        with pytest.raises(ValueError):
+            extract_windows(np.arange(10.0), np.array([8]), 4)
+
+    def test_window_variances(self):
+        w = np.array([[1.0, 1.0, 1.0], [0.0, 3.0, 0.0]])
+        v = window_variances(w)
+        assert v[0] == 0.0
+        assert v[1] == pytest.approx(2.0)
+
+    def test_window_too_large(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_window_starts(10, 64, 5, rng)
+
+    def test_study_gaussian_trace(self):
+        rng = np.random.default_rng(7)
+        st = study_windows(rng.normal(40, 5, 20_000), 64, 150, rng)
+        assert st.total == 150
+        assert st.acceptance_rate > 0.85
+        assert st.overall_variance == pytest.approx(25.0, rel=0.2)
+
+    def test_study_spiky_trace_rejects_and_flags_low_variance(self):
+        rng = np.random.default_rng(8)
+        # Mostly-flat trace with rare bursts: windows are flat (degenerate,
+        # low variance) or burst-laden (non-Gaussian) — paper's Figure 7 story.
+        trace = np.full(20_000, 20.0)
+        bursts = rng.integers(0, 20_000, 60)
+        trace[bursts] = 90.0
+        st = study_windows(trace, 64, 150, rng)
+        assert st.acceptance_rate < 0.2
+        assert st.non_gaussian_variance < st.overall_variance + 1e-9
+
+
+class TestVoltageHistogram:
+    def test_sums_to_100(self):
+        v = np.random.default_rng(0).normal(0.99, 0.01, 10_000)
+        h = voltage_histogram(v)
+        assert h.percent.sum() == pytest.approx(100.0)
+
+    def test_out_of_range_clipped(self):
+        v = np.array([0.5, 2.0, 1.0])
+        h = voltage_histogram(v)
+        assert h.percent.sum() == pytest.approx(100.0)
+        assert h.percent[0] > 0  # clipped low sample
+        assert h.percent[-1] > 0  # clipped high sample
+
+    def test_peak_bin(self):
+        v = np.full(100, 1.0)
+        c, p = voltage_histogram(v).peak_bin()
+        assert p == pytest.approx(100.0)
+        assert c == pytest.approx(1.0, abs=0.01)
+
+    def test_spike_ratio_discriminates(self):
+        rng = np.random.default_rng(1)
+        gaussian = rng.normal(0.99, 0.015, 50_000)
+        spiky = np.concatenate(
+            [np.full(40_000, 1.0), rng.normal(0.97, 0.02, 10_000)]
+        )
+        h_g = voltage_histogram(gaussian)
+        h_s = voltage_histogram(spiky)
+        assert h_s.spike_ratio(1.0, 0.005) > 3 * h_g.spike_ratio(1.0, 0.005)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            voltage_histogram(np.array([]))
+        with pytest.raises(ValueError):
+            voltage_histogram(np.ones(4), v_lo=1.0, v_hi=0.9)
+        with pytest.raises(ValueError):
+            voltage_histogram(np.ones(4), bins=0)

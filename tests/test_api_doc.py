@@ -1,0 +1,16 @@
+"""The committed API reference must match the live package."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_api_doc_is_current():
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "gen_api_doc.py"), "--check"],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,102 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "gzip"])
+        assert args.benchmark == "gzip"
+        assert args.cycles == 16384
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "doom"])
+
+    def test_control_options(self):
+        args = build_parser().parse_args(
+            ["control", "mgrid", "--scheme", "damping", "--impedance", "200"]
+        )
+        assert args.scheme == "damping"
+        assert args.impedance == 200.0
+
+    def test_characterize_threshold(self):
+        args = build_parser().parse_args(
+            ["characterize", "gcc", "--threshold", "0.96"]
+        )
+        assert args.threshold == 0.96
+
+
+class TestCommands:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gzip" in out and "apsi" in out
+        assert "SPECint2000" in out and "SPECfp2000" in out
+
+    def test_simulate_output(self, capsys):
+        assert main(["simulate", "gzip", "--cycles", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+        assert "current" in out
+
+    def test_characterize_output(self, capsys):
+        assert main(["characterize", "vpr", "--cycles", "8192"]) == 0
+        out = capsys.readouterr().out
+        assert "estimated % cycles" in out
+        assert "level 5" in out
+
+    def test_control_output(self, capsys):
+        assert main(
+            ["control", "vpr", "--cycles", "3000", "--scheme", "wavelet"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "slowdown" in out
+        assert "faults" in out
+
+    def test_control_damping_scheme(self, capsys):
+        assert main(
+            ["control", "vpr", "--cycles", "3000", "--scheme", "damping"]
+        ) == 0
+        assert "damping control" in capsys.readouterr().out
+
+
+class TestExtendedCommands:
+    def test_phases_output(self, capsys):
+        from repro.cli import main
+
+        assert main(["phases", "applu", "--cycles", "16384"]) == 0
+        out = capsys.readouterr().out
+        assert "wavelet-signature phases" in out
+        assert "phase 0" in out
+
+    def test_breakdown_output(self, capsys):
+        from repro.cli import main
+
+        assert main(["breakdown", "gzip", "--cycles", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "per-unit current" in out
+        assert "clock" in out
+
+    def test_sizing_output(self, capsys):
+        from repro.cli import main
+
+        assert main(["sizing", "gzip", "--cycles", "8192"]) == 0
+        out = capsys.readouterr().out
+        assert "max tolerable target impedance" in out
+
+    def test_sizing_parser_accepts_many(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["sizing", "gzip", "mcf", "mgrid"])
+        assert args.benchmarks == ["gzip", "mcf", "mgrid"]

@@ -1,0 +1,50 @@
+"""Smoke tests: the example scripts must stay runnable.
+
+Runs the cheaper examples end-to-end in subprocesses (fresh interpreter,
+like a user would) and checks for the expected headline output.  The
+heavyweight examples (full control sweeps) are exercised indirectly by
+the bench suite.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 300) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Figure 3 worked example" in out
+        assert "Parseval" in out
+        assert "Supply response" in out
+
+    def test_external_trace(self):
+        out = run_example("external_trace.py")
+        assert "imported" in out
+        assert "ground truth" in out
+
+    def test_phase_analysis(self):
+        out = run_example("phase_analysis.py", "applu", "2")
+        assert "per-phase characterization" in out
+        assert "phase 0" in out
+
+    def test_ir_drop_map(self):
+        out = run_example("ir_drop_map.py", "gzip")
+        assert "spatial IR drop" in out
+        assert "worst node" in out

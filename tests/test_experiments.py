@@ -1,0 +1,99 @@
+"""Unit tests for the programmatic experiments API (small-scale runs)."""
+
+import numpy as np
+import pytest
+
+from repro.core import calibrated_supply
+from repro.experiments import (
+    HIGH_L2_MISS,
+    LOW_L2_MISS,
+    PROBLEMATIC,
+    QUIET,
+    figure6,
+    figure8,
+    figure9,
+    figure12,
+    figure13,
+    figure15,
+    figures10_11,
+    simulate_suite,
+    table2,
+)
+
+SMALL = ("gzip", "mcf", "mgrid")
+
+
+@pytest.fixture(scope="module")
+def net150():
+    return calibrated_supply(150)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return simulate_suite(cycles=12288, names=SMALL)
+
+
+class TestGroups:
+    def test_groups_are_disjoint_where_expected(self):
+        assert not set(PROBLEMATIC) & set(QUIET)
+        assert not set(LOW_L2_MISS) & set(HIGH_L2_MISS)
+
+    def test_groups_are_valid_benchmarks(self):
+        from repro.workloads import SPEC2000
+
+        for group in (PROBLEMATIC, QUIET, LOW_L2_MISS, HIGH_L2_MISS):
+            assert set(group) <= set(SPEC2000)
+
+
+class TestSimulateSuite:
+    def test_subset(self, traces):
+        assert set(traces) == set(SMALL)
+        assert all(r.cycles == 12288 for r in traces.values())
+
+    def test_uses_cache(self, traces):
+        again = simulate_suite(cycles=12288, names=SMALL)
+        assert again["gzip"] is traces["gzip"]
+
+
+class TestFigureFunctions:
+    def test_figure6_structure(self, traces):
+        r = figure6(traces, windows=(32, 64), samples_per_size=30)
+        assert set(r.rates) == {"int", "fp", "all"}
+        assert all(0.0 <= v <= 1.0 for d in r.rates.values() for v in d.values())
+
+    def test_figure8_structure(self, net150, traces):
+        r = figure8(net150, traces)
+        assert set(r.variance_error) == set(SMALL)
+        assert all(len(k) == 4 for k in r.kept_levels.values())
+        assert all(s >= 0 for s in r.estimate_shift.values())
+
+    def test_figure9_metrics(self, net150, traces):
+        r = figure9(net150, traces)
+        assert 0.0 <= r.rms_error < 0.1
+        assert -1.0 <= r.rank_correlation <= 1.0
+        assert r.predictions["mgrid"].observed > r.predictions["mcf"].observed
+
+    def test_figures10_11(self, net150, traces):
+        r = figures10_11(net150, traces, names=("gzip", "mcf"))
+        assert set(r.spike_ratios) == {"gzip", "mcf"}
+        assert r.spike_ratios["mcf"] > r.spike_ratios["gzip"]
+
+    def test_figure12(self, traces):
+        r = figure12(traces, samples_per_size=40)
+        assert r.rates["gzip"] > r.rates["mcf"]
+        assert r.l2_mpki["mcf"] > r.l2_mpki["gzip"]
+
+    def test_figure13(self, net150, traces):
+        curves = figure13({150.0: net150}, traces["mgrid"].current[:3000],
+                          term_counts=[2, 16])
+        assert curves[150.0][16] <= curves[150.0][2]
+
+    def test_figure15_mean(self, net150):
+        r = figure15({150.0: net150}, names=("vpr",), cycles=3000)
+        assert abs(r.mean_slowdown(150.0)) < 0.05
+
+    def test_table2_rows(self, net150):
+        rows = table2(net150, workloads=("mgrid",), cycles=4096)
+        assert set(rows) == {"analog", "full_conv", "damping", "wavelet"}
+        assert rows["wavelet"].ops_per_cycle < rows["full_conv"].ops_per_cycle
+        assert rows["damping"].mean_slowdown > rows["wavelet"].mean_slowdown

@@ -1,0 +1,63 @@
+"""Unit tests for the one-call evaluation report."""
+
+import pytest
+
+from repro.report import QUICK_SUBSET, generate_report
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    # Small subset + short traces: fast enough for the test suite while
+    # exercising every section.
+    return generate_report(
+        cycles=8192,
+        names=("gzip", "mcf", "mgrid", "gcc", "vpr"),
+        include_control=False,
+    )
+
+
+class TestReport:
+    def test_all_sections_present(self, quick_report):
+        for heading in (
+            "Workloads",
+            "Gaussian windows (Figure 6)",
+            "Offline voltage prediction (Figure 9",
+            "Current Gaussianity vs L2 misses (Figure 12)",
+            "Monitor error vs wavelet terms (Figure 13)",
+        ):
+            assert heading in quick_report
+
+    def test_control_section_toggle(self, quick_report):
+        assert "Scheme comparison (Table 2" not in quick_report
+
+    def test_paper_references_included(self, quick_report):
+        assert "paper:" in quick_report
+        assert "EXPERIMENTS.md" in quick_report
+
+    def test_benchmarks_listed(self, quick_report):
+        for name in ("gzip", "mcf", "mgrid"):
+            assert name in quick_report
+
+    def test_rms_error_reported(self, quick_report):
+        assert "RMS error" in quick_report
+
+    def test_quick_subset_covers_groups(self):
+        from repro.experiments import (
+            HIGH_L2_MISS,
+            LOW_L2_MISS,
+            PROBLEMATIC,
+            QUIET,
+        )
+
+        for group in (PROBLEMATIC, QUIET, LOW_L2_MISS, HIGH_L2_MISS):
+            assert set(group) & set(QUICK_SUBSET), group
+
+    def test_cli_report_command(self, capsys):
+        from repro.cli import main
+
+        # Reuses the in-process trace cache, so this is cheap.
+        assert main([
+            "report", "--cycles", "8192", "--no-control"
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "evaluation report" in out

@@ -1,0 +1,104 @@
+"""Unit tests for the terminal visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro import viz
+
+
+class TestBarChart:
+    def test_rows_and_scaling(self):
+        out = viz.bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = out.split("\n")
+        assert len(lines) == 2
+        assert lines[1].count("#") == 10  # the peak fills the width
+        assert lines[0].count("#") == 5
+
+    def test_title(self):
+        out = viz.bar_chart({"a": 1.0}, title="T")
+        assert out.startswith("--- T ---")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            viz.bar_chart({})
+
+    def test_all_zero_safe(self):
+        out = viz.bar_chart({"a": 0.0})
+        assert "#" not in out
+
+
+class TestLinePlot:
+    def test_dimensions(self):
+        out = viz.line_plot(np.sin(np.linspace(0, 7, 500)), height=8, width=40)
+        lines = out.split("\n")
+        assert len(lines) == 8
+        assert all("*" in line or "|" in line or "+" in line for line in lines)
+
+    def test_extremes_labelled(self):
+        y = np.array([1.0, 5.0, 3.0])
+        out = viz.line_plot(y, height=5, width=10)
+        assert "5.000" in out
+        assert "1.000" in out
+
+    def test_constant_signal(self):
+        out = viz.line_plot(np.full(50, 2.0), height=4, width=20)
+        assert out.count("*") == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            viz.line_plot(np.array([]))
+        with pytest.raises(ValueError):
+            viz.line_plot(np.ones(10), height=1)
+
+
+class TestHistogram:
+    def test_bin_count(self):
+        out = viz.histogram(np.random.default_rng(0).normal(size=500), bins=10)
+        assert len(out.split("\n")) == 10
+
+    def test_peak_fills_width(self):
+        out = viz.histogram(np.zeros(100), bins=4, width=20)
+        assert max(line.count("#") for line in out.split("\n")) == 20
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            viz.histogram(np.array([]))
+
+
+class TestWaveform:
+    def test_ternary_marks(self):
+        y = np.concatenate([np.zeros(30), np.full(30, 5.0), np.full(30, 10.0)])
+        out = viz.waveform(y, thresholds=(2.0, 8.0), width=30)
+        assert set(out) <= {"#", "+", "."}
+        assert out[0] == "." and out[-1] == "#"
+
+    def test_default_thresholds(self):
+        out = viz.waveform(np.linspace(0, 1, 90), width=30)
+        assert "." in out and "#" in out
+
+    def test_bad_thresholds(self):
+        with pytest.raises(ValueError):
+            viz.waveform(np.ones(10), thresholds=(2.0, 1.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            viz.waveform(np.array([]))
+
+
+class TestTable:
+    def test_alignment(self):
+        out = viz.table(
+            {"gzip": [1.0, 2.0], "mcf": [3.0, 4.0]},
+            headers=["est", "obs"],
+        )
+        lines = out.split("\n")
+        assert len(lines) == 3
+        assert "est" in lines[0] and "obs" in lines[0]
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            viz.table({"a": [1.0]}, headers=["x", "y"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            viz.table({}, headers=["x"])

@@ -1,0 +1,217 @@
+"""Unit tests for branch predictors, BTB and RAS."""
+
+import numpy as np
+import pytest
+
+from repro.uarch import (
+    BimodalPredictor,
+    BranchTargetBuffer,
+    CombinedPredictor,
+    GsharePredictor,
+    ReturnAddressStack,
+    TwoBitCounterTable,
+)
+
+
+class TestTwoBitCounter:
+    def test_saturation_up(self):
+        t = TwoBitCounterTable(16, initial=0)
+        for _ in range(10):
+            t.update(3, True)
+        assert t.predict(3)
+
+    def test_saturation_down(self):
+        t = TwoBitCounterTable(16, initial=3)
+        for _ in range(10):
+            t.update(3, False)
+        assert not t.predict(3)
+
+    def test_hysteresis(self):
+        t = TwoBitCounterTable(16, initial=0)
+        t.update(0, True)
+        t.update(0, True)
+        t.update(0, True)  # counter = 3
+        t.update(0, False)  # counter = 2: still predicts taken
+        assert t.predict(0)
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            TwoBitCounterTable(12)
+
+    def test_initial_range(self):
+        with pytest.raises(ValueError):
+            TwoBitCounterTable(16, initial=4)
+
+    def test_index_masking(self):
+        t = TwoBitCounterTable(16)
+        assert t.index(16) == 0
+        assert t.index(17) == 1
+
+
+class TestBimodal:
+    def test_learns_biased_branch(self):
+        p = BimodalPredictor(64)
+        rng = np.random.default_rng(0)
+        correct = 0
+        for _ in range(2000):
+            taken = bool(rng.random() < 0.9)
+            if p.predict(0x4000) == taken:
+                correct += 1
+            p.update(0x4000, taken)
+        assert correct / 2000 > 0.8
+
+    def test_distinct_pcs_independent(self):
+        p = BimodalPredictor(4096)
+        for _ in range(8):
+            p.update(0x1000, True)
+            p.update(0x1004, False)
+        assert p.predict(0x1000)
+        assert not p.predict(0x1004)
+
+
+class TestGshare:
+    def test_learns_alternating_pattern(self):
+        # T,N,T,N... is invisible to bimodal but trivial for gshare.
+        p = GsharePredictor(4096, 12)
+        outcomes = [bool(i % 2) for i in range(4000)]
+        correct = 0
+        for taken in outcomes:
+            if p.predict(0x4000) == taken:
+                correct += 1
+            p.update(0x4000, taken)
+        assert correct / len(outcomes) > 0.9
+
+    def test_bad_history_bits(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(64, 0)
+
+
+class TestCombined:
+    def test_beats_components_on_mixed_workload(self):
+        rng = np.random.default_rng(1)
+        combined = CombinedPredictor(1024, 1024, 10, 1024)
+        # A biased branch (bimodal-friendly) and a periodic one
+        # (gshare-friendly) interleaved.
+        for i in range(6000):
+            combined.update(0x1000, bool(rng.random() < 0.95))
+            combined.update(0x2000, bool(i % 2))
+        assert combined.misprediction_rate < 0.15
+
+    def test_counts(self):
+        c = CombinedPredictor()
+        c.update(0x40, True)
+        assert c.lookups == 1
+        assert 0.0 <= c.misprediction_rate <= 1.0
+
+    def test_empty_rate(self):
+        assert CombinedPredictor().misprediction_rate == 0.0
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(64, 2)
+        assert btb.lookup(0x400) is None
+        btb.update(0x400, 0x999)
+        assert btb.lookup(0x400) == 0x999
+
+    def test_lru_eviction(self):
+        btb = BranchTargetBuffer(4, 2)  # 2 sets, 2 ways
+        sets = btb.sets
+        # Three branches mapping to the same set: the LRU one is evicted.
+        pcs = [4 * (0 + sets * k) for k in range(3)]
+        btb.update(pcs[0], 1)
+        btb.update(pcs[1], 2)
+        btb.lookup(pcs[0])  # touch pc0 -> pc1 becomes LRU
+        btb.update(pcs[2], 3)
+        assert btb.lookup(pcs[0]) == 1
+        assert btb.lookup(pcs[1]) is None
+
+    def test_update_replaces_target(self):
+        btb = BranchTargetBuffer(64, 2)
+        btb.update(0x400, 0x1)
+        btb.update(0x400, 0x2)
+        assert btb.lookup(0x400) == 0x2
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(10, 3)
+
+
+class TestRAS:
+    def test_lifo(self):
+        ras = ReturnAddressStack(8)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+        assert ras.pop() is None
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+    def test_len(self):
+        ras = ReturnAddressStack(4)
+        ras.push(1)
+        assert len(ras) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(0)
+
+
+class TestPredictorHarnessAndFactory:
+    def test_harness_counts(self):
+        from repro.uarch import BimodalPredictor, PredictorHarness
+
+        h = PredictorHarness(BimodalPredictor(256))
+        for _ in range(20):
+            h.update(0x4000, True)
+        assert h.lookups == 20
+        assert h.misprediction_rate < 0.2  # trains quickly on a constant
+
+    def test_factory_kinds(self):
+        from repro.uarch import (
+            CombinedPredictor,
+            PredictorHarness,
+            ProcessorConfig,
+            make_predictor,
+        )
+
+        assert isinstance(
+            make_predictor(ProcessorConfig()), CombinedPredictor
+        )
+        assert isinstance(
+            make_predictor(ProcessorConfig(predictor_kind="bimodal")),
+            PredictorHarness,
+        )
+        assert isinstance(
+            make_predictor(ProcessorConfig(predictor_kind="gshare")),
+            PredictorHarness,
+        )
+
+    def test_bad_kind_rejected(self):
+        from repro.uarch import ProcessorConfig
+
+        with pytest.raises(ValueError):
+            ProcessorConfig(predictor_kind="neural")
+
+    def test_gshare_beats_bimodal_on_periodic_pattern(self):
+        from repro.uarch import (
+            BimodalPredictor,
+            GsharePredictor,
+            PredictorHarness,
+        )
+
+        bim = PredictorHarness(BimodalPredictor(4096))
+        gsh = PredictorHarness(GsharePredictor(4096, 12))
+        for i in range(4000):
+            taken = bool(i % 3 == 0)  # T,N,N repeating
+            bim.update(0x4040, taken)
+            gsh.update(0x4040, taken)
+        assert gsh.misprediction_rate < 0.5 * bim.misprediction_rate

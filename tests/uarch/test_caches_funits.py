@@ -1,0 +1,183 @@
+"""Unit tests for the cache hierarchy and functional units."""
+
+import pytest
+
+from repro.uarch import (
+    Cache,
+    CacheConfig,
+    CacheHierarchy,
+    FunctionalUnits,
+    OpClass,
+    ProcessorConfig,
+    ServiceLevel,
+    TABLE_1,
+)
+from repro.uarch.funits import FunctionalUnitPool
+
+
+class TestCacheConfig:
+    def test_table1_l1_geometry(self):
+        assert TABLE_1.l1d.sets == 512  # 64KB / (2 ways * 64B)
+        assert TABLE_1.l2.sets == 8192  # 2MB / (4 ways * 64B)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1000, 3, 64, 1)
+        with pytest.raises(ValueError):
+            CacheConfig(64 * 1024, 2, 64, 0)
+
+
+class TestCache:
+    def make(self, size=1024, ways=2, line=64):
+        return Cache(CacheConfig(size, ways, line, 1), "test")
+
+    def test_miss_then_hit(self):
+        c = self.make()
+        assert not c.access(0x1000)
+        assert c.access(0x1000)
+        assert c.hits == 1 and c.misses == 1
+
+    def test_same_line_hits(self):
+        c = self.make()
+        c.access(0x1000)
+        assert c.access(0x1001)
+        assert c.access(0x103F)
+
+    def test_adjacent_line_misses(self):
+        c = self.make()
+        c.access(0x1000)
+        assert not c.access(0x1040)
+
+    def test_lru_eviction(self):
+        c = self.make(size=256, ways=2, line=64)  # 2 sets
+        sets = c.config.sets
+        lines = [64 * (0 + sets * k) for k in range(3)]  # same set
+        c.access(lines[0])
+        c.access(lines[1])
+        c.access(lines[0])  # refresh line 0
+        c.access(lines[2])  # evicts line 1
+        assert c.probe(lines[0])
+        assert not c.probe(lines[1])
+
+    def test_probe_does_not_count(self):
+        c = self.make()
+        c.probe(0x1000)
+        assert c.accesses == 0
+
+    def test_miss_rate(self):
+        c = self.make()
+        c.access(0)
+        c.access(0)
+        assert c.miss_rate == pytest.approx(0.5)
+        assert Cache(CacheConfig(256, 2, 64, 1), "x").miss_rate == 0.0
+
+    def test_flush(self):
+        c = self.make()
+        c.access(0x1000)
+        c.flush()
+        assert not c.probe(0x1000)
+
+    def test_capacity(self):
+        # A working set equal to capacity survives a sequential sweep.
+        c = self.make(size=1024, ways=2, line=64)
+        for addr in range(0, 1024, 64):
+            c.access(addr)
+        assert all(c.probe(a) for a in range(0, 1024, 64))
+
+
+class TestHierarchy:
+    def test_l1_hit_latency(self):
+        h = CacheHierarchy(TABLE_1)
+        h.access_data(0x1000)
+        latency, level = h.access_data(0x1000)
+        assert latency == TABLE_1.l1d.latency == 3
+        assert level is ServiceLevel.L1
+
+    def test_l2_hit_latency(self):
+        h = CacheHierarchy(TABLE_1)
+        h.access_data(0x1000)  # now resident in L1 and L2
+        h.l1d.flush()
+        latency, level = h.access_data(0x1000)
+        assert latency == 3 + 16
+        assert level is ServiceLevel.L2
+
+    def test_memory_latency(self):
+        h = CacheHierarchy(TABLE_1)
+        latency, level = h.access_data(0x5000_0000)
+        assert latency == 3 + 16 + 250
+        assert level is ServiceLevel.MEMORY
+        assert h.memory_accesses == 1
+
+    def test_instruction_path_separate_from_data(self):
+        h = CacheHierarchy(TABLE_1)
+        h.access_data(0x1000)
+        _, level = h.access_instruction(0x1000)
+        # Same address: missed L1I but hit the (unified) L2.
+        assert level is ServiceLevel.L2
+
+
+class TestFunctionalUnits:
+    def test_pipelined_pool_issue_limit(self):
+        pool = FunctionalUnitPool("alu", 2, pipelined=True)
+        pool.begin_cycle()
+        assert pool.try_issue(0, 1)
+        assert pool.try_issue(0, 1)
+        assert not pool.try_issue(0, 1)
+        pool.begin_cycle()
+        assert pool.try_issue(1, 1)
+
+    def test_unpipelined_pool_blocks(self):
+        pool = FunctionalUnitPool("div", 1, pipelined=False)
+        pool.begin_cycle()
+        assert pool.try_issue(0, 20)
+        pool.begin_cycle()
+        assert not pool.try_issue(1, 20)  # busy until cycle 20
+        pool.begin_cycle()
+        assert pool.try_issue(20, 20)
+
+    def test_latencies_match_config(self):
+        fu = FunctionalUnits(TABLE_1)
+        assert fu.latency_of(OpClass.IALU) == 1
+        assert fu.latency_of(OpClass.IDIV) == 20
+        assert fu.latency_of(OpClass.FPMULT) == 4
+
+    def test_div_shares_mult_unit(self):
+        fu = FunctionalUnits(TABLE_1)
+        fu.begin_cycle()
+        assert fu.try_issue(OpClass.IMULT, 0) is not None
+        # The single IntMult/IntDiv unit is now claimed this cycle.
+        assert fu.try_issue(OpClass.IDIV, 0) is None
+
+    def test_ialu_width(self):
+        fu = FunctionalUnits(TABLE_1)
+        fu.begin_cycle()
+        issued = sum(fu.try_issue(OpClass.IALU, 0) is not None for _ in range(6))
+        assert issued == TABLE_1.int_alus == 4
+
+    def test_mem_ops_have_no_pool(self):
+        fu = FunctionalUnits(TABLE_1)
+        with pytest.raises(ValueError):
+            fu.pool_for(OpClass.LOAD)
+
+    def test_pool_count_validation(self):
+        with pytest.raises(ValueError):
+            FunctionalUnitPool("x", 0, True)
+
+
+class TestProcessorConfig:
+    def test_table1_values(self):
+        assert TABLE_1.clock_hz == 3.0e9
+        assert TABLE_1.ruu_size == 80
+        assert TABLE_1.lsq_size == 40
+        assert TABLE_1.branch_penalty == 12
+        assert TABLE_1.fetch_width == 4
+        assert TABLE_1.memory_latency == 250
+        assert TABLE_1.btb_entries == 1024
+        assert TABLE_1.ras_entries == 32
+        assert TABLE_1.gshare_history == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(ruu_size=0)
+        with pytest.raises(ValueError):
+            ProcessorConfig(lsq_size=100, ruu_size=80)

@@ -1,0 +1,239 @@
+"""Unit and behavioural tests for the out-of-order pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.uarch import (
+    Instruction,
+    OpClass,
+    Pipeline,
+    Simulator,
+    TABLE_1,
+    WattchPowerModel,
+    simulate_benchmark,
+)
+
+
+def run_insts(insts, max_cycles=10_000, config=TABLE_1):
+    insts = list(insts)
+    pipe = Pipeline(config, iter(insts))
+    # Pre-touch the code lines so tests measure steady-state behaviour
+    # rather than compulsory I-cache misses; data stays cold on purpose.
+    for line in sorted({i.pc >> 6 for i in insts}):
+        pipe.caches.access_instruction(line << 6)
+    currents = []
+    while not pipe.drained and pipe.cycle < max_cycles:
+        currents.append(pipe.tick())
+    return pipe, np.array(currents)
+
+
+def alu(n, pc0=0x400000, dep=0):
+    return [
+        Instruction(OpClass.IALU, pc=pc0 + 4 * i, src1_dist=dep) for i in range(n)
+    ]
+
+
+class TestBasicExecution:
+    def test_all_instructions_commit(self):
+        pipe, _ = run_insts(alu(100))
+        assert pipe.stats.committed == 100
+
+    def test_independent_alus_reach_high_ipc(self):
+        pipe, _ = run_insts(alu(4000))
+        # 4-wide machine on independent 1-cycle ops: IPC near the width
+        # once startup is amortized.
+        assert pipe.stats.ipc > 2.5
+
+    def test_serial_chain_is_slow(self):
+        pipe, _ = run_insts(alu(2000, dep=1))
+        assert pipe.stats.ipc < 1.2
+
+    def test_drained(self):
+        pipe, _ = run_insts(alu(10))
+        assert pipe.drained
+
+    def test_empty_stream(self):
+        pipe, currents = run_insts([])
+        assert pipe.drained
+        assert len(currents) == 0 or pipe.stats.committed == 0
+
+    def test_cycle_counter_advances(self):
+        pipe, currents = run_insts(alu(50))
+        assert pipe.cycle == len(currents) == pipe.stats.cycles
+
+
+class TestMemory:
+    def test_load_latency_gates_dependents(self):
+        # load (cold: 269 cycles) then a dependent chain: total time is
+        # dominated by the memory access.
+        insts = [Instruction(OpClass.LOAD, pc=0x400000, addr=0x5000_0000)]
+        insts += alu(10, pc0=0x400100, dep=1)
+        pipe, currents = run_insts(insts)
+        assert len(currents) > 250
+
+    def test_l2_outstanding_flag(self):
+        insts = [Instruction(OpClass.LOAD, pc=0x400000, addr=0x5000_0000)]
+        insts += alu(4, pc0=0x400100, dep=1)
+        pipe = Pipeline(TABLE_1, iter(insts))
+        flags = []
+        while not pipe.drained and pipe.cycle < 2000:
+            pipe.tick()
+            flags.append(pipe.l2_miss_outstanding)
+        assert sum(flags) > 200  # the miss was outstanding most of the run
+
+    def test_l1_hits_do_not_raise_flag(self):
+        warm = [Instruction(OpClass.LOAD, pc=0x400000, addr=0x1000)]
+        hits = [
+            Instruction(OpClass.LOAD, pc=0x400000 + 4 * i, addr=0x1000)
+            for i in range(1, 50)
+        ]
+        pipe = Pipeline(TABLE_1, iter(warm + hits))
+        flags = []
+        while not pipe.drained and pipe.cycle < 2000:
+            pipe.tick()
+            flags.append(pipe.l2_miss_outstanding)
+        # Only the first (compulsory miss) raises the flag.
+        assert sum(flags) < 300
+
+    def test_store_commits_through_cache(self):
+        insts = [Instruction(OpClass.STORE, pc=0x400000, addr=0x1000)]
+        pipe, _ = run_insts(insts)
+        assert pipe.stats.committed == 1
+        assert pipe.stats.l1d_accesses == 1
+
+    def test_lsq_bounds_inflight_mem_ops(self):
+        cfg = TABLE_1
+        loads = [
+            Instruction(OpClass.LOAD, pc=0x400000 + 4 * i, addr=0x5000_0000 + 64 * i)
+            for i in range(200)
+        ]
+        pipe = Pipeline(cfg, iter(loads))
+        for _ in range(60):
+            pipe.tick()
+        assert pipe._lsq_count <= cfg.lsq_size
+
+
+class TestBranches:
+    def test_correct_prediction_no_stall(self):
+        # A strongly biased not-taken branch every 8 instructions.
+        insts = []
+        for i in range(800):
+            pc = 0x400000 + 4 * (i % 64)
+            if i % 8 == 7:
+                insts.append(
+                    Instruction(OpClass.BRANCH, pc=pc, addr=pc + 16, taken=False)
+                )
+            else:
+                insts.append(Instruction(OpClass.IALU, pc=pc))
+        pipe, _ = run_insts(insts)
+        assert pipe.stats.misprediction_rate < 0.1
+        assert pipe.stats.ipc > 2.0
+
+    def test_random_branches_cause_stalls(self):
+        rng = np.random.default_rng(0)
+        insts = []
+        for i in range(800):
+            pc = 0x400000 + 4 * (i % 64)
+            if i % 8 == 7:
+                insts.append(
+                    Instruction(
+                        OpClass.BRANCH,
+                        pc=pc,
+                        addr=pc + 16,
+                        taken=bool(rng.random() < 0.5),
+                    )
+                )
+            else:
+                insts.append(Instruction(OpClass.IALU, pc=pc))
+        pipe, _ = run_insts(insts)
+        assert pipe.stats.mispredictions > 10
+        assert pipe.stats.ipc < 2.0
+
+    def test_mispredict_creates_fetch_bubble(self):
+        # One guaranteed-mispredicted branch (cold predictor, not-taken
+        # start... initialized weakly-taken, so a not-taken branch at a
+        # fresh PC mispredicts) splits two ALU blocks.
+        insts = alu(8)
+        insts.append(
+            Instruction(OpClass.BRANCH, pc=0x500000, addr=0x500100, taken=False)
+        )
+        insts += alu(8, pc0=0x600000)
+        pipe, currents = run_insts(insts)
+        base_pipe, base_currents = run_insts(alu(16) + alu(1, pc0=0x600000))
+        assert len(currents) >= len(base_currents) + TABLE_1.branch_penalty - 2
+
+
+class TestControlHooks:
+    def test_stall_issue_reduces_current(self):
+        stream = alu(4000)
+        pipe = Pipeline(TABLE_1, iter(stream))
+        for line in sorted({i.pc >> 6 for i in stream}):
+            pipe.caches.access_instruction(line << 6)
+        free = [pipe.tick() for _ in range(300)]
+        pipe.stall_issue = True
+        stalled = [pipe.tick() for _ in range(300)]
+        assert np.mean(stalled[50:]) < np.mean(free[50:]) - 5.0
+        assert pipe.stats.stall_cycles == 300
+
+    def test_inject_noops_raises_current(self):
+        pipe = Pipeline(TABLE_1, iter([]))
+        quiet = [pipe.tick() for _ in range(50)]
+        pipe.inject_noops = 4
+        boosted = [pipe.tick() for _ in range(50)]
+        assert np.mean(boosted) > np.mean(quiet) + 10.0
+        assert pipe.stats.noops_injected == 200
+
+
+class TestPowerIntegration:
+    def test_current_within_model_bounds(self):
+        pm = WattchPowerModel()
+        result = simulate_benchmark("gzip", cycles=3000, use_cache=False)
+        assert result.current.min() >= pm.min_current - 1e-9
+        assert result.current.max() <= pm.max_current + 4 * 4.0 + 1e-9
+
+    def test_stall_current_near_floor(self):
+        pm = WattchPowerModel()
+        pipe = Pipeline(TABLE_1, iter([]))
+        current = [pipe.tick() for _ in range(20)]
+        assert current[-1] == pytest.approx(pm.min_current)
+
+
+class TestSimulatorDriver:
+    def test_max_cycles_respected(self):
+        sim = Simulator()
+        res = sim.run(iter(alu(100_000)), max_cycles=500)
+        assert res.cycles == 500
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().run(iter([]), -1)
+
+    def test_benchmark_cache_hit_is_same_object(self):
+        a = simulate_benchmark("gzip", cycles=2000)
+        b = simulate_benchmark("gzip", cycles=2000)
+        assert a is b
+
+    def test_deterministic_across_processes(self):
+        a = simulate_benchmark("gzip", cycles=2000, use_cache=False)
+        b = simulate_benchmark("gzip", cycles=2000, use_cache=False)
+        np.testing.assert_array_equal(a.current, b.current)
+
+    def test_seed_changes_trace(self):
+        a = simulate_benchmark("gzip", cycles=2000, seed=1, use_cache=False)
+        b = simulate_benchmark("gzip", cycles=2000, seed=2, use_cache=False)
+        assert not np.array_equal(a.current, b.current)
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            simulate_benchmark("doom", cycles=100)
+
+    def test_controller_hook_called(self):
+        calls = []
+
+        class Recorder:
+            def update(self, current):
+                calls.append(current)
+                return False, 0
+
+        Simulator().run(iter(alu(500)), 200, controller=Recorder())
+        assert len(calls) == 200

@@ -1,0 +1,195 @@
+"""Precise pipeline-behaviour tests: ordering, backpressure, forwarding.
+
+These pin down cycle-level contracts that the statistical tests would
+never notice: in-order commit, RUU/fetch-queue backpressure, issue-width
+saturation, and store-to-load forwarding timing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.uarch import Instruction, OpClass, Pipeline, ProcessorConfig, TABLE_1
+
+
+def warm_pipe(insts, config=TABLE_1):
+    pipe = Pipeline(config, iter(insts))
+    for line in sorted({i.pc >> 6 for i in insts}):
+        pipe.caches.access_instruction(line << 6)
+    # Warm-up traffic must not pollute the counters the tests assert on.
+    for cache in (pipe.caches.l1i, pipe.caches.l1d, pipe.caches.l2):
+        cache.hits = cache.misses = 0
+    pipe.caches.memory_accesses = 0
+    return pipe
+
+
+def run_to_drain(pipe, limit=100_000):
+    while not pipe.drained and pipe.cycle < limit:
+        pipe.tick()
+    assert pipe.drained
+    return pipe
+
+
+def alu(n, pc0=0x400000, dep=0):
+    return [
+        Instruction(OpClass.IALU, pc=pc0 + 4 * (i % 64), src1_dist=dep)
+        for i in range(n)
+    ]
+
+
+class TestStoreToLoadForwarding:
+    def test_aliasing_load_forwards(self):
+        # store to X, then (far enough later to have issued) load from X:
+        # without forwarding the load would miss to memory (cold address).
+        insts = [Instruction(OpClass.STORE, pc=0x400000, addr=0x7000_0000)]
+        insts += alu(4, pc0=0x400100)
+        insts += [Instruction(OpClass.LOAD, pc=0x400200, addr=0x7000_0000)]
+        pipe = run_to_drain(warm_pipe(insts))
+        assert pipe.stats.store_forwards == 1
+        # The load never went to the (cold) cache: no L1D load miss before
+        # the store's own commit-time access.
+        assert pipe.cycle < 100
+
+    def test_non_aliasing_load_does_not_forward(self):
+        insts = [Instruction(OpClass.STORE, pc=0x400000, addr=0x7000_0000)]
+        insts += [Instruction(OpClass.LOAD, pc=0x400100, addr=0x7100_0000)]
+        pipe = run_to_drain(warm_pipe(insts))
+        assert pipe.stats.store_forwards == 0
+
+    def test_forwarding_ends_after_store_commits(self):
+        # A lone store, long gap (drain), then a load: by then the store
+        # has committed and written the cache, so the load simply hits.
+        first = [Instruction(OpClass.STORE, pc=0x400000, addr=0x7000_0000)]
+        pipe = warm_pipe(
+            first + alu(300, pc0=0x401000)
+            + [Instruction(OpClass.LOAD, pc=0x402000, addr=0x7000_0000)]
+        )
+        run_to_drain(pipe)
+        # Either forwarded (if still in flight) or an L1 hit; never a
+        # memory miss for that line.
+        assert pipe.caches.memory_accesses <= 1  # the store's own fill
+
+
+class TestBackpressure:
+    def test_ruu_never_overflows_under_stall(self):
+        cfg = ProcessorConfig(ruu_size=16, lsq_size=8)
+        # One cold load blocks commit; independent ALUs pile up behind it.
+        insts = [Instruction(OpClass.LOAD, pc=0x400000, addr=0x7000_0000)]
+        insts += alu(200, pc0=0x400100, dep=1)
+        pipe = warm_pipe(insts, cfg)
+        peak = 0
+        while not pipe.drained and pipe.cycle < 50_000:
+            pipe.tick()
+            peak = max(peak, len(pipe._ruu))
+        assert peak <= 16
+
+    def test_fetch_queue_bounded(self):
+        cfg = ProcessorConfig(fetch_queue_size=8)
+        insts = [Instruction(OpClass.LOAD, pc=0x400000, addr=0x7000_0000)]
+        insts += [
+            Instruction(OpClass.LOAD, pc=0x400100 + 4 * i,
+                        addr=0x7000_0000, src1_dist=1)
+            for i in range(100)
+        ]
+        pipe = warm_pipe(insts, cfg)
+        peak = 0
+        while not pipe.drained and pipe.cycle < 80_000:
+            pipe.tick()
+            peak = max(peak, len(pipe._fetch_buffer))
+        assert peak <= 8
+
+    def test_commit_is_in_order(self):
+        # A slow head (cold load) must delay the commit of younger fast
+        # instructions: nothing commits until it completes.
+        insts = [Instruction(OpClass.LOAD, pc=0x400000, addr=0x7000_0000)]
+        insts += alu(8, pc0=0x400100)
+        pipe = warm_pipe(insts)
+        committed_before_memory = 0
+        while not pipe.drained and pipe.cycle < 50_000:
+            pipe.tick()
+            if pipe.cycle < 200:  # well inside the 269-cycle miss
+                committed_before_memory = max(
+                    committed_before_memory, pipe.stats.committed
+                )
+        assert committed_before_memory == 0
+
+
+class TestIssueWidth:
+    def test_issue_capped_at_width(self):
+        insts = alu(400)
+        pipe = warm_pipe(insts)
+        peak = 0
+        while not pipe.drained and pipe.cycle < 10_000:
+            pipe.tick()
+            peak = max(peak, pipe.activity.issued_ialu)
+        assert peak <= TABLE_1.issue_width
+
+    def test_commit_capped_at_width(self):
+        insts = alu(400)
+        pipe = warm_pipe(insts)
+        peak = 0
+        while not pipe.drained and pipe.cycle < 10_000:
+            pipe.tick()
+            peak = max(peak, pipe.activity.committed)
+        assert peak <= TABLE_1.commit_width
+
+    def test_narrow_machine_is_slower(self):
+        wide = run_to_drain(warm_pipe(alu(800)))
+        narrow_cfg = ProcessorConfig(
+            fetch_width=1, decode_width=1, issue_width=1, commit_width=1
+        )
+        narrow = run_to_drain(warm_pipe(alu(800), narrow_cfg))
+        assert narrow.cycle > 2.5 * wide.cycle
+
+
+class TestMispredictionTiming:
+    def test_penalty_at_least_configured(self):
+        # One surprise not-taken branch at a fresh PC among ALUs.
+        insts = alu(8)
+        insts += [
+            Instruction(OpClass.BRANCH, pc=0x500000, addr=0x500100, taken=False)
+        ]
+        insts += alu(8, pc0=0x600000)
+        with_branch = run_to_drain(warm_pipe(list(insts)))
+        without = run_to_drain(warm_pipe(alu(17)))
+        assert with_branch.stats.mispredictions == 1
+        assert with_branch.cycle >= without.cycle + TABLE_1.branch_penalty - 2
+
+    def test_shorter_penalty_config_is_faster(self):
+        def build():
+            insts = alu(8)
+            insts += [
+                Instruction(
+                    OpClass.BRANCH, pc=0x500000, addr=0x500100, taken=False
+                )
+            ]
+            insts += alu(8, pc0=0x600000)
+            return insts
+
+        slow = run_to_drain(warm_pipe(build(), ProcessorConfig(branch_penalty=30)))
+        fast = run_to_drain(warm_pipe(build(), ProcessorConfig(branch_penalty=2)))
+        assert slow.cycle > fast.cycle
+
+
+class TestBranchRecoverySignal:
+    def test_recovery_flag_during_penalty(self):
+        # A guaranteed mispredict: not-taken branch at a fresh PC.
+        insts = alu(4)
+        insts += [
+            Instruction(OpClass.BRANCH, pc=0x500000, addr=0x500100, taken=False)
+        ]
+        insts += alu(12, pc0=0x600000)
+        pipe = warm_pipe(insts)
+        flags = []
+        while not pipe.drained and pipe.cycle < 5000:
+            pipe.tick()
+            flags.append(pipe.branch_recovery)
+        # The recovery window covers at least the configured penalty.
+        assert sum(flags) >= TABLE_1.branch_penalty
+
+    def test_no_recovery_without_mispredicts(self):
+        pipe = warm_pipe(alu(100))
+        flags = []
+        while not pipe.drained and pipe.cycle < 5000:
+            pipe.tick()
+            flags.append(pipe.branch_recovery)
+        assert sum(flags) == 0

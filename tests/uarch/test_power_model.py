@@ -1,0 +1,119 @@
+"""Unit tests for the Wattch-style power model and run statistics."""
+
+import pytest
+
+from repro.uarch import (
+    ActivityCounters,
+    ClockGating,
+    RunStatistics,
+    UnitPower,
+    WattchPowerModel,
+)
+
+
+@pytest.fixture
+def model():
+    return WattchPowerModel()
+
+
+@pytest.fixture
+def idle():
+    return ActivityCounters()
+
+
+class TestCurrentComputation:
+    def test_idle_draw_is_floor(self, model, idle):
+        assert model.current(idle) == pytest.approx(model.min_current)
+
+    def test_activity_adds_power(self, model, idle):
+        base = model.current(idle)
+        idle.issued_ialu = 2
+        assert model.current(idle) > base + 2.0
+
+    def test_linear_in_counts(self, model):
+        a1, a2 = ActivityCounters(), ActivityCounters()
+        a1.dcache_accesses = 1
+        a2.dcache_accesses = 2
+        idle_draw = model.current(ActivityCounters())
+        one = model.current(a1)
+        two = model.current(a2)
+        # Going 1 -> 2 accesses adds exactly one per-access increment.
+        unit = next(u for u in model.units if u.counter == "dcache_accesses")
+        assert two - one == pytest.approx(unit.per_access)
+        # Going 0 -> 1 also swaps the idle residual for the access cost.
+        assert one - idle_draw == pytest.approx(unit.per_access - unit.idle)
+
+    def test_noop_injection_cost(self, model, idle):
+        base = model.current(idle)
+        idle.injected_noops = 3
+        assert model.current(idle) == pytest.approx(base + 3 * 4.0)
+
+    def test_envelope_ordering(self, model):
+        assert model.min_current < model.max_current
+
+    def test_full_activity_below_max(self, model):
+        a = ActivityCounters()
+        for unit in model.units:
+            setattr(a, unit.counter, unit.max_per_cycle)
+        assert model.current(a) == pytest.approx(model.max_current)
+
+
+class TestClockGating:
+    def test_none_is_constant(self):
+        model = WattchPowerModel(gating=ClockGating.NONE)
+        quiet, busy = ActivityCounters(), ActivityCounters()
+        busy.issued_ialu = 4
+        busy.dcache_accesses = 2
+        assert model.current(quiet) == pytest.approx(model.current(busy))
+
+    def test_ideal_has_lowest_idle(self):
+        cc3 = WattchPowerModel(gating=ClockGating.CC3)
+        ideal = WattchPowerModel(gating=ClockGating.IDEAL)
+        idle = ActivityCounters()
+        assert ideal.current(idle) < cc3.current(idle)
+
+    def test_none_has_highest_idle(self):
+        cc3 = WattchPowerModel(gating=ClockGating.CC3)
+        none = WattchPowerModel(gating=ClockGating.NONE)
+        idle = ActivityCounters()
+        assert none.current(idle) > cc3.current(idle)
+
+    def test_idle_fraction_validation(self):
+        with pytest.raises(ValueError):
+            WattchPowerModel(idle_fraction=1.5)
+
+
+class TestCustomUnits:
+    def test_custom_unit_table(self):
+        model = WattchPowerModel(
+            clock_tree=1.0,
+            static=0.5,
+            units=(UnitPower("x", "dcache_accesses", 2.0, 0.1, 2),),
+        )
+        a = ActivityCounters()
+        assert model.current(a) == pytest.approx(1.6)
+        a.dcache_accesses = 2
+        assert model.current(a) == pytest.approx(5.5)
+
+
+class TestRunStatistics:
+    def test_derived_rates(self):
+        s = RunStatistics(
+            cycles=1000,
+            committed=1500,
+            branches=200,
+            mispredictions=20,
+            l2_accesses=50,
+            l2_misses=10,
+        )
+        assert s.ipc == pytest.approx(1.5)
+        assert s.misprediction_rate == pytest.approx(0.1)
+        assert s.l2_miss_rate == pytest.approx(0.2)
+        assert s.l2_mpki == pytest.approx(1000 * 10 / 1500)
+
+    def test_zero_denominators(self):
+        s = RunStatistics()
+        assert s.ipc == 0.0
+        assert s.misprediction_rate == 0.0
+        assert s.l2_miss_rate == 0.0
+        assert s.l2_mpki == 0.0

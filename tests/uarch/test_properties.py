@@ -1,0 +1,165 @@
+"""Property-based tests (hypothesis) for the microarchitecture substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uarch import (
+    ActivityCounters,
+    BranchTargetBuffer,
+    Cache,
+    CacheConfig,
+    CombinedPredictor,
+    Instruction,
+    OpClass,
+    Pipeline,
+    ReturnAddressStack,
+    TABLE_1,
+    WattchPowerModel,
+)
+
+op_strategy = st.sampled_from(
+    [
+        OpClass.IALU,
+        OpClass.IMULT,
+        OpClass.FPALU,
+        OpClass.FPMULT,
+        OpClass.LOAD,
+        OpClass.STORE,
+        OpClass.BRANCH,
+    ]
+)
+
+
+@st.composite
+def instruction_lists(draw, max_size=120):
+    n = draw(st.integers(min_value=1, max_value=max_size))
+    insts = []
+    for i in range(n):
+        op = draw(op_strategy)
+        insts.append(
+            Instruction(
+                op,
+                pc=0x400000 + 4 * (i % 32),
+                src1_dist=draw(st.integers(0, 6)),
+                src2_dist=draw(st.integers(0, 6)),
+                addr=0x1000 + 8 * draw(st.integers(0, 255)),
+                taken=draw(st.booleans()) if op is OpClass.BRANCH else False,
+            )
+        )
+    return insts
+
+
+@settings(max_examples=25, deadline=None)
+@given(instruction_lists())
+def test_pipeline_commits_every_instruction(insts):
+    """No instruction is lost or duplicated, whatever the mix."""
+    pipe = Pipeline(TABLE_1, iter(insts))
+    guard = 0
+    while not pipe.drained and guard < 200_000:
+        pipe.tick()
+        guard += 1
+    assert pipe.drained
+    assert pipe.stats.committed == len(insts)
+    assert pipe.stats.dispatched == len(insts)
+
+
+@settings(max_examples=25, deadline=None)
+@given(instruction_lists())
+def test_pipeline_stat_invariants(insts):
+    """Monotone pipeline-flow inequalities hold at every cycle."""
+    pipe = Pipeline(TABLE_1, iter(insts))
+    guard = 0
+    while not pipe.drained and guard < 200_000:
+        pipe.tick()
+        guard += 1
+        s = pipe.stats
+        assert s.committed <= s.dispatched <= s.fetched
+        assert s.issued <= s.dispatched
+        assert s.mispredictions <= s.branches
+        assert pipe._lsq_count <= TABLE_1.lsq_size
+        assert len(pipe._ruu) <= TABLE_1.ruu_size
+
+
+@settings(max_examples=20, deadline=None)
+@given(instruction_lists(max_size=80))
+def test_current_always_within_power_envelope(insts):
+    pm = WattchPowerModel()
+    pipe = Pipeline(TABLE_1, iter(insts), pm)
+    guard = 0
+    while not pipe.drained and guard < 200_000:
+        amps = pipe.tick()
+        guard += 1
+        assert pm.min_current - 1e-9 <= amps <= pm.max_current + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(0, 2**20), min_size=1, max_size=200),
+    st.sampled_from([1, 2, 4]),  # geometry must divide evenly
+)
+def test_cache_hit_after_access(addresses, ways):
+    """Any just-accessed address is resident (LRU never evicts the MRU)."""
+    cache = Cache(CacheConfig(4096, ways, 64, 1), "t")
+    for addr in addresses:
+        cache.access(addr)
+        assert cache.probe(addr)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 2**20), min_size=1, max_size=200))
+def test_cache_accounting(addresses):
+    cache = Cache(CacheConfig(2048, 2, 64, 1), "t")
+    for addr in addresses:
+        cache.access(addr)
+    assert cache.hits + cache.misses == len(addresses)
+    # Distinct lines touched bounds the miss count from below.
+    distinct = len({a >> 6 for a in addresses})
+    assert cache.misses >= min(distinct, 1)
+    assert cache.misses <= len(addresses)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.booleans(), min_size=1, max_size=300))
+def test_predictor_rate_bounded(outcomes):
+    p = CombinedPredictor(256, 256, 8, 256)
+    for taken in outcomes:
+        p.update(0x4040, taken)
+    assert 0.0 <= p.misprediction_rate <= 1.0
+    assert p.lookups == len(outcomes)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 2**30), min_size=1, max_size=100))
+def test_ras_depth_bounded(pushes):
+    ras = ReturnAddressStack(8)
+    for value in pushes:
+        ras.push(value)
+        assert len(ras) <= 8
+    # Pops come back most-recent-first for the retained suffix.
+    expected = pushes[-8:][::-1]
+    popped = [ras.pop() for _ in range(len(expected))]
+    assert popped == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 2**16), st.integers(0, 2**16)),
+                min_size=1, max_size=120))
+def test_btb_returns_latest_target(updates):
+    btb = BranchTargetBuffer(64, 2)
+    latest = {}
+    for pc, target in updates:
+        btb.update(4 * pc, target)
+        latest[4 * pc] = target
+    # The most recently updated PC is always resident with its target.
+    pc, target = 4 * updates[-1][0], latest[4 * updates[-1][0]]
+    assert btb.lookup(pc) == target
+
+
+def test_activity_counters_reset_all_fields():
+    a = ActivityCounters()
+    for name in a.__slots__:
+        setattr(a, name, 3)
+    a.reset()
+    assert all(getattr(a, name) == 0 for name in a.__slots__)

@@ -1,0 +1,95 @@
+"""Unit tests for trace persistence and external-trace import."""
+
+import numpy as np
+import pytest
+
+from repro.uarch import simulate_benchmark
+from repro.uarch.traceio import import_current_trace, load_result, save_result
+
+
+@pytest.fixture(scope="module")
+def result():
+    return simulate_benchmark("gzip", cycles=4096)
+
+
+class TestRoundTrip:
+    def test_save_load_identical(self, result, tmp_path):
+        path = save_result(result, tmp_path / "gzip.npz")
+        loaded = load_result(path)
+        assert loaded.name == result.name
+        np.testing.assert_array_equal(loaded.current, result.current)
+        np.testing.assert_array_equal(
+            loaded.l2_outstanding, result.l2_outstanding
+        )
+        assert loaded.stats.committed == result.stats.committed
+        assert loaded.stats.ipc == pytest.approx(result.stats.ipc)
+
+    def test_suffix_added(self, result, tmp_path):
+        path = save_result(result, tmp_path / "trace")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_wrong_format_rejected(self, tmp_path):
+        p = tmp_path / "other.npz"
+        np.savez(p, something=np.arange(4))
+        with pytest.raises(ValueError):
+            load_result(p)
+
+    def test_characterization_works_on_loaded(self, result, tmp_path):
+        from repro.core import calibrated_supply, predict_trace
+
+        path = save_result(result, tmp_path / "gzip.npz")
+        loaded = load_result(path)
+        net = calibrated_supply(150)
+        a = predict_trace(net, result.current)
+        b = predict_trace(net, loaded.current)
+        assert a.estimated == b.estimated
+
+
+class TestImport:
+    def test_npy(self, tmp_path):
+        trace = np.abs(np.random.default_rng(0).normal(30, 5, 1000))
+        p = tmp_path / "ext.npy"
+        np.save(p, trace)
+        r = import_current_trace(p)
+        np.testing.assert_array_equal(r.current, trace)
+        assert r.name == "ext"
+        assert r.cycles == 1000
+
+    def test_text_single_column(self, tmp_path):
+        p = tmp_path / "trace.txt"
+        p.write_text("10.0\n20.5\n15.25\n")
+        r = import_current_trace(p, name="probe")
+        np.testing.assert_allclose(r.current, [10.0, 20.5, 15.25])
+        assert r.name == "probe"
+
+    def test_text_multi_column(self, tmp_path):
+        p = tmp_path / "gem5.txt"
+        p.write_text("0 12.5 0.9\n1 13.5 0.91\n2 11.0 0.92\n")
+        r = import_current_trace(p, column=1)
+        np.testing.assert_allclose(r.current, [12.5, 13.5, 11.0])
+
+    def test_npz_generic(self, tmp_path):
+        p = tmp_path / "foreign.npz"
+        np.savez(p, current=np.array([1.0, 2.0, 3.0]))
+        r = import_current_trace(p)
+        np.testing.assert_allclose(r.current, [1.0, 2.0, 3.0])
+
+    def test_own_format_passthrough(self, result, tmp_path):
+        path = save_result(result, tmp_path / "own.npz")
+        r = import_current_trace(path)
+        assert r.stats.committed == result.stats.committed
+
+    def test_validation(self, tmp_path):
+        p = tmp_path / "bad.npy"
+        np.save(p, np.array([1.0, -2.0]))
+        with pytest.raises(ValueError):
+            import_current_trace(p)
+        p2 = tmp_path / "nan.npy"
+        np.save(p2, np.array([1.0, np.nan]))
+        with pytest.raises(ValueError):
+            import_current_trace(p2)
+        p3 = tmp_path / "cols.txt"
+        p3.write_text("1 2\n3 4\n")
+        with pytest.raises(ValueError):
+            import_current_trace(p3, column=5)

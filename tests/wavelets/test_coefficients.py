@@ -1,0 +1,167 @@
+"""Unit tests for WaveletDecomposition and the Figure-2 coefficient matrix."""
+
+import numpy as np
+import pytest
+
+from repro.wavelets import WaveletDecomposition, decompose
+
+SQRT2 = np.sqrt(2.0)
+
+
+@pytest.fixture
+def signal():
+    return np.random.default_rng(0).normal(10.0, 2.0, size=256)
+
+
+@pytest.fixture
+def dec(signal):
+    return decompose(signal)
+
+
+class TestStructure:
+    def test_full_depth_default(self, dec):
+        assert dec.level == 8
+        assert dec.length == 256
+
+    def test_detail_lengths(self, dec):
+        for lvl in dec.levels:
+            assert len(dec.detail(lvl)) == 256 // 2**lvl
+
+    def test_approx_length(self, dec):
+        assert len(dec.approx) == 1
+
+    def test_detail_out_of_range(self, dec):
+        with pytest.raises(IndexError):
+            dec.detail(0)
+        with pytest.raises(IndexError):
+            dec.detail(9)
+
+    def test_paper_scale_mapping(self, dec):
+        # Figure 2: finest row is j = 0, coarser rows go negative.
+        assert dec.paper_scale(1) == 0
+        assert dec.paper_scale(2) == -1
+        assert dec.paper_scale(8) == -7
+
+    def test_scale_period(self, dec):
+        assert dec.scale_period(1) == 2
+        assert dec.scale_period(8) == 256
+
+    def test_scale_frequency_ordering(self, dec):
+        freqs = [dec.scale_frequency(lvl, 3e9) for lvl in dec.levels]
+        assert all(a > b for a, b in zip(freqs, freqs[1:]))
+
+    def test_scale_frequency_level4_in_didt_band(self, dec):
+        # At 3 GHz, levels 4-6 should straddle the 50-200 MHz dI/dt band.
+        assert 50e6 < dec.scale_frequency(4, 3e9) < 200e6
+        assert 50e6 < dec.scale_frequency(5, 3e9) < 200e6
+
+    def test_mismatched_detail_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            WaveletDecomposition(np.zeros(2), [np.zeros(3)])
+
+
+class TestRoundtrip:
+    def test_reconstruct(self, signal, dec):
+        np.testing.assert_allclose(dec.reconstruct(), signal, atol=1e-11)
+
+    def test_to_list_roundtrip(self, signal, dec):
+        rebuilt = WaveletDecomposition(
+            dec.to_list()[0], dec.to_list()[:0:-1], dec.wavelet
+        )
+        np.testing.assert_allclose(rebuilt.reconstruct(), signal, atol=1e-11)
+
+    def test_partial_level(self, signal):
+        dec = decompose(signal, level=3)
+        assert dec.level == 3
+        np.testing.assert_allclose(dec.reconstruct(), signal, atol=1e-11)
+
+
+class TestCoefficientMatrix:
+    def test_shape(self, dec):
+        m = dec.coefficient_matrix()
+        assert m.shape == (9, 256)
+
+    def test_finest_row_first(self, dec):
+        m = dec.coefficient_matrix()
+        np.testing.assert_allclose(m[0, :128], dec.detail(1))
+        assert np.isnan(m[0, 128:]).all()
+
+    def test_nan_padding(self, dec):
+        m = dec.coefficient_matrix()
+        assert np.isnan(m[1, 64:]).all()
+        assert not np.isnan(m[1, :64]).any()
+
+    def test_approx_last_row(self, dec):
+        m = dec.coefficient_matrix()
+        assert m[-1, 0] == pytest.approx(dec.approx[0])
+        assert np.isnan(m[-1, 1:]).all()
+
+
+class TestEnergy:
+    def test_parseval(self, signal, dec):
+        assert dec.energy() == pytest.approx(float(np.sum(signal**2)))
+
+    def test_detail_energy_sums(self, signal, dec):
+        total = sum(dec.detail_energy(lvl) for lvl in dec.levels)
+        total += float(np.sum(dec.approx**2))
+        assert total == pytest.approx(float(np.sum(signal**2)))
+
+
+class TestSparsity:
+    def test_constant_signal_fully_sparse_details(self):
+        dec = decompose(np.full(64, 7.0))
+        # All detail coefficients are zero; only the approximation survives.
+        assert dec.sparsity(1e-9) == pytest.approx(63 / 64)
+
+    def test_threshold_monotone(self, dec):
+        assert dec.sparsity(0.1) <= dec.sparsity(1.0) <= dec.sparsity(10.0)
+
+
+class TestTruncation:
+    def test_largest_ordering(self, dec):
+        vals = [abs(v) for _, v in dec.largest(20)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_largest_count(self, dec):
+        assert len(dec.largest(5)) == 5
+        assert len(dec.largest(10_000)) == 256
+
+    def test_negative_count_rejected(self, dec):
+        with pytest.raises(ValueError):
+            dec.largest(-1)
+
+    def test_truncate_keeps_k_nonzero(self, dec):
+        trunc = dec.truncate(10)
+        nonzero = int(np.sum(trunc.approx != 0))
+        nonzero += sum(int(np.sum(trunc.detail(l) != 0)) for l in trunc.levels)
+        assert nonzero == 10
+
+    def test_truncate_zero_gives_zero_signal(self, dec):
+        np.testing.assert_allclose(dec.truncate(0).reconstruct(), 0.0)
+
+    def test_truncate_all_is_lossless(self, signal, dec):
+        np.testing.assert_allclose(
+            dec.truncate(256).reconstruct(), signal, atol=1e-11
+        )
+
+    def test_truncation_error_decreases(self, signal, dec):
+        errs = [
+            np.linalg.norm(dec.truncate(k).reconstruct() - signal)
+            for k in (4, 16, 64, 256)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(errs, errs[1:]))
+
+
+class TestLevelFilter:
+    def test_keep_all_is_identity(self, signal, dec):
+        kept = dec.filter_levels(set(dec.levels), keep_approx=True)
+        np.testing.assert_allclose(kept.reconstruct(), signal, atol=1e-11)
+
+    def test_drop_all_details(self, dec):
+        kept = dec.filter_levels(set(), keep_approx=True)
+        for lvl in kept.levels:
+            np.testing.assert_allclose(kept.detail(lvl), 0.0)
+
+    def test_drop_approx(self, dec):
+        kept = dec.filter_levels(set(dec.levels), keep_approx=False)
+        np.testing.assert_allclose(kept.approx, 0.0)

@@ -1,0 +1,114 @@
+"""Unit tests for wavelet subband convolution (§5.1's mathematical core)."""
+
+import numpy as np
+import pytest
+
+from repro.wavelets import WaveletConvolver, convolve_via_subbands, next_pow2
+
+
+@pytest.fixture
+def impulse():
+    # A damped oscillation shaped like a supply impedance response.
+    n = np.arange(100)
+    return np.exp(-n / 25.0) * np.cos(2 * np.pi * n / 30.0) * 1e-3
+
+
+@pytest.fixture
+def trace():
+    return np.random.default_rng(5).normal(40.0, 8.0, size=300)
+
+
+class TestNextPow2:
+    @pytest.mark.parametrize("n,expected", [(1, 1), (2, 2), (3, 4), (100, 128)])
+    def test_values(self, n, expected):
+        assert next_pow2(n) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            next_pow2(0)
+
+
+class TestSubbandConvolutionIdentity:
+    def test_matches_direct_convolution(self, impulse, trace):
+        x = trace[:100]
+        np.testing.assert_allclose(
+            convolve_via_subbands(x, impulse),
+            np.convolve(x, impulse),
+            atol=1e-12,
+        )
+
+    def test_daubechies_basis_also_works(self, impulse, trace):
+        x = trace[:64]
+        np.testing.assert_allclose(
+            convolve_via_subbands(x, impulse, "db3"),
+            np.convolve(x, impulse),
+            atol=1e-10,
+        )
+
+
+class TestWaveletConvolver:
+    def test_full_keep_is_exact(self, impulse, trace):
+        wc = WaveletConvolver(impulse, keep=None)
+        expected = np.convolve(trace, impulse)[: len(trace)]
+        np.testing.assert_allclose(wc.apply(trace), expected, atol=1e-10)
+
+    def test_window_padding(self, impulse):
+        wc = WaveletConvolver(impulse)
+        assert wc.window == 128
+        assert wc.total_terms == 128
+
+    def test_terms_sorted_by_magnitude(self, impulse):
+        wc = WaveletConvolver(impulse, keep=20)
+        mags = [abs(v) for _, v in wc.terms]
+        assert mags == sorted(mags, reverse=True)
+
+    def test_error_decreases_with_terms(self, impulse, trace):
+        errs = [
+            WaveletConvolver(impulse, keep=k).max_error_on(trace[:150])
+            for k in (1, 4, 16, 64, 128)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(errs, errs[1:]))
+        assert errs[-1] < 1e-10
+
+    def test_error_scales_with_impedance(self, impulse, trace):
+        # Figure 13: at fixed K, a 2x impedance doubles the error.
+        e1 = WaveletConvolver(impulse, keep=8).max_error_on(trace[:150])
+        e2 = WaveletConvolver(2.0 * impulse, keep=8).max_error_on(trace[:150])
+        assert e2 == pytest.approx(2.0 * e1, rel=1e-6)
+
+    def test_evaluate_matches_exact_when_full(self, impulse, trace):
+        wc = WaveletConvolver(impulse, keep=None)
+        window = trace[: wc.window][::-1]
+        assert wc.evaluate(window) == pytest.approx(
+            wc.evaluate_exact(window), abs=1e-10
+        )
+
+    def test_analytic_bound_dominates_empirical(self, impulse, trace):
+        wc = WaveletConvolver(impulse, keep=10)
+        bound = wc.error_bound(max_input=float(np.abs(trace).max()))
+        assert wc.max_error_on(trace[:150]) <= bound + 1e-12
+
+    def test_keep_zero_estimates_zero(self, impulse, trace):
+        wc = WaveletConvolver(impulse, keep=0)
+        np.testing.assert_allclose(wc.apply(trace[:50]), 0.0)
+
+    def test_bad_keep_rejected(self, impulse):
+        with pytest.raises(ValueError):
+            WaveletConvolver(impulse, keep=10_000)
+
+    def test_bad_history_length(self, impulse):
+        wc = WaveletConvolver(impulse)
+        with pytest.raises(ValueError):
+            wc.evaluate(np.zeros(13))
+
+    def test_empty_impulse_rejected(self):
+        with pytest.raises(ValueError):
+            WaveletConvolver(np.array([]))
+
+    def test_dropped_weight_norm_shrinks(self, impulse):
+        norms = [
+            WaveletConvolver(impulse, keep=k).dropped_weight_norm()
+            for k in (0, 8, 32, 128)
+        ]
+        assert all(a >= b for a, b in zip(norms, norms[1:]))
+        assert norms[-1] == 0.0

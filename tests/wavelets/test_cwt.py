@@ -1,0 +1,95 @@
+"""Unit tests for the Morlet continuous wavelet transform."""
+
+import numpy as np
+import pytest
+
+from repro.wavelets import cwt_scale_for_period, dominant_period, morlet_cwt
+
+
+@pytest.fixture
+def tone30():
+    n = np.arange(2048)
+    return np.sin(2 * np.pi * n / 30.0)
+
+
+class TestMorletCwt:
+    def test_shape(self, tone30):
+        mags = morlet_cwt(tone30, [10.0, 30.0, 90.0])
+        assert mags.shape == (3, 2048)
+        assert (mags >= 0).all()
+
+    def test_peak_at_tone_period(self, tone30):
+        periods = np.array([10.0, 20.0, 30.0, 45.0, 90.0])
+        mags = morlet_cwt(tone30, periods)
+        energy = np.mean(mags**2, axis=1)
+        assert periods[int(np.argmax(energy))] == 30.0
+
+    def test_response_scale_invariant_for_tones(self):
+        n = np.arange(4096)
+        e = []
+        for period in (16.0, 64.0):
+            tone = np.sin(2 * np.pi * n / period)
+            mags = morlet_cwt(tone, [period])
+            # Ignore edge effects (cone of influence).
+            core = mags[0, 512:-512]
+            e.append(float(np.mean(core**2)))
+        assert e[0] == pytest.approx(e[1], rel=0.1)
+
+    def test_linear_in_amplitude(self, tone30):
+        m1 = morlet_cwt(tone30, [30.0])
+        m3 = morlet_cwt(3.0 * tone30, [30.0])
+        np.testing.assert_allclose(m3, 3.0 * m1, rtol=1e-9)
+
+    def test_mean_removed(self):
+        # A DC offset must not contribute to any scale.
+        flat = np.full(512, 25.0)
+        mags = morlet_cwt(flat, [16.0])
+        np.testing.assert_allclose(mags, 0.0, atol=1e-9)
+
+    def test_time_localization(self):
+        x = np.zeros(1024)
+        n = np.arange(128)
+        x[640:768] = np.sin(2 * np.pi * n / 16.0)
+        mags = morlet_cwt(x, [16.0])[0]
+        assert mags[640:768].mean() > 5 * mags[:512].mean()
+
+    def test_validation(self, tone30):
+        with pytest.raises(ValueError):
+            morlet_cwt(tone30, [])
+        with pytest.raises(ValueError):
+            morlet_cwt(tone30, [1.0])
+        with pytest.raises(ValueError):
+            morlet_cwt(tone30, [5000.0])
+        with pytest.raises(ValueError):
+            morlet_cwt(np.zeros((4, 4)), [8.0])
+
+
+class TestDominantPeriod:
+    @pytest.mark.parametrize("period", [12.0, 30.0, 75.0])
+    def test_finds_planted_tone(self, period):
+        n = np.arange(4096)
+        rng = np.random.default_rng(0)
+        x = np.sin(2 * np.pi * n / period) + 0.2 * rng.normal(size=4096)
+        found = dominant_period(x)
+        assert found == pytest.approx(period, rel=0.15)
+
+    def test_resolves_within_one_dwt_octave(self):
+        # 24- and 40-cycle tones both land in DWT levels 4-5; the CWT
+        # tells them apart.
+        n = np.arange(4096)
+        a = dominant_period(np.sin(2 * np.pi * n / 24.0))
+        b = dominant_period(np.sin(2 * np.pi * n / 40.0))
+        assert a < 30 < b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dominant_period(np.zeros(512), min_period=1.0)
+
+
+class TestScaleMapping:
+    def test_monotone(self):
+        assert cwt_scale_for_period(60.0) > cwt_scale_for_period(15.0)
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            cwt_scale_for_period(0.0)

@@ -1,0 +1,95 @@
+"""Unit tests for wavelet shrinkage de-noising."""
+
+import numpy as np
+import pytest
+
+from repro.wavelets import (
+    denoise,
+    estimate_noise_sigma,
+    hard_threshold,
+    soft_threshold,
+    universal_threshold,
+)
+
+
+@pytest.fixture
+def square_plus_noise():
+    rng = np.random.default_rng(0)
+    n = np.arange(1024)
+    clean = 30 + 10 * np.sign(np.sin(2 * np.pi * n / 64))
+    return clean, clean + 2.0 * rng.normal(size=1024)
+
+
+class TestThresholdOperators:
+    def test_soft_shrinks(self):
+        out = soft_threshold(np.array([-5.0, -1.0, 0.5, 3.0]), 2.0)
+        np.testing.assert_allclose(out, [-3.0, 0.0, 0.0, 1.0])
+
+    def test_hard_keeps_or_kills(self):
+        out = hard_threshold(np.array([-5.0, -1.0, 0.5, 3.0]), 2.0)
+        np.testing.assert_allclose(out, [-5.0, 0.0, 0.0, 3.0])
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            soft_threshold(np.ones(4), -1.0)
+        with pytest.raises(ValueError):
+            hard_threshold(np.ones(4), -1.0)
+
+    def test_zero_threshold_is_identity(self):
+        x = np.array([1.0, -2.0, 3.0])
+        np.testing.assert_allclose(soft_threshold(x, 0.0), x)
+        np.testing.assert_allclose(hard_threshold(x, 0.0), x)
+
+
+class TestNoiseEstimate:
+    def test_recovers_known_sigma(self):
+        rng = np.random.default_rng(1)
+        smooth = np.repeat(rng.normal(30, 5, 64), 64)  # piecewise constant
+        for sigma in (0.5, 2.0):
+            noisy = smooth + sigma * rng.normal(size=smooth.size)
+            est = estimate_noise_sigma(noisy)
+            assert est == pytest.approx(sigma, rel=0.2)
+
+    def test_universal_threshold_scales_with_sigma(self):
+        rng = np.random.default_rng(2)
+        base = np.zeros(4096)
+        t1 = universal_threshold(base + 1.0 * rng.normal(size=4096))
+        t3 = universal_threshold(base + 3.0 * rng.normal(size=4096))
+        assert t3 == pytest.approx(3 * t1, rel=0.15)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_noise_sigma(np.zeros(2))
+
+
+class TestDenoise:
+    def test_hard_mode_reduces_error(self, square_plus_noise):
+        clean, noisy = square_plus_noise
+        out = denoise(noisy)
+        rmse_before = np.sqrt(np.mean((noisy - clean) ** 2))
+        rmse_after = np.sqrt(np.mean((out - clean) ** 2))
+        assert rmse_after < 0.85 * rmse_before
+
+    def test_soft_mode_with_moderate_threshold(self, square_plus_noise):
+        clean, noisy = square_plus_noise
+        t = universal_threshold(noisy) / 2
+        out = denoise(noisy, threshold=t, mode="soft")
+        assert np.sqrt(np.mean((out - clean) ** 2)) < np.sqrt(
+            np.mean((noisy - clean) ** 2)
+        )
+
+    def test_clean_signal_nearly_unchanged(self):
+        n = np.arange(512)
+        clean = 30 + 10 * np.sign(np.sin(2 * np.pi * n / 64))
+        out = denoise(clean, threshold=0.0)
+        np.testing.assert_allclose(out, clean, atol=1e-9)
+
+    def test_preserves_mean(self, square_plus_noise):
+        _, noisy = square_plus_noise
+        out = denoise(noisy)
+        assert out.mean() == pytest.approx(noisy.mean(), abs=1e-9)
+
+    def test_bad_mode(self, square_plus_noise):
+        _, noisy = square_plus_noise
+        with pytest.raises(ValueError):
+            denoise(noisy, mode="fuzzy")

@@ -1,0 +1,116 @@
+"""Unit tests for wavelet filter banks."""
+
+import numpy as np
+import pytest
+
+from repro.wavelets import Wavelet, daubechies, get_wavelet, haar, qmf
+
+SQRT2 = np.sqrt(2.0)
+
+
+class TestHaar:
+    def test_exact_coefficients(self):
+        w = haar()
+        np.testing.assert_allclose(w.dec_lo, [1 / SQRT2, 1 / SQRT2])
+        np.testing.assert_allclose(w.dec_hi, [1 / SQRT2, -1 / SQRT2])
+
+    def test_reconstruction_filters_are_reversed(self):
+        w = haar()
+        np.testing.assert_allclose(w.rec_lo, w.dec_lo[::-1])
+        np.testing.assert_allclose(w.rec_hi, w.dec_hi[::-1])
+
+    def test_is_orthogonal(self):
+        assert haar().is_orthogonal()
+
+    def test_one_vanishing_moment(self):
+        assert haar().vanishing_moments() == 1
+
+    def test_length(self):
+        assert haar().length == 2
+
+    def test_db1_equals_haar(self):
+        np.testing.assert_allclose(daubechies(1).dec_lo, haar().dec_lo)
+
+
+class TestDaubechies:
+    @pytest.mark.parametrize("order", [2, 3, 4, 5, 6, 8, 10, 12])
+    def test_orthogonality(self, order):
+        assert daubechies(order).is_orthogonal()
+
+    @pytest.mark.parametrize("order", [2, 3, 4, 5, 6, 8])
+    def test_vanishing_moments(self, order):
+        assert daubechies(order).vanishing_moments() == order
+
+    @pytest.mark.parametrize("order", [2, 4, 8])
+    def test_length_is_twice_order(self, order):
+        assert daubechies(order).length == 2 * order
+
+    @pytest.mark.parametrize("order", [2, 5, 10])
+    def test_lowpass_sums_to_sqrt2(self, order):
+        assert daubechies(order).dec_lo.sum() == pytest.approx(SQRT2)
+
+    @pytest.mark.parametrize("order", [2, 5, 10])
+    def test_unit_energy(self, order):
+        w = daubechies(order)
+        assert np.sum(w.dec_lo**2) == pytest.approx(1.0)
+        assert np.sum(w.dec_hi**2) == pytest.approx(1.0)
+
+    def test_db2_known_values(self):
+        # Classic extremal-phase db2 coefficients.
+        expected = np.array(
+            [1 + np.sqrt(3), 3 + np.sqrt(3), 3 - np.sqrt(3), 1 - np.sqrt(3)]
+        ) / (4 * SQRT2)
+        np.testing.assert_allclose(daubechies(2).dec_lo, expected, atol=1e-10)
+
+    def test_rejects_zero_order(self):
+        with pytest.raises(ValueError):
+            daubechies(0)
+
+    def test_rejects_huge_order(self):
+        with pytest.raises(ValueError):
+            daubechies(21)
+
+
+class TestQmf:
+    def test_haar_qmf(self):
+        np.testing.assert_allclose(
+            qmf(np.array([1.0, 1.0]) / SQRT2), np.array([1.0, -1.0]) / SQRT2
+        )
+
+    def test_alternating_signs(self):
+        lo = np.array([0.1, 0.2, 0.3, 0.4])
+        hi = qmf(lo)
+        np.testing.assert_allclose(hi, [0.4, -0.3, 0.2, -0.1])
+
+
+class TestGetWavelet:
+    def test_by_name(self):
+        assert get_wavelet("haar").name == "haar"
+        assert get_wavelet("db4").name == "db4"
+        assert get_wavelet("DB3").name == "db3"
+
+    def test_passthrough(self):
+        w = haar()
+        assert get_wavelet(w) is w
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            get_wavelet("sym4")
+
+    def test_garbage_db_suffix(self):
+        with pytest.raises(ValueError):
+            get_wavelet("dbx")
+
+
+class TestWaveletValidation:
+    def test_rejects_odd_length(self):
+        with pytest.raises(ValueError):
+            Wavelet("bad", np.array([1.0, 1.0, 1.0]))
+
+    def test_rejects_mismatched_channels(self):
+        with pytest.raises(ValueError):
+            Wavelet("bad", np.array([1.0, 1.0]), np.array([1.0, 1.0, 1.0, -1.0]))
+
+    def test_nonorthogonal_detected(self):
+        w = Wavelet("bad", np.array([1.0, 0.5]))
+        assert not w.is_orthogonal()

@@ -1,0 +1,129 @@
+"""Unit tests for the maximal-overlap DWT and its variance estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.wavelets import (
+    imodwt,
+    modwt,
+    modwt_max_level,
+    modwt_variance,
+    wavelet_variances,
+)
+
+
+@pytest.fixture
+def signal():
+    return np.random.default_rng(3).normal(10.0, 2.0, size=300)
+
+
+class TestTransform:
+    def test_shapes(self, signal):
+        details, approx = modwt(signal, level=4)
+        assert len(details) == 4
+        assert all(d.shape == signal.shape for d in details)
+        assert approx.shape == signal.shape
+
+    def test_perfect_reconstruction(self, signal):
+        details, approx = modwt(signal)
+        np.testing.assert_allclose(imodwt(details, approx), signal, atol=1e-10)
+
+    @pytest.mark.parametrize("wavelet", ["db2", "db4"])
+    def test_reconstruction_other_bases(self, signal, wavelet):
+        details, approx = modwt(signal, wavelet, level=3)
+        np.testing.assert_allclose(
+            imodwt(details, approx, wavelet), signal, atol=1e-10
+        )
+
+    def test_energy_preserved(self, signal):
+        details, approx = modwt(signal)
+        total = sum(float(np.sum(d**2)) for d in details)
+        total += float(np.sum(approx**2))
+        assert total == pytest.approx(float(np.sum(signal**2)))
+
+    def test_shift_equivariance(self, signal):
+        """The MODWT's defining property — the decimated DWT lacks it."""
+        details, approx = modwt(signal, level=5)
+        details_s, approx_s = modwt(np.roll(signal, 11), level=5)
+        for d, ds in zip(details, details_s):
+            np.testing.assert_allclose(np.roll(d, 11), ds, atol=1e-10)
+        np.testing.assert_allclose(np.roll(approx, 11), approx_s, atol=1e-10)
+
+    def test_arbitrary_length_ok(self):
+        # No power-of-two requirement, unlike the decimated transform.
+        x = np.random.default_rng(0).normal(size=97)
+        details, approx = modwt(x, level=3)
+        np.testing.assert_allclose(imodwt(details, approx), x, atol=1e-10)
+
+    def test_level_zero(self, signal):
+        details, approx = modwt(signal, level=0)
+        assert details == []
+        np.testing.assert_allclose(approx, signal)
+
+    def test_validation(self, signal):
+        with pytest.raises(ValueError):
+            modwt(np.array([]))
+        with pytest.raises(ValueError):
+            modwt(signal, level=99)
+        with pytest.raises(ValueError):
+            imodwt([np.zeros(10)], np.zeros(5))
+
+    def test_max_level(self):
+        assert modwt_max_level(300, "haar") == 8  # (2^9-1)*1+1 > 300
+        assert modwt_max_level(300, "db4") >= 4
+
+
+class TestVariance:
+    def test_biased_sums_to_signal_variance(self):
+        x = np.random.default_rng(1).normal(0, 2, 1024)
+        v = modwt_variance(x, unbiased=False)
+        # Details at full depth capture everything but the mean.
+        assert sum(v.values()) == pytest.approx(float(x.var()), rel=1e-6)
+
+    def test_unbiased_close_to_dwt_estimate(self):
+        x = np.random.default_rng(2).normal(0, 1, 8192)
+        mv = modwt_variance(x, level=5)
+        dv = wavelet_variances(x, level=5)
+        for lvl in range(1, 6):
+            assert mv[lvl] == pytest.approx(dv[lvl], rel=0.25)
+
+    def test_tone_concentrates_at_its_scale(self):
+        # Period 16 -> nominal level 4.  Averaged over all shifts (which
+        # the undecimated transform does implicitly), Haar splits the
+        # square wave's energy across the two adjacent scales.
+        x = np.tile([1.0] * 8 + [-1.0] * 8, 64)
+        v = modwt_variance(x)
+        assert v[3] + v[4] > 0.6 * sum(v.values())
+        assert max(v, key=v.get) in (3, 4)
+
+    def test_unbiased_needs_clean_coefficients(self):
+        with pytest.raises(ValueError):
+            modwt_variance(np.random.default_rng(0).normal(size=40),
+                           wavelet="db4", level=4)
+
+    def test_shift_invariant_estimates(self):
+        """Window placement cannot change the unbiased estimate much —
+        the practical advantage over the decimated estimator."""
+        x = np.random.default_rng(4).normal(0, 1, 2048)
+        a = modwt_variance(x, level=4)
+        b = modwt_variance(np.roll(x, 13), level=4)
+        for lvl in a:
+            assert a[lvl] == pytest.approx(b[lvl], rel=0.1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        st.integers(min_value=16, max_value=200),
+        elements=st.floats(-1e4, 1e4, allow_nan=False, width=64),
+    )
+)
+def test_modwt_roundtrip_property(x):
+    details, approx = modwt(x, level=min(3, modwt_max_level(len(x))))
+    np.testing.assert_allclose(
+        imodwt(details, approx), x, atol=1e-8 * (1 + np.abs(x).max())
+    )

@@ -1,0 +1,108 @@
+"""Property-based tests (hypothesis) for the wavelet substrate's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.wavelets import (
+    WaveletConvolver,
+    decompose,
+    dwt,
+    haar_dwt,
+    idwt,
+    subband_signals,
+    wavedec,
+    wavelet_variances,
+    waverec,
+)
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=64)
+
+
+def signals(size):
+    return arrays(np.float64, size, elements=finite)
+
+
+@given(signals(64))
+def test_haar_perfect_reconstruction(x):
+    a, d = dwt(x)
+    np.testing.assert_allclose(idwt(a, d), x, atol=1e-7 * (1 + np.abs(x).max()))
+
+
+@given(signals(64))
+def test_haar_energy_preservation(x):
+    a, d = dwt(x)
+    assert np.sum(a**2) + np.sum(d**2) == pytest.approx(
+        np.sum(x**2), rel=1e-9, abs=1e-9
+    )
+
+
+@given(signals(32), signals(32), finite, finite)
+def test_linearity(x, y, alpha, beta):
+    ax, dx = dwt(x)
+    ay, dy = dwt(y)
+    az, dz = dwt(alpha * x + beta * y)
+    scale = 1 + abs(alpha) * np.abs(x).max() + abs(beta) * np.abs(y).max()
+    np.testing.assert_allclose(az, alpha * ax + beta * ay, atol=1e-7 * scale)
+    np.testing.assert_allclose(dz, alpha * dx + beta * dy, atol=1e-7 * scale)
+
+
+@settings(max_examples=50)
+@given(signals(128), st.sampled_from(["haar", "db2", "db4"]))
+def test_multilevel_roundtrip(x, wavelet):
+    rec = waverec(wavedec(x, wavelet), wavelet)
+    np.testing.assert_allclose(rec, x, atol=1e-6 * (1 + np.abs(x).max()))
+
+
+@settings(max_examples=30)
+@given(signals(64))
+def test_subbands_superpose(x):
+    dec = decompose(x)
+    total = sum(subband_signals(dec).values())
+    np.testing.assert_allclose(total, x, atol=1e-7 * (1 + np.abs(x).max()))
+
+
+@settings(max_examples=30)
+@given(signals(128))
+def test_wavelet_variance_totals(x):
+    variances = wavelet_variances(x)
+    assert sum(variances.values()) == pytest.approx(
+        float(np.var(x)), rel=1e-7, abs=1e-7 * (1 + np.abs(x).max()) ** 2
+    )
+
+
+@settings(max_examples=30)
+@given(signals(64))
+def test_shift_by_two_shifts_haar_coefficients(x):
+    # Shifting by one coarse-sample (2 signal samples) circularly shifts
+    # the level-1 coefficients by one.
+    a1, d1 = dwt(x)
+    a2, d2 = dwt(np.roll(x, 2))
+    np.testing.assert_allclose(np.roll(a1, 1), a2, atol=1e-9 * (1 + np.abs(x).max()))
+    np.testing.assert_allclose(np.roll(d1, 1), d2, atol=1e-9 * (1 + np.abs(x).max()))
+
+
+@settings(max_examples=20)
+@given(
+    arrays(np.float64, 48, elements=st.floats(-1e3, 1e3, allow_nan=False)),
+    st.integers(min_value=0, max_value=64),
+)
+def test_convolver_truncation_bounded(h, keep):
+    wc = WaveletConvolver(h + 1e-9, keep=keep)  # avoid the all-zero edge
+    x = np.linspace(-1.0, 1.0, 100)
+    err = wc.max_error_on(x)
+    assert err <= wc.error_bound(1.0) + 1e-9
+
+
+@settings(max_examples=20)
+@given(signals(96))
+def test_truncation_error_monotone(x):
+    dec = decompose(np.resize(x, 64))
+    errors = [
+        float(np.linalg.norm(dec.truncate(k).reconstruct() - np.resize(x, 64)))
+        for k in (0, 8, 32, 64)
+    ]
+    tol = 1e-7 * (1 + np.abs(x).max())
+    assert all(a >= b - tol for a, b in zip(errors, errors[1:]))

@@ -1,0 +1,127 @@
+"""Unit tests for subband projection (Eqs. 4-5 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.wavelets import (
+    approximation_signal,
+    bandpass_filter,
+    basis_function,
+    decompose,
+    detail_signal,
+    subband_signals,
+)
+
+
+@pytest.fixture
+def signal():
+    rng = np.random.default_rng(42)
+    return rng.normal(30.0, 5.0, size=128)
+
+
+@pytest.fixture
+def dec(signal):
+    return decompose(signal)
+
+
+class TestSuperposition:
+    def test_subbands_sum_to_signal(self, signal, dec):
+        total = sum(subband_signals(dec).values())
+        np.testing.assert_allclose(total, signal, atol=1e-11)
+
+    def test_key_set(self, dec):
+        keys = set(subband_signals(dec))
+        assert keys == {"a"} | {f"d{l}" for l in dec.levels}
+
+    def test_subbands_orthogonal(self, dec):
+        bands = subband_signals(dec)
+        names = sorted(bands)
+        for i, n1 in enumerate(names):
+            for n2 in names[i + 1 :]:
+                assert abs(np.dot(bands[n1], bands[n2])) < 1e-9
+
+
+class TestDetailSignal:
+    def test_energy_matches_coefficients(self, dec):
+        # Orthonormal basis: subband energy equals its coefficients' energy.
+        for lvl in dec.levels:
+            band = detail_signal(dec, lvl)
+            assert np.sum(band**2) == pytest.approx(dec.detail_energy(lvl))
+
+    def test_haar_detail_is_piecewise_constant(self, dec):
+        band = detail_signal(dec, 3)
+        # Level-3 Haar basis vectors are constant over runs of 4 samples.
+        steps = band.reshape(-1, 4)
+        assert np.allclose(steps, steps[:, :1], atol=1e-12)
+
+
+class TestApproximation:
+    def test_constant_signal_is_pure_approximation(self):
+        x = np.full(64, 9.0)
+        dec = decompose(x)
+        np.testing.assert_allclose(approximation_signal(dec), x, atol=1e-12)
+        for lvl in dec.levels:
+            np.testing.assert_allclose(detail_signal(dec, lvl), 0.0, atol=1e-12)
+
+    def test_approximation_is_mean_at_full_depth(self, signal, dec):
+        np.testing.assert_allclose(
+            approximation_signal(dec), signal.mean(), atol=1e-11
+        )
+
+
+class TestBandpassFilter:
+    def test_keep_everything_plus_approx(self, signal):
+        out = bandpass_filter(signal, set(range(1, 8)), level=7, keep_approx=True)
+        np.testing.assert_allclose(out, signal, atol=1e-11)
+
+    def test_keep_nothing(self, signal):
+        out = bandpass_filter(signal, set(), keep_approx=False)
+        np.testing.assert_allclose(out, 0.0, atol=1e-12)
+
+    def test_filtered_has_no_mean(self, signal):
+        out = bandpass_filter(signal, {3, 4}, keep_approx=False)
+        assert abs(out.mean()) < 1e-10
+
+    def test_invalid_level_rejected(self, signal):
+        with pytest.raises(ValueError):
+            bandpass_filter(signal, {99})
+
+    def test_removes_out_of_band_sine(self):
+        # A pure coarse oscillation (period 64) lives at level ~5-6; keeping
+        # only levels 1-2 should suppress nearly all of its energy.
+        n = np.arange(256)
+        x = np.sin(2 * np.pi * n / 64)
+        out = bandpass_filter(x, {1, 2}, keep_approx=False)
+        assert np.sum(out**2) < 0.1 * np.sum(x**2)
+
+
+class TestBasisFunction:
+    def test_unit_norm(self):
+        psi = basis_function(64, "d", 3, 2)
+        assert np.sum(psi**2) == pytest.approx(1.0)
+
+    def test_haar_detail_shape(self):
+        psi = basis_function(16, "d", 2, 0)
+        # Level-2 Haar wavelet: +1/2 on two samples, -1/2 on the next two.
+        np.testing.assert_allclose(psi[:4], [0.5, 0.5, -0.5, -0.5])
+        np.testing.assert_allclose(psi[4:], 0.0, atol=1e-12)
+
+    def test_scaling_function_shape(self):
+        phi = basis_function(16, "a", 0, 0, total_level=2)
+        np.testing.assert_allclose(phi[:4], 0.5)
+        np.testing.assert_allclose(phi[4:], 0.0, atol=1e-12)
+
+    def test_translation(self):
+        psi0 = basis_function(64, "d", 2, 0)
+        psi3 = basis_function(64, "d", 2, 3)
+        np.testing.assert_allclose(np.roll(psi0, 3 * 4), psi3, atol=1e-12)
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            basis_function(16, "x", 1, 0)
+
+    def test_expansion_identity(self, signal, dec):
+        # x = sum_i <x, e_i> e_i over any 3 chosen basis vectors' span.
+        psi = basis_function(128, "d", 4, 1)
+        coeff = float(np.dot(signal, psi))
+        assert coeff == pytest.approx(dec.detail(4)[1], abs=1e-10)

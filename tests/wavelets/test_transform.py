@@ -1,0 +1,150 @@
+"""Unit tests for the DWT/IDWT and the fast wavelet transform."""
+
+import numpy as np
+import pytest
+
+from repro.wavelets import (
+    dwt,
+    haar_dwt,
+    haar_idwt,
+    idwt,
+    max_level,
+    wavedec,
+    waverec,
+)
+
+SQRT2 = np.sqrt(2.0)
+
+
+class TestSingleLevel:
+    def test_haar_averages_and_differences(self):
+        a, d = dwt(np.array([2.0, 4.0, 6.0, 8.0]))
+        np.testing.assert_allclose(a, [6 / SQRT2, 14 / SQRT2])
+        np.testing.assert_allclose(d, [-2 / SQRT2, -2 / SQRT2])
+
+    def test_perfect_reconstruction_haar(self):
+        x = np.random.default_rng(0).normal(size=64)
+        a, d = dwt(x)
+        np.testing.assert_allclose(idwt(a, d), x, atol=1e-12)
+
+    @pytest.mark.parametrize("wavelet", ["db2", "db4", "db8"])
+    def test_perfect_reconstruction_daubechies(self, wavelet):
+        x = np.random.default_rng(1).normal(size=128)
+        a, d = dwt(x, wavelet)
+        np.testing.assert_allclose(idwt(a, d, wavelet), x, atol=1e-10)
+
+    def test_output_lengths(self):
+        a, d = dwt(np.zeros(32))
+        assert len(a) == len(d) == 16
+
+    def test_energy_preserved(self):
+        x = np.random.default_rng(2).normal(size=64)
+        a, d = dwt(x, "db3")
+        assert np.sum(a**2) + np.sum(d**2) == pytest.approx(np.sum(x**2))
+
+    def test_constant_signal_has_zero_detail(self):
+        a, d = dwt(np.full(16, 5.0), "db4")
+        np.testing.assert_allclose(d, 0.0, atol=1e-10)
+
+    def test_rejects_odd_length(self):
+        with pytest.raises(ValueError):
+            dwt(np.zeros(7))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            dwt(np.array([]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            dwt(np.zeros((4, 4)))
+
+    def test_idwt_length_mismatch(self):
+        with pytest.raises(ValueError):
+            idwt(np.zeros(4), np.zeros(3))
+
+    def test_linearity(self):
+        rng = np.random.default_rng(3)
+        x, y = rng.normal(size=32), rng.normal(size=32)
+        ax, dx = dwt(x)
+        ay, dy = dwt(y)
+        axy, dxy = dwt(2.0 * x - 3.0 * y)
+        np.testing.assert_allclose(axy, 2 * ax - 3 * ay, atol=1e-12)
+        np.testing.assert_allclose(dxy, 2 * dx - 3 * dy, atol=1e-12)
+
+
+class TestMultiLevel:
+    def test_full_depth_structure(self):
+        coeffs = wavedec(np.zeros(256), "haar")
+        assert len(coeffs) == 9  # a8 + d8..d1
+        assert len(coeffs[0]) == 1
+        assert [len(c) for c in coeffs[1:]] == [1, 2, 4, 8, 16, 32, 64, 128]
+
+    def test_roundtrip_full_depth(self):
+        x = np.random.default_rng(4).normal(size=256)
+        np.testing.assert_allclose(waverec(wavedec(x)), x, atol=1e-12)
+
+    @pytest.mark.parametrize("level", [0, 1, 3, 5])
+    def test_roundtrip_partial_depth(self, level):
+        x = np.random.default_rng(5).normal(size=64)
+        np.testing.assert_allclose(waverec(wavedec(x, "haar", level)), x, atol=1e-12)
+
+    def test_level_zero_is_identity(self):
+        x = np.arange(8.0)
+        coeffs = wavedec(x, "haar", 0)
+        assert len(coeffs) == 1
+        np.testing.assert_allclose(coeffs[0], x)
+
+    def test_too_deep_raises(self):
+        with pytest.raises(ValueError):
+            wavedec(np.zeros(16), "haar", 5)
+
+    def test_negative_level_raises(self):
+        with pytest.raises(ValueError):
+            wavedec(np.zeros(16), "haar", -1)
+
+    def test_empty_coeff_list_raises(self):
+        with pytest.raises(ValueError):
+            waverec([])
+
+    def test_approximation_of_constant(self):
+        coeffs = wavedec(np.full(32, 3.0))
+        # After 5 levels the single approximation coefficient is 3 * 2^{5/2}.
+        assert coeffs[0][0] == pytest.approx(3.0 * 2 ** (5 / 2))
+        for det in coeffs[1:]:
+            np.testing.assert_allclose(det, 0.0, atol=1e-12)
+
+
+class TestMaxLevel:
+    def test_power_of_two(self):
+        assert max_level(256) == 8
+
+    def test_non_power_of_two(self):
+        assert max_level(96) == 5  # 96 = 3 * 32
+
+    def test_odd(self):
+        assert max_level(7) == 0
+
+    def test_shorter_than_filter(self):
+        assert max_level(1, "db4") == 0
+
+
+class TestFastHaar:
+    def test_matches_generic_dwt(self):
+        x = np.random.default_rng(6).normal(size=64)
+        a1, d1 = dwt(x, "haar")
+        a2, d2 = haar_dwt(x)
+        np.testing.assert_allclose(a1, a2, atol=1e-12)
+        np.testing.assert_allclose(d1, d2, atol=1e-12)
+
+    def test_roundtrip(self):
+        x = np.random.default_rng(7).normal(size=32)
+        a, d = haar_dwt(x)
+        np.testing.assert_allclose(haar_idwt(a, d), x, atol=1e-12)
+
+    def test_rejects_odd(self):
+        with pytest.raises(ValueError):
+            haar_dwt(np.zeros(5))
+
+    def test_idwt_mismatch(self):
+        with pytest.raises(ValueError):
+            haar_idwt(np.zeros(2), np.zeros(3))

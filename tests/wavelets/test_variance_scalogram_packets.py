@@ -1,0 +1,185 @@
+"""Unit tests for wavelet variance, scalograms and wavelet packets."""
+
+import numpy as np
+import pytest
+
+from repro.wavelets import (
+    WaveletPacketTree,
+    adjacent_correlation,
+    best_basis,
+    decompose,
+    render_ascii,
+    scale_correlations,
+    scale_variance,
+    scalogram,
+    shannon_entropy,
+    total_variance_from_scales,
+    variance_confidence_interval,
+    wavelet_variances,
+)
+
+
+@pytest.fixture
+def signal():
+    return np.random.default_rng(9).normal(40.0, 6.0, size=256)
+
+
+class TestWaveletVariance:
+    def test_scales_sum_to_signal_variance(self, signal):
+        # Parseval decomposition: detail variances sum to the variance of
+        # the mean-removed signal (approximation at full depth = mean).
+        variances = wavelet_variances(signal)
+        assert total_variance_from_scales(variances) == pytest.approx(
+            float(signal.var()), rel=1e-10
+        )
+
+    def test_single_scale_parseval(self, signal):
+        dec = decompose(signal)
+        v = scale_variance(dec, 4)
+        assert v == pytest.approx(dec.detail_energy(4) / 256)
+
+    def test_pure_tone_concentrates(self):
+        # A square wave with period 8 lives at Haar level 3.
+        x = np.tile([1.0] * 4 + [-1.0] * 4, 32)
+        variances = wavelet_variances(x)
+        assert variances[3] > 0.9 * sum(variances.values())
+
+    def test_accepts_decomposition_or_signal(self, signal):
+        dec = decompose(signal)
+        assert wavelet_variances(dec) == wavelet_variances(signal)
+
+
+class TestAdjacentCorrelation:
+    def test_alternating_is_negative(self):
+        c = np.array([1.0, -1.0] * 16)
+        assert adjacent_correlation(c) == pytest.approx(-1.0)
+
+    def test_trend_is_positive(self):
+        assert adjacent_correlation(np.arange(32.0)) > 0.9
+
+    def test_white_noise_near_zero(self):
+        c = np.random.default_rng(3).normal(size=4096)
+        assert abs(adjacent_correlation(c)) < 0.1
+
+    def test_short_rows_are_neutral(self):
+        assert adjacent_correlation(np.array([1.0, 2.0])) == 0.0
+
+    def test_flat_rows_are_neutral(self):
+        assert adjacent_correlation(np.full(16, 2.0)) == 0.0
+
+    def test_all_levels_reported(self, signal):
+        corrs = scale_correlations(signal)
+        assert set(corrs) == set(range(1, 9))
+        assert all(-1.0 <= v <= 1.0 for v in corrs.values())
+
+
+class TestConfidenceInterval:
+    def test_contains_estimate(self):
+        d = np.random.default_rng(1).normal(0, 2.0, size=128)
+        lo, hi = variance_confidence_interval(d)
+        assert lo <= float(np.mean(d**2)) <= hi
+
+    def test_narrows_with_more_coefficients(self):
+        rng = np.random.default_rng(2)
+        lo1, hi1 = variance_confidence_interval(rng.normal(0, 1, 32))
+        lo2, hi2 = variance_confidence_interval(rng.normal(0, 1, 2048))
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            variance_confidence_interval(np.array([1.0]))
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ValueError):
+            variance_confidence_interval(np.ones(16), confidence=1.5)
+
+
+class TestScalogram:
+    def test_shape(self, signal):
+        m = scalogram(signal)
+        assert m.shape == (8, 256)
+
+    def test_nonnegative(self, signal):
+        assert (scalogram(signal) >= 0.0).all()
+
+    def test_block_structure(self, signal):
+        m = scalogram(signal)
+        # Level-3 row repeats each coefficient over 8 samples.
+        row = m[2]
+        blocks = row.reshape(-1, 8)
+        assert np.allclose(blocks, blocks[:, :1])
+
+    def test_normalization(self, signal):
+        m = scalogram(signal, normalize=True)
+        assert m.max() == pytest.approx(1.0)
+
+    def test_burst_localized_in_time(self):
+        x = np.zeros(256)
+        x[192:200] = [10.0, -10.0] * 4  # oscillating burst in the last quarter
+        m = scalogram(x)
+        fine = m[0]
+        assert fine[192:200].sum() > 10 * (fine[:128].sum() + 1e-12)
+
+    def test_ascii_render(self, signal):
+        art = render_ascii(scalogram(signal), width=40)
+        lines = art.split("\n")
+        assert len(lines) == 8
+        assert all(len(line) == 40 for line in lines)
+
+    def test_ascii_rejects_bad_width(self, signal):
+        with pytest.raises(ValueError):
+            render_ascii(scalogram(signal), width=0)
+
+
+class TestShannonEntropy:
+    def test_zero_vector(self):
+        assert shannon_entropy(np.zeros(8)) == 0.0
+
+    def test_concentrated_beats_spread(self):
+        spike = np.array([1.0, 0, 0, 0])
+        spread = np.full(4, 0.5)
+        assert shannon_entropy(spike) < shannon_entropy(spread)
+
+
+class TestWaveletPackets:
+    def test_node_counts(self, signal):
+        tree = WaveletPacketTree(signal, depth=3)
+        assert len(tree.leaves()) == 8
+        assert all(len(leaf) == 32 for leaf in tree.leaves())
+
+    def test_energy_preserved_at_leaves(self, signal):
+        tree = WaveletPacketTree(signal, depth=4)
+        leaf_energy = sum(float(np.sum(l**2)) for l in tree.leaves())
+        assert leaf_energy == pytest.approx(float(np.sum(signal**2)))
+
+    def test_reconstruct_from_leaves(self, signal):
+        tree = WaveletPacketTree(signal, depth=3)
+        nodes = {(3, p): tree.node(3, p) for p in range(8)}
+        np.testing.assert_allclose(
+            tree.reconstruct_from(nodes), signal, atol=1e-10
+        )
+
+    def test_best_basis_is_disjoint_cover(self, signal):
+        tree = WaveletPacketTree(signal, depth=4)
+        basis = best_basis(tree)
+        covered = sum(len(c) for c in basis.values())
+        assert covered == len(signal)
+        np.testing.assert_allclose(
+            tree.reconstruct_from(basis), signal, atol=1e-10
+        )
+
+    def test_best_basis_cost_no_worse_than_leaves(self, signal):
+        tree = WaveletPacketTree(signal, depth=4)
+        basis = best_basis(tree)
+        basis_cost = sum(shannon_entropy(c) for c in basis.values())
+        leaf_cost = sum(shannon_entropy(l) for l in tree.leaves())
+        assert basis_cost <= leaf_cost + 1e-12
+
+    def test_missing_node(self, signal):
+        tree = WaveletPacketTree(signal, depth=2)
+        with pytest.raises(IndexError):
+            tree.node(5, 0)
+
+    def test_too_deep(self, signal):
+        with pytest.raises(ValueError):
+            WaveletPacketTree(signal, depth=20)

@@ -1,0 +1,111 @@
+"""Regression harness for the SPEC2000 workload models' characters.
+
+The figure reproductions depend on each synthetic benchmark keeping its
+qualitative role: the memory-bound four stay L2-miss heavy and slow, the
+steady four stay smooth and predictable, the resonant four keep pumping
+the 15-60-cycle band, and the quiet four stay out of trouble.  These
+tests pin those roles down with generous margins, so profile edits that
+would silently invalidate Figures 9-12 fail loudly here instead.
+
+They simulate at reduced length (12K cycles) to stay test-suite friendly;
+the benches re-verify at full length.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import HIGH_L2_MISS, LOW_L2_MISS, PROBLEMATIC, QUIET
+from repro.uarch import simulate_benchmark
+from repro.wavelets import wavelet_variances
+from repro.workloads import SPEC2000
+
+CYCLES = 12288
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return {
+        name: simulate_benchmark(name, cycles=CYCLES) for name in SPEC2000
+    }
+
+
+def band_variance(trace: np.ndarray) -> float:
+    """Resonance-band (levels 4-6) current variance."""
+    n = 1 << int(np.log2(len(trace)))
+    variances = wavelet_variances(trace[:n])
+    return sum(variances[lvl] for lvl in (4, 5, 6))
+
+
+class TestGlobalSanity:
+    def test_all_benchmarks_make_progress(self, suite):
+        for name, r in suite.items():
+            assert r.stats.ipc > 0.05, name
+            assert r.stats.committed > 500, name
+
+    def test_current_envelope(self, suite):
+        for name, r in suite.items():
+            assert 14.0 < r.mean_current < 45.0, name
+            assert r.current.std() > 1.0, name
+
+    def test_ipc_spread_exists(self, suite):
+        ipcs = [r.stats.ipc for r in suite.values()]
+        assert max(ipcs) > 3 * min(ipcs)
+
+
+class TestMemoryBoundGroup:
+    def test_l2_heavy(self, suite):
+        for name in HIGH_L2_MISS:
+            assert suite[name].stats.l2_mpki > 10.0, name
+
+    def test_mostly_waiting_on_memory(self, suite):
+        for name in HIGH_L2_MISS:
+            assert suite[name].l2_outstanding.mean() > 0.4, name
+
+    def test_low_throughput(self, suite):
+        for name in HIGH_L2_MISS:
+            assert suite[name].stats.ipc < 0.6, name
+
+
+class TestSteadyGroup:
+    def test_nearly_no_l2_misses(self, suite):
+        for name in LOW_L2_MISS:
+            assert suite[name].stats.l2_mpki < 2.0, name
+
+    def test_well_predicted(self, suite):
+        for name in LOW_L2_MISS:
+            assert suite[name].stats.misprediction_rate < 0.05, name
+
+    def test_decent_throughput(self, suite):
+        for name in LOW_L2_MISS:
+            assert suite[name].stats.ipc > 0.8, name
+
+
+class TestResonantGroup:
+    def test_band_variance_dominates_quiet_group(self, suite):
+        resonant = min(band_variance(suite[n].current) for n in PROBLEMATIC)
+        quiet = max(band_variance(suite[n].current) for n in QUIET)
+        assert resonant > 1.5 * quiet
+
+    def test_not_memory_bound(self, suite):
+        for name in PROBLEMATIC:
+            assert suite[name].stats.l2_mpki < 5.0, name
+
+
+class TestQuietGroup:
+    def test_low_band_variance_relative_to_suite(self, suite):
+        suite_band = np.median(
+            [band_variance(r.current) for r in suite.values()]
+        )
+        for name in QUIET:
+            assert band_variance(suite[name].current) < 1.2 * suite_band, name
+
+
+class TestSuiteStructure:
+    def test_int_fp_split(self, suite):
+        from repro.workloads import SPEC_FP, SPEC_INT
+
+        assert len(SPEC_INT) == 12 and len(SPEC_FP) == 14
+
+    def test_determinism_across_cache(self, suite):
+        fresh = simulate_benchmark("twolf", cycles=CYCLES, use_cache=False)
+        np.testing.assert_array_equal(fresh.current, suite["twolf"].current)

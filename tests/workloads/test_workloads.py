@@ -1,0 +1,202 @@
+"""Unit tests for workload profiles, generation and the stressmark."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.uarch import CacheHierarchy, Instruction, OpClass, TABLE_1
+from repro.workloads import (
+    SPEC2000,
+    SPEC_FP,
+    SPEC_INT,
+    PhaseScheduler,
+    PhaseSpec,
+    WorkloadProfile,
+    generate,
+    get_profile,
+    instruction_stream,
+    stressmark_stream,
+)
+from repro.workloads.generator import prewarm_caches
+
+
+class TestProfiles:
+    def test_suite_sizes(self):
+        assert len(SPEC2000) == 26
+        assert len(SPEC_INT) == 12
+        assert len(SPEC_FP) == 14
+
+    def test_all_paper_benchmarks_present(self):
+        expected = {
+            "gzip", "wupwise", "swim", "mgrid", "applu", "vpr", "gcc",
+            "mesa", "galgel", "art", "mcf", "equake", "crafty", "facerec",
+            "ammp", "lucas", "fma3d", "parser", "sixtrack", "eon",
+            "perlbmk", "gap", "vortex", "bzip2", "twolf", "apsi",
+        }
+        assert set(SPEC2000) == expected
+
+    def test_get_profile(self):
+        assert get_profile("gzip").name == "gzip"
+        with pytest.raises(KeyError):
+            get_profile("quake3")
+
+    def test_unique_seeds(self):
+        seeds = [p.seed for p in SPEC2000.values()]
+        assert len(seeds) == len(set(seeds))
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            PhaseSpec("bad", 100, load_fraction=0.6, store_fraction=0.5)
+        with pytest.raises(ValueError):
+            PhaseSpec("bad", 100, cold=0.8, warm=0.5)
+        with pytest.raises(ValueError):
+            PhaseSpec("bad", 0.5)
+        with pytest.raises(ValueError):
+            PhaseSpec("bad", 100, easy_bias=(0.999, 0.9))
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile("x", "int", phases=())
+        with pytest.raises(ValueError):
+            WorkloadProfile("x", "vector", phases=(PhaseSpec("p", 100),))
+
+    def test_membound_group_has_cold_traffic(self):
+        for name in ("mcf", "swim", "art", "lucas"):
+            profile = get_profile(name)
+            assert any(ph.cold >= 0.05 for ph in profile.phases), name
+
+    def test_steady_group_has_little_cold_traffic(self):
+        for name in ("gzip", "mesa", "crafty", "eon"):
+            profile = get_profile(name)
+            assert all(ph.cold <= 0.005 for ph in profile.phases), name
+
+
+class TestPhaseScheduler:
+    def test_cycles_through_phases(self):
+        rng = np.random.default_rng(0)
+        phases = (PhaseSpec("a", 5), PhaseSpec("b", 5))
+        sched = PhaseScheduler(phases, rng)
+        seen = {sched.advance().name for _ in range(200)}
+        assert seen == {"a", "b"}
+
+    def test_mean_duration(self):
+        rng = np.random.default_rng(1)
+        phases = (PhaseSpec("a", 50), PhaseSpec("b", 50))
+        sched = PhaseScheduler(phases, rng)
+        runs = []
+        current = sched.advance().name
+        length = 1
+        for _ in range(30_000):
+            ph = sched.advance().name
+            if ph == current:
+                length += 1
+            else:
+                runs.append(length)
+                current, length = ph, 1
+        assert np.mean(runs) == pytest.approx(50, rel=0.2)
+
+    def test_needs_phases(self):
+        with pytest.raises(ValueError):
+            PhaseScheduler((), np.random.default_rng(0))
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = [i.pc for i in instruction_stream("gzip", 2000)]
+        b = [i.pc for i in instruction_stream("gzip", 2000)]
+        assert a == b
+
+    def test_seed_override(self):
+        a = [i.pc for i in instruction_stream("gzip", 2000, seed=7)]
+        b = [i.pc for i in instruction_stream("gzip", 2000)]
+        assert a != b
+
+    def test_instruction_mix_roughly_matches_profile(self):
+        profile = get_profile("gzip")
+        insts = list(instruction_stream(profile, 20_000))
+        loads = sum(i.op is OpClass.LOAD for i in insts) / len(insts)
+        # Loop back-edges add branches beyond the phase mix; loads should
+        # still be near the requested fraction.
+        assert 0.15 < loads < 0.35
+
+    def test_fp_benchmark_issues_fp_ops(self):
+        insts = list(instruction_stream("swim", 20_000))
+        fp = sum(
+            i.op in (OpClass.FPALU, OpClass.FPMULT, OpClass.FPDIV) for i in insts
+        )
+        assert fp > 0.1 * len(insts)
+
+    def test_int_benchmark_mostly_integer(self):
+        insts = list(instruction_stream("gzip", 20_000))
+        fp = sum(
+            i.op in (OpClass.FPALU, OpClass.FPMULT, OpClass.FPDIV) for i in insts
+        )
+        assert fp < 0.02 * len(insts)
+
+    def test_membound_touches_fresh_lines(self):
+        insts = list(instruction_stream("mcf", 20_000))
+        cold = [i.addr for i in insts if i.is_mem and i.addr >= 0x4000_0000]
+        assert len(cold) > 100
+        assert len(set(a >> 6 for a in cold)) == len(cold)  # all new lines
+
+    def test_loop_pcs_repeat(self):
+        insts = list(instruction_stream("gzip", 20_000))
+        pcs = [i.pc for i in insts]
+        assert len(set(pcs)) < len(pcs) / 10  # heavy reuse of loop bodies
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            list(instruction_stream("gzip", -1))
+
+    def test_composite_benchmarks_have_periodic_streams(self):
+        # Resonant profiles use one composite loop body; consecutive
+        # iterations must reuse identical PC sequences.
+        insts = list(instruction_stream("mgrid", 5000))
+        pcs = [i.pc for i in insts]
+        first = pcs[:200]
+        assert any(
+            pcs[k : k + 200] == first for k in range(1, 2000)
+        ), "no repeating loop structure found"
+
+
+class TestPrewarm:
+    def test_hot_set_resident_after_prewarm(self):
+        h = CacheHierarchy(TABLE_1)
+        prewarm_caches(h, "gzip")
+        profile = get_profile("gzip")
+        hot_lines = range(0x1000_0000, 0x1000_0000 + profile.hot_bytes, 64)
+        assert all(h.l1d.probe(a) for a in hot_lines)
+
+    def test_counters_reset(self):
+        h = CacheHierarchy(TABLE_1)
+        prewarm_caches(h, "gzip")
+        assert h.l1d.accesses == 0
+        assert h.l2.accesses == 0
+        assert h.memory_accesses == 0
+
+
+class TestStressmark:
+    def test_alternates_burst_and_chain(self):
+        stream = stressmark_stream(15)
+        insts = list(itertools.islice(stream, 500))
+        ops = [i.op for i in insts]
+        assert OpClass.FPMULT in ops
+        assert OpClass.IALU in ops
+
+    def test_pcs_loop(self):
+        insts = list(itertools.islice(stressmark_stream(15), 2000))
+        assert len(set(i.pc for i in insts)) < 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            next(stressmark_stream(0))
+        with pytest.raises(ValueError):
+            next(stressmark_stream(15, burst_ipc=0))
+
+    def test_produces_large_current_swings(self):
+        from repro.uarch import Simulator
+
+        res = Simulator().run(stressmark_stream(15), 6000, name="stress")
+        settled = res.current[1000:]
+        assert np.ptp(settled) > 30.0  # worst-case swing dwarfs SPEC's
