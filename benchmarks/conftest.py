@@ -17,10 +17,6 @@ import pytest
 
 from repro.core import calibrated_supply
 from repro.experiments import (
-    HIGH_L2_MISS,
-    LOW_L2_MISS,
-    PROBLEMATIC,
-    QUIET,
     simulate_suite,
 )
 from repro.workloads import SPEC_INT

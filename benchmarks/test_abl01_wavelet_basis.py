@@ -8,12 +8,10 @@ best-basis, against the hardware cost only Haar enjoys (Figure 14's
 shift registers).
 """
 
-import numpy as np
 
 from repro.core import (
     PacketVoltageMonitor,
     ShiftRegisterMonitor,
-    WaveletVoltageMonitor,
     coefficient_error_curve,
 )
 

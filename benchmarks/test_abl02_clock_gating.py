@@ -11,7 +11,7 @@ all three styles.
 import numpy as np
 
 from repro.power import simulate_voltage
-from repro.uarch import ClockGating, Simulator, TABLE_1, WattchPowerModel
+from repro.uarch import ClockGating, TABLE_1, WattchPowerModel
 from repro.workloads import generate
 from repro.workloads.generator import prewarm_caches
 

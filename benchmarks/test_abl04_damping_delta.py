@@ -6,7 +6,6 @@ of the paper's comparison is that the wavelet controller sits strictly
 inside it (comparable suppression at a fraction of the cost).
 """
 
-import numpy as np
 
 from repro.core import (
     PipelineDampingController,

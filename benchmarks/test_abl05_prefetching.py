@@ -8,7 +8,6 @@ confirms the offline estimator (recalibrated for nothing — the supply is
 unchanged) still tracks the truth on the new machine.
 """
 
-import numpy as np
 
 from repro.core import WaveletVoltageEstimator, benchmark_voltage_histogram, predict_trace
 from repro.uarch import ProcessorConfig, simulate_benchmark

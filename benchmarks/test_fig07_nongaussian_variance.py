@@ -14,7 +14,6 @@ the paper's mechanism — the claim reproduces cleanly, and the estimator's
 Figure-9 accuracy shows the overall method is unharmed.
 """
 
-import numpy as np
 
 from conftest import print_series
 from repro.experiments import figure7

@@ -6,7 +6,6 @@ point with ~0.94 % RMS error, correctly flagging mgrid/gcc/galgel/apsi as
 dI/dt-problematic (>= 3 %) and vpr/mcf/equake/gap as quiet (<= 0.5 %).
 """
 
-import numpy as np
 
 from conftest import PROBLEMATIC, QUIET
 from repro.experiments import figure9

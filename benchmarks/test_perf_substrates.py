@@ -13,7 +13,7 @@ import pytest
 from repro.core import ShiftRegisterMonitor, WaveletVoltageEstimator
 from repro.power import ConvolutionVoltageSimulator, StreamingVoltageModel
 from repro.uarch import Pipeline, TABLE_1
-from repro.wavelets import decompose, modwt, wavedec, waverec
+from repro.wavelets import modwt, wavedec, waverec
 from repro.workloads import generate
 
 

@@ -12,7 +12,6 @@ Expected ordering (the paper's argument):
   wavelet (ours)   — near-convolution accuracy at tens of ops/cycle.
 """
 
-import numpy as np
 
 from repro.experiments import table2
 

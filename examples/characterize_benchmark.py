@@ -16,7 +16,6 @@ e.g.  python examples/characterize_benchmark.py mgrid 150
 
 import sys
 
-import numpy as np
 
 from repro.core import (
     WINDOW,

@@ -15,14 +15,12 @@ Run:  python examples/wavelet_variance_tour.py [benchmark]
 
 import sys
 
-import numpy as np
 
 from repro import viz
 from repro.core import calibrate_scale_factors, calibrated_supply
 from repro.uarch import simulate_benchmark
 from repro.wavelets import (
     decompose,
-    modwt,
     modwt_variance,
     scale_correlations,
     variance_confidence_interval,

@@ -20,10 +20,23 @@ Subpackages
     The paper's contribution: offline wavelet-variance voltage
     characterization and the online truncated wavelet-convolution
     voltage monitor with closed-loop dI/dt control, plus baselines.
+``repro.pipeline``
+    Parallel batch-characterization pipeline: declarative job specs, a
+    stage registry, a multiprocessing executor and a content-addressed
+    on-disk result cache.
 """
 
-from . import core, power, stats, uarch, wavelets, workloads
-
+# Version first: repro.pipeline folds it into cache keys at import time.
 __version__ = "1.0.0"
 
-__all__ = ["core", "power", "stats", "uarch", "wavelets", "workloads"]
+from . import core, pipeline, power, stats, uarch, wavelets, workloads
+
+__all__ = [
+    "core",
+    "pipeline",
+    "power",
+    "stats",
+    "uarch",
+    "wavelets",
+    "workloads",
+]

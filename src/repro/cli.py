@@ -6,7 +6,11 @@ Four commands cover the repo's main flows:
 * ``simulate`` — run one benchmark on the Table-1 machine, show run
   statistics and the current waveform.
 * ``characterize`` — the paper's offline §4 pipeline: estimated vs.
-  observed emergency exposure for one benchmark.
+  observed emergency exposure for one or more benchmarks, optionally
+  across ``--jobs`` worker processes with an on-disk result cache.
+* ``pipeline`` — the batch-characterization subsystem: ``run`` a whole
+  suite through the worker pool with per-job timing and cache-hit
+  accounting, ``status``/``clear`` the content-addressed result cache.
 * ``control`` — the paper's online §5 pipeline: closed-loop dI/dt control
   with a selectable scheme, reporting slowdown and fault suppression.
 * ``phases`` — wavelet-signature phase classification with per-phase
@@ -28,10 +32,8 @@ from .core import (
     FullConvolutionMonitor,
     PipelineDampingController,
     ThresholdController,
-    WaveletVoltageEstimator,
     WaveletVoltageMonitor,
     calibrated_supply,
-    predict_trace,
     run_control_experiment,
 )
 from .uarch import simulate_benchmark
@@ -55,11 +57,16 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--cycles", type=int, default=16384)
 
     char = sub.add_parser("characterize", help="offline §4 characterization")
-    char.add_argument("benchmark", choices=sorted(SPEC2000))
+    char.add_argument("benchmarks", nargs="+", choices=sorted(SPEC2000),
+                      metavar="benchmark")
     char.add_argument("--cycles", type=int, default=32768)
     char.add_argument("--impedance", type=float, default=150.0,
                       help="target impedance percent (default 150)")
     char.add_argument("--threshold", type=float, default=0.97)
+    char.add_argument("--jobs", type=int, default=1,
+                      help="worker processes (default 1; -1 = all cores)")
+    char.add_argument("--cache-dir", default=None,
+                      help="on-disk result cache directory (default: none)")
 
     ctl = sub.add_parser("control", help="closed-loop §5 dI/dt control")
     ctl.add_argument("benchmark", choices=sorted(SPEC2000))
@@ -100,6 +107,32 @@ def build_parser() -> argparse.ArgumentParser:
                      help="all 26 benchmarks (slow) instead of the quick subset")
     rep.add_argument("--no-control", action="store_true",
                      help="skip the closed-loop Table-2 section")
+
+    pipe = sub.add_parser(
+        "pipeline", help="parallel batch characterization with result cache"
+    )
+    psub = pipe.add_subparsers(dest="pipeline_command", required=True)
+    prun = psub.add_parser("run", help="run a characterization batch")
+    prun.add_argument("--suite", choices=("spec2000", "int", "fp"),
+                      default=None, help="run a whole benchmark suite")
+    prun.add_argument("--benchmarks", nargs="+", choices=sorted(SPEC2000),
+                      default=None, metavar="NAME",
+                      help="explicit benchmark list (alternative to --suite)")
+    prun.add_argument("--jobs", type=int, default=1,
+                      help="worker processes (default 1; -1 = all cores)")
+    prun.add_argument("--cycles", type=int, default=32768)
+    prun.add_argument("--impedance", type=float, default=150.0)
+    prun.add_argument("--threshold", type=float, default=0.97)
+    prun.add_argument("--window", type=int, default=256)
+    prun.add_argument("--seed", type=int, default=None)
+    prun.add_argument("--cache-dir", default=".repro-cache",
+                      help="result cache directory (default .repro-cache)")
+    prun.add_argument("--no-cache", action="store_true",
+                      help="compute everything fresh, touch no cache")
+    pstat = psub.add_parser("status", help="show result-cache contents")
+    pstat.add_argument("--cache-dir", default=".repro-cache")
+    pclear = psub.add_parser("clear", help="delete every cache entry")
+    pclear.add_argument("--cache-dir", default=".repro-cache")
     return parser
 
 
@@ -130,27 +163,162 @@ def _cmd_simulate(args) -> str:
 
 
 def _cmd_characterize(args) -> str:
+    from .pipeline import (
+        build_characterization_jobs,
+        prediction_from_outcome,
+        run_batch,
+    )
+
     net = calibrated_supply(args.impedance)
-    result = simulate_benchmark(args.benchmark, cycles=args.cycles)
-    estimator = WaveletVoltageEstimator(net)
-    p = predict_trace(net, result.current, args.threshold,
-                      args.benchmark, estimator)
-    contributions = estimator.level_contributions(result.current)
+    specs = build_characterization_jobs(
+        args.benchmarks,
+        net,
+        cycles=args.cycles,
+        threshold=args.threshold,
+        impedance=args.impedance,
+    )
+    batch = run_batch(specs, jobs=args.jobs, cache_dir=args.cache_dir)
+    if len(batch.outcomes) == 1:
+        outcome = batch.outcomes[0]
+        p = prediction_from_outcome(outcome)
+        contributions = outcome.artifacts["characterize"][
+            "level_contributions"
+        ]
+        lines = [
+            f"{p.name} at {args.impedance:.0f}% target impedance:",
+            f"  estimated % cycles < {args.threshold} V : "
+            f"{p.estimated * 100:.2f}%",
+            f"  observed  % cycles < {args.threshold} V : "
+            f"{p.observed * 100:.2f}%",
+            f"  error                         : {p.error * 100:+.2f}%",
+            "",
+            viz.bar_chart(
+                {
+                    f"level {lvl}": v * 1e6
+                    for lvl, v in contributions.items()
+                },
+                title="per-scale voltage-variance contribution (uV^2)",
+                fmt="{:10.2f}",
+            ),
+        ]
+        return "\n".join(lines)
+    rows = {}
+    for outcome in batch.outcomes:
+        p = prediction_from_outcome(outcome)
+        rows[p.name] = [
+            p.estimated * 100,
+            p.observed * 100,
+            p.error * 100,
+            outcome.elapsed,
+        ]
+    table = viz.table(
+        rows,
+        headers=["est %", "obs %", "err %", "secs"],
+        title=f"{len(rows)} benchmarks at {args.impedance:.0f}% impedance "
+              f"(threshold {args.threshold} V)",
+    )
+    return "\n".join(
+        [
+            table,
+            "",
+            _batch_footer(batch),
+        ]
+    )
+
+
+def _batch_footer(batch) -> str:
+    """Shared telemetry line: workers, stage runs, cache hits, wall time."""
+    return (
+        f"{len(batch.outcomes)} jobs via {batch.workers} worker(s) in "
+        f"{batch.elapsed:.2f}s: {batch.stage_runs} stage runs, "
+        f"{batch.cache_hits} cache hits / "
+        f"{batch.stage_runs - batch.cache_hits} misses"
+    )
+
+
+def _cmd_pipeline_run(args) -> str:
+    from .experiments import Figure9Result
+    from .pipeline import (
+        build_characterization_jobs,
+        predictions_from,
+        run_batch,
+        suite_names,
+    )
+
+    if args.suite and args.benchmarks:
+        raise SystemExit("give either --suite or --benchmarks, not both")
+    names = suite_names(args.suite or "spec2000")
+    if args.benchmarks:
+        names = tuple(args.benchmarks)
+    cache_dir = None if args.no_cache else args.cache_dir
+    net = calibrated_supply(args.impedance)
+    specs = build_characterization_jobs(
+        names,
+        net,
+        cycles=args.cycles,
+        threshold=args.threshold,
+        window=args.window,
+        seed=args.seed,
+        impedance=args.impedance,
+    )
+
+    def progress(outcome):
+        stages = "  ".join(
+            f"{name} {outcome.timings[name]:6.2f}s"
+            f"[{'hit ' if hit else 'miss'}]"
+            for name, hit in outcome.cache_hits.items()
+        )
+        print(f"  {outcome.spec.benchmark:<10} {stages}", flush=True)
+
+    print(
+        f"pipeline: {len(specs)} jobs x {' > '.join(specs[0].stages)}, "
+        f"{args.jobs} worker(s), cache "
+        f"{cache_dir if cache_dir else 'disabled'}",
+        flush=True,
+    )
+    batch = run_batch(
+        specs, jobs=args.jobs, cache_dir=cache_dir, progress=progress
+    )
+    fig9 = Figure9Result(
+        threshold=args.threshold, predictions=predictions_from(batch)
+    )
     lines = [
-        f"{args.benchmark} at {args.impedance:.0f}% target impedance:",
-        f"  estimated % cycles < {args.threshold} V : "
-        f"{p.estimated * 100:.2f}%",
-        f"  observed  % cycles < {args.threshold} V : "
-        f"{p.observed * 100:.2f}%",
-        f"  error                         : {p.error * 100:+.2f}%",
         "",
-        viz.bar_chart(
-            {f"level {lvl}": v * 1e6 for lvl, v in contributions.items()},
-            title="per-scale voltage-variance contribution (uV^2)",
-            fmt="{:10.2f}",
-        ),
+        _batch_footer(batch),
+        f"figure9 rms error        : {fig9.rms_error!r}",
     ]
+    if len(fig9.predictions) > 1:  # rank needs two benchmarks to mean anything
+        lines.append(
+            f"figure9 rank correlation : {fig9.rank_correlation:.4f}"
+        )
+    worst = max(fig9.predictions.values(), key=lambda p: abs(p.error))
+    lines.append(
+        f"worst benchmark          : {worst.name} "
+        f"(error {worst.error * 100:+.2f}%)"
+    )
     return "\n".join(lines)
+
+
+def _cmd_pipeline_status(args) -> str:
+    from .pipeline import CACHE_SALT, ResultCache
+
+    stats = ResultCache(args.cache_dir).on_disk_stats()
+    lines = [
+        f"cache directory : {stats.root}",
+        f"code salt       : {CACHE_SALT}",
+        f"entries         : {stats.entries}",
+        f"total size      : {stats.total_bytes / 1e6:.2f} MB",
+    ]
+    for kind in sorted(stats.by_kind):
+        lines.append(f"  {kind:<14}: {stats.by_kind[kind]}")
+    return "\n".join(lines)
+
+
+def _cmd_pipeline_clear(args) -> str:
+    from .pipeline import ResultCache
+
+    removed = ResultCache(args.cache_dir).clear()
+    return f"removed {removed} cache entries from {args.cache_dir}"
 
 
 def _cmd_control(args) -> str:
@@ -269,6 +437,13 @@ def main(argv: list[str] | None = None) -> int:
         print(_cmd_breakdown(args))
     elif args.command == "sizing":
         print(_cmd_sizing(args))
+    elif args.command == "pipeline":
+        if args.pipeline_command == "run":
+            print(_cmd_pipeline_run(args))
+        elif args.pipeline_command == "status":
+            print(_cmd_pipeline_status(args))
+        elif args.pipeline_command == "clear":
+            print(_cmd_pipeline_clear(args))
     elif args.command == "report":
         from .report import QUICK_SUBSET, generate_report
 

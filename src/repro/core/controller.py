@@ -20,7 +20,6 @@ from ..power import PowerSupplyNetwork, StreamingVoltageModel
 from ..uarch import Pipeline, ProcessorConfig, TABLE_1
 from ..workloads.generator import generate, prewarm_caches
 from ..workloads.spec import WorkloadProfile, get_profile
-from .monitor import WaveletVoltageMonitor
 
 __all__ = [
     "ThresholdController",

@@ -11,12 +11,20 @@ Downstream users can regenerate any experiment directly:
     fig9 = figure9(calibrated_supply(150), traces)
     print(fig9.rms_error)
 
-All functions are deterministic for fixed inputs and seeds.
+The heavy sweeps all route through :mod:`repro.pipeline`: every function
+that simulates or runs closed-loop control takes ``jobs`` (worker
+processes) and ``cache_dir`` (on-disk result cache) keyword arguments,
+so a 26-benchmark figure parallelizes across cores and re-runs only
+recompute invalidated jobs.  ``characterize_suite`` is the pipeline-
+native Figure 9: benchmark names in, estimate-vs-truth out.
+
+All functions are deterministic for fixed inputs and seeds, with or
+without workers and caching.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -25,19 +33,24 @@ from .core import (
     FullConvolutionMonitor,
     PipelineDampingController,
     ShiftRegisterMonitor,
-    ThresholdController,
     TracePrediction,
     WaveletVoltageEstimator,
-    WaveletVoltageMonitor,
     benchmark_voltage_histogram,
     coefficient_error_curve,
     gaussianity_study,
     predict_trace,
-    run_control_experiment,
+)
+from .pipeline import (
+    JobSpec,
+    build_characterization_jobs,
+    build_control_jobs,
+    control_results_from,
+    predictions_from,
+    run_batch,
 )
 from .power import PowerSupplyNetwork
 from .stats import VoltageHistogram, study_windows
-from .uarch import SimulationResult, simulate_benchmark
+from .uarch import SimulationResult
 from .workloads import SPEC2000, SPEC_INT
 
 __all__ = [
@@ -46,6 +59,7 @@ __all__ = [
     "LOW_L2_MISS",
     "HIGH_L2_MISS",
     "simulate_suite",
+    "characterize_suite",
     "Figure6Result",
     "figure6",
     "Figure7Result",
@@ -77,11 +91,50 @@ def _suite_of(name: str) -> str:
 
 
 def simulate_suite(
-    cycles: int = 24576, names: tuple[str, ...] | None = None
+    cycles: int = 24576,
+    names: tuple[str, ...] | None = None,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> dict[str, SimulationResult]:
-    """Current traces for the whole (or a subset of the) SPEC2000 suite."""
+    """Current traces for the whole (or a subset of the) SPEC2000 suite.
+
+    Runs through the batch pipeline: ``jobs`` worker processes simulate
+    in parallel, and with ``cache_dir`` set the traces persist across
+    processes and sessions.
+    """
     names = tuple(SPEC2000) if names is None else names
-    return {name: simulate_benchmark(name, cycles=cycles) for name in names}
+    specs = [
+        JobSpec(name, cycles=cycles, stages=("simulate",)) for name in names
+    ]
+    batch = run_batch(specs, jobs=jobs, cache_dir=cache_dir)
+    return {
+        o.spec.benchmark: o.artifacts["simulate"] for o in batch.outcomes
+    }
+
+
+def characterize_suite(
+    network: PowerSupplyNetwork,
+    names: tuple[str, ...] | None = None,
+    cycles: int = 32768,
+    threshold: float = 0.97,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    seed: int | None = None,
+) -> Figure9Result:
+    """Figure 9 end to end through the pipeline: names in, result out.
+
+    Equivalent to ``figure9(network, simulate_suite(cycles, names))`` but
+    declarative — simulation, convolution truth and wavelet estimate run
+    as cacheable pipeline stages across ``jobs`` workers.
+    """
+    names = tuple(SPEC2000) if names is None else names
+    specs = build_characterization_jobs(
+        names, network, cycles=cycles, threshold=threshold, seed=seed
+    )
+    batch = run_batch(specs, jobs=jobs, cache_dir=cache_dir)
+    return Figure9Result(
+        threshold=threshold, predictions=predictions_from(batch)
+    )
 
 
 # -- Figure 6 -----------------------------------------------------------------
@@ -367,20 +420,31 @@ def figure15(
     names: tuple[str, ...],
     cycles: int = 10240,
     margin: float = 0.012,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> Figure15Result:
-    """Closed-loop wavelet control over the suite (§5.3)."""
-    results = {}
+    """Closed-loop wavelet control over the suite (§5.3).
+
+    Every (impedance, benchmark) cell is an independent pipeline control
+    job, so the sweep parallelizes across ``jobs`` workers.
+    """
+    specs, cells = [], []
     for pct, net in networks.items():
         terms = TERMS_FOR_PERCENT.get(pct, 13)
-        for name in names:
-            results[(pct, name)] = run_control_experiment(
-                name,
+        specs.extend(
+            build_control_jobs(
+                names,
                 net,
-                lambda net=net, terms=terms: ThresholdController(
-                    WaveletVoltageMonitor(net, terms=terms), net, margin
-                ),
+                scheme="wavelet",
                 cycles=cycles,
+                impedance=pct,
+                terms=terms,
+                margin=margin,
             )
+        )
+        cells.extend((pct, name) for name in names)
+    batch = run_batch(specs, jobs=jobs, cache_dir=cache_dir)
+    results = dict(zip(cells, control_results_from(batch)))
     return Figure15Result(results=results, names=tuple(names))
 
 
@@ -405,39 +469,55 @@ def table2(
     cycles: int = 10240,
     margin: float = 0.012,
     damping_delta: float = 6.0,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> dict[str, Table2Row]:
-    """All four dI/dt schemes, closed loop, side by side (§6)."""
-    schemes = {
+    """All four dI/dt schemes, closed loop, side by side (§6).
+
+    The scheme x workload grid runs as one pipeline batch; the
+    controller for each cell is built declaratively inside the worker
+    from the spec's ``scheme`` params.
+    """
+    schemes: dict[str, tuple[dict, int]] = {
         "analog": (
-            lambda: ThresholdController(
-                AnalogVoltageSensor(network, delay=2), network, margin
-            ),
+            {"scheme": "analog", "sensor_delay": 2, "margin": margin},
             AnalogVoltageSensor(network).ops_per_cycle,
         ),
         "full_conv": (
-            lambda: ThresholdController(
-                FullConvolutionMonitor(network), network, margin
-            ),
+            {"scheme": "fullconv", "margin": margin},
             FullConvolutionMonitor(network).ops_per_cycle,
         ),
         "damping": (
-            lambda: PipelineDampingController(
-                network, delta=damping_delta, window=8
-            ),
+            {
+                "scheme": "damping",
+                "damping_delta": damping_delta,
+                "damping_window": 8,
+            },
             PipelineDampingController(network, delta=damping_delta).ops_per_cycle,
         ),
         "wavelet": (
-            lambda: ThresholdController(
-                WaveletVoltageMonitor(network, terms=13), network, margin
-            ),
+            {"scheme": "wavelet", "terms": 13, "margin": margin},
             ShiftRegisterMonitor(network, terms=13).adds_per_cycle,
         ),
     }
+    specs, owners = [], []
+    for scheme, (params, _) in schemes.items():
+        kind = params["scheme"]
+        extra = {k: v for k, v in params.items() if k != "scheme"}
+        specs.extend(
+            build_control_jobs(
+                workloads, network, scheme=kind, cycles=cycles, **extra
+            )
+        )
+        owners.extend(scheme for _ in workloads)
+    batch = run_batch(specs, jobs=jobs, cache_dir=cache_dir)
+    per_scheme: dict[str, list] = {s: [] for s in schemes}
+    for scheme, result in zip(owners, control_results_from(batch)):
+        per_scheme[scheme].append(result)
     rows: dict[str, Table2Row] = {}
-    for scheme, (factory, ops) in schemes.items():
+    for scheme, (_, ops) in schemes.items():
         slowdowns, fp_rates, fault_cuts = [], [], []
-        for name in workloads:
-            r = run_control_experiment(name, network, factory, cycles=cycles)
+        for r in per_scheme[scheme]:
             slowdowns.append(r.slowdown)
             fp_rates.append(r.false_positive_rate)
             if r.baseline_faults:

@@ -1,0 +1,91 @@
+"""Parallel batch-characterization pipeline with an on-disk result cache.
+
+The execution subsystem behind the paper's 26-benchmark sweeps: a
+declarative job model (:class:`JobSpec`), a registry of analysis stages
+wrapping the simulator / voltage engine / wavelet estimator /
+controllers, a ``multiprocessing`` executor with ordered result
+collection, streaming window iteration for arbitrarily long traces, and
+a content-addressed cache so re-running a figure only recomputes
+invalidated jobs.
+
+Quickstart::
+
+    from repro.core import calibrated_supply
+    from repro.pipeline import build_characterization_jobs, run_batch
+    from repro.pipeline import predictions_from
+
+    jobs = build_characterization_jobs(
+        ("gzip", "mcf"), calibrated_supply(150), cycles=16384
+    )
+    batch = run_batch(jobs, jobs=2, cache_dir=".repro-cache")
+    print(predictions_from(batch))
+
+See ``docs/PIPELINE.md`` for the job model, cache layout and worker
+tuning guidance.
+"""
+
+from .batch import (
+    build_characterization_jobs,
+    build_control_jobs,
+    control_results_from,
+    prediction_from_outcome,
+    predictions_from,
+    run_batch,
+    suite_names,
+)
+from .cache import CacheStats, ResultCache
+from .executor import BatchResult, JobOutcome, PipelineError, PipelineExecutor
+from .spec import (
+    CACHE_SALT,
+    CACHE_SCHEMA_VERSION,
+    DEFAULT_STAGES,
+    JobSpec,
+    deserialize_network,
+    serialize_network,
+)
+from .stages import (
+    Stage,
+    StageContext,
+    available_stages,
+    get_stage,
+    register_stage,
+    stage_cache_keys,
+)
+from .windows import (
+    as_chunks,
+    iter_windows,
+    streaming_fraction_below,
+    streaming_level_contributions,
+)
+
+__all__ = [
+    "BatchResult",
+    "CACHE_SALT",
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "DEFAULT_STAGES",
+    "JobOutcome",
+    "JobSpec",
+    "PipelineError",
+    "PipelineExecutor",
+    "ResultCache",
+    "Stage",
+    "StageContext",
+    "as_chunks",
+    "available_stages",
+    "build_characterization_jobs",
+    "build_control_jobs",
+    "control_results_from",
+    "deserialize_network",
+    "get_stage",
+    "iter_windows",
+    "prediction_from_outcome",
+    "predictions_from",
+    "register_stage",
+    "run_batch",
+    "serialize_network",
+    "stage_cache_keys",
+    "streaming_fraction_below",
+    "streaming_level_contributions",
+    "suite_names",
+]

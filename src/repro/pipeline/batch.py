@@ -1,0 +1,145 @@
+"""High-level batch helpers: suites in, figure-ready results out.
+
+Bridges the declarative executor and the paper-facing result types —
+build a suite's worth of :class:`JobSpec`, run it through the pool, and
+convert the artifacts back into :class:`~repro.core.TracePrediction` /
+:class:`~repro.core.ControlResult` objects the figure code consumes.
+"""
+
+from __future__ import annotations
+
+from ..core import TracePrediction
+from ..power import PowerSupplyNetwork
+from ..workloads import SPEC2000, SPEC_FP, SPEC_INT
+from .executor import BatchResult, JobOutcome, PipelineExecutor
+from .spec import DEFAULT_STAGES, JobSpec
+from .stages import control_result_from_artifact
+
+__all__ = [
+    "suite_names",
+    "build_characterization_jobs",
+    "build_control_jobs",
+    "run_batch",
+    "prediction_from_outcome",
+    "predictions_from",
+    "control_results_from",
+]
+
+_SUITES = {
+    "spec2000": tuple(SPEC2000),
+    "int": tuple(SPEC_INT),
+    "fp": tuple(SPEC_FP),
+}
+
+
+def suite_names(suite: str) -> tuple[str, ...]:
+    """Benchmark names of a named suite (``spec2000``/``int``/``fp``)."""
+    try:
+        return _SUITES[suite]
+    except KeyError:
+        raise ValueError(
+            f"unknown suite {suite!r}; available: {sorted(_SUITES)}"
+        ) from None
+
+
+def build_characterization_jobs(
+    names,
+    network: PowerSupplyNetwork,
+    *,
+    cycles: int = 32768,
+    threshold: float = 0.97,
+    window: int = 256,
+    seed: int | None = None,
+    warmup_cycles: int = 4096,
+    impedance: float | None = None,
+    stages: tuple[str, ...] = DEFAULT_STAGES,
+) -> list[JobSpec]:
+    """The full §4 chain for every benchmark in ``names``."""
+    return [
+        JobSpec.make(
+            name,
+            network=network,
+            cycles=cycles,
+            threshold=threshold,
+            window=window,
+            seed=seed,
+            warmup_cycles=warmup_cycles,
+            impedance=impedance,
+            stages=stages,
+        )
+        for name in names
+    ]
+
+
+def build_control_jobs(
+    names,
+    network: PowerSupplyNetwork,
+    *,
+    scheme: str = "wavelet",
+    cycles: int = 16384,
+    warmup_cycles: int = 4096,
+    impedance: float | None = None,
+    **params,
+) -> list[JobSpec]:
+    """Closed-loop §5/§6 control jobs for every benchmark in ``names``."""
+    return [
+        JobSpec.make(
+            name,
+            network=network,
+            cycles=cycles,
+            warmup_cycles=warmup_cycles,
+            impedance=impedance,
+            stages=("control",),
+            params={"scheme": scheme, **params},
+        )
+        for name in names
+    ]
+
+
+def run_batch(
+    specs,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    progress=None,
+    raise_on_error: bool = True,
+) -> BatchResult:
+    """Execute a batch with ``jobs`` workers and an optional disk cache."""
+    executor = PipelineExecutor(
+        workers=jobs, cache_dir=cache_dir, raise_on_error=raise_on_error
+    )
+    return executor.run(specs, progress=progress)
+
+
+def prediction_from_outcome(outcome: JobOutcome) -> TracePrediction:
+    """Recompose Figure 9's estimate-vs-truth pair from artifacts."""
+    characterize = outcome.artifacts.get("characterize")
+    voltage = outcome.artifacts.get("voltage")
+    if characterize is None or voltage is None:
+        raise ValueError(
+            f"{outcome.spec.label}: prediction needs the 'voltage' and "
+            f"'characterize' stages (got {tuple(outcome.artifacts)})"
+        )
+    return TracePrediction(
+        name=outcome.spec.benchmark,
+        threshold=outcome.spec.threshold,
+        estimated=characterize["estimated"],
+        observed=voltage["observed"],
+    )
+
+
+def predictions_from(batch: BatchResult) -> dict[str, TracePrediction]:
+    """Per-benchmark predictions of a characterization batch, in order."""
+    return {
+        o.spec.benchmark: prediction_from_outcome(o)
+        for o in batch.outcomes
+        if o.ok
+    }
+
+
+def control_results_from(batch: BatchResult) -> list:
+    """Live :class:`ControlResult` objects of a control batch, in order."""
+    return [
+        control_result_from_artifact(o.artifacts["control"])
+        for o in batch.outcomes
+        if o.ok
+    ]

@@ -1,0 +1,138 @@
+"""Content-addressed on-disk result cache.
+
+Layout: ``<root>/<key[:2]>/<key>.json`` for scalar artifacts and
+``<root>/<key[:2]>/<key>.npz`` for simulation results (the
+:mod:`repro.uarch.traceio` archive format), where ``key`` is the chained
+stage hash from :func:`repro.pipeline.stages.stage_cache_keys`.  The key
+already folds in a code-version salt, so entries written by a different
+release never alias; a spec change simply addresses different files and
+the stale ones age out via ``clear``.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent workers
+computing the same key race benignly — last writer wins with identical
+bytes.  Reads treat any unreadable entry as a miss.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..uarch.traceio import load_result, save_result
+
+__all__ = ["CacheStats", "ResultCache"]
+
+_MISS = object()
+
+
+@dataclass
+class CacheStats:
+    """On-disk footprint summary for ``repro pipeline status``."""
+
+    root: Path
+    entries: int = 0
+    total_bytes: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+
+
+class ResultCache:
+    """Get/put artifacts by content hash, with hit/miss accounting."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits: dict[str, int] = {}
+        self.misses: dict[str, int] = {}
+
+    # -- paths ----------------------------------------------------------------
+
+    def path_for(self, key: str, kind: str) -> Path:
+        """The entry's on-disk location for an artifact ``kind``."""
+        ext = "npz" if kind == "result" else "json"
+        return self.root / key[:2] / f"{key}.{ext}"
+
+    # -- access ---------------------------------------------------------------
+
+    def get(self, stage: str, key: str, kind: str):
+        """``(hit, artifact)`` — a failed read of a present file is a miss."""
+        path = self.path_for(key, kind)
+        value = _MISS
+        if path.is_file():
+            try:
+                if kind == "result":
+                    value = load_result(path)
+                else:
+                    with open(path, encoding="utf-8") as fh:
+                        value = json.load(fh)["artifact"]
+            except (OSError, ValueError, KeyError):
+                value = _MISS  # corrupt or foreign entry: recompute
+        if value is _MISS:
+            self.misses[stage] = self.misses.get(stage, 0) + 1
+            return False, None
+        self.hits[stage] = self.hits.get(stage, 0) + 1
+        return True, value
+
+    def put(self, stage: str, key: str, kind: str, artifact) -> Path:
+        """Persist one artifact atomically; returns its final path."""
+        path = self.path_for(key, kind)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # np.savez appends ".npz" unless the name already ends with it,
+        # so the temp name must keep the real extension.
+        tmp = path.parent / f".{key}.{os.getpid()}.tmp{path.suffix}"
+        try:
+            if kind == "result":
+                save_result(artifact, tmp)
+            else:
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    json.dump(
+                        {"stage": stage, "artifact": artifact},
+                        fh,
+                        sort_keys=True,
+                    )
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return path
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def hit_count(self) -> int:
+        return sum(self.hits.values())
+
+    @property
+    def miss_count(self) -> int:
+        return sum(self.misses.values())
+
+    def on_disk_stats(self) -> CacheStats:
+        """Walk the cache directory and summarize its contents."""
+        stats = CacheStats(root=self.root)
+        if not self.root.is_dir():
+            return stats
+        for path in sorted(self.root.glob("*/*")):
+            if not path.is_file() or path.name.startswith("."):
+                continue
+            kind = "result" if path.suffix == ".npz" else "scalar"
+            stats.entries += 1
+            stats.total_bytes += path.stat().st_size
+            stats.by_kind[kind] = stats.by_kind.get(kind, 0) + 1
+        return stats
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("*/*"):
+            if path.is_file():
+                path.unlink()
+                removed += 1
+        for shard in self.root.glob("*"):
+            if shard.is_dir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
+        return removed

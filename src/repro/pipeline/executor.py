@@ -1,0 +1,173 @@
+"""Multiprocessing executor: jobs in, ordered outcomes out.
+
+Each job runs its stage chain in one worker process; the pool streams
+results back with ``imap`` so outcomes arrive **in submission order**
+(deterministic aggregation downstream) while still overlapping
+execution.  A worker consults the on-disk cache before computing each
+stage and persists what it computed, so a re-run after an interrupted
+batch only pays for the jobs that never finished.
+
+``workers <= 1`` executes inline — no processes, no pickling — which is
+both the test path and what the figure code uses by default.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from .cache import ResultCache
+from .spec import JobSpec
+from .stages import StageContext, get_stage, stage_cache_keys
+
+__all__ = ["JobOutcome", "BatchResult", "PipelineError", "PipelineExecutor"]
+
+
+class PipelineError(RuntimeError):
+    """At least one job in a batch failed."""
+
+
+@dataclass
+class JobOutcome:
+    """Everything one job produced, plus its execution telemetry."""
+
+    spec: JobSpec
+    artifacts: dict[str, object] = field(default_factory=dict)
+    timings: dict[str, float] = field(default_factory=dict)  # seconds/stage
+    cache_hits: dict[str, bool] = field(default_factory=dict)
+    elapsed: float = 0.0
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def hit_count(self) -> int:
+        return sum(self.cache_hits.values())
+
+
+@dataclass
+class BatchResult:
+    """Ordered outcomes of one executor run."""
+
+    outcomes: list[JobOutcome]
+    elapsed: float
+    workers: int
+
+    @property
+    def errors(self) -> list[JobOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(o.hit_count for o in self.outcomes)
+
+    @property
+    def stage_runs(self) -> int:
+        return sum(len(o.cache_hits) for o in self.outcomes)
+
+    def artifact(self, benchmark: str, stage: str):
+        """The first matching artifact, for quick interactive poking."""
+        for o in self.outcomes:
+            if o.spec.benchmark == benchmark and stage in o.artifacts:
+                return o.artifacts[stage]
+        raise KeyError(f"no {stage!r} artifact for {benchmark!r}")
+
+
+def execute_job(spec: JobSpec, cache: ResultCache | None = None) -> JobOutcome:
+    """Run one job's stage chain, cache-aware, never raising."""
+    outcome = JobOutcome(spec=spec)
+    t_job = time.perf_counter()
+    try:
+        keys = stage_cache_keys(spec)
+        ctx = StageContext(spec)
+        for name in spec.stages:
+            stage = get_stage(name)
+            t0 = time.perf_counter()
+            hit = False
+            artifact = None
+            if cache is not None:
+                hit, artifact = cache.get(name, keys[name], stage.kind)
+            if not hit:
+                artifact = stage.func(ctx)
+                if cache is not None:
+                    cache.put(name, keys[name], stage.kind, artifact)
+            ctx.artifacts[name] = artifact
+            outcome.artifacts[name] = artifact
+            outcome.cache_hits[name] = hit
+            outcome.timings[name] = time.perf_counter() - t0
+    except Exception:
+        outcome.error = traceback.format_exc()
+    outcome.elapsed = time.perf_counter() - t_job
+    return outcome
+
+
+def _execute_payload(payload: tuple[JobSpec, str | None]) -> JobOutcome:
+    """Pool entry point: rebuild the cache handle inside the worker."""
+    spec, cache_dir = payload
+    cache = ResultCache(cache_dir) if cache_dir else None
+    return execute_job(spec, cache)
+
+
+def _pool_context():
+    """Prefer fork (cheap, shares warm process caches) where available."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+class PipelineExecutor:
+    """Run batches of :class:`JobSpec` with a configurable worker pool."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_dir: str | None = None,
+        raise_on_error: bool = True,
+    ) -> None:
+        if workers < 0:
+            workers = multiprocessing.cpu_count()
+        self.workers = workers
+        self.cache_dir = str(cache_dir) if cache_dir else None
+        self.raise_on_error = raise_on_error
+
+    def run(self, specs, progress=None) -> BatchResult:
+        """Execute ``specs``; outcomes come back in submission order.
+
+        ``progress``, if given, is called with each :class:`JobOutcome`
+        as it is collected (already ordered).
+        """
+        specs = list(specs)
+        t0 = time.perf_counter()
+        outcomes: list[JobOutcome] = []
+        pool_size = min(self.workers, len(specs))
+        if pool_size <= 1:
+            cache = ResultCache(self.cache_dir) if self.cache_dir else None
+            for spec in specs:
+                outcome = execute_job(spec, cache)
+                outcomes.append(outcome)
+                if progress is not None:
+                    progress(outcome)
+        else:
+            payloads = [(spec, self.cache_dir) for spec in specs]
+            with _pool_context().Pool(pool_size) as pool:
+                for outcome in pool.imap(_execute_payload, payloads):
+                    outcomes.append(outcome)
+                    if progress is not None:
+                        progress(outcome)
+        result = BatchResult(
+            outcomes=outcomes,
+            elapsed=time.perf_counter() - t0,
+            workers=pool_size,
+        )
+        if self.raise_on_error and result.errors:
+            bad = result.errors[0]
+            raise PipelineError(
+                f"{len(result.errors)} of {len(specs)} jobs failed; first "
+                f"({bad.spec.label}):\n{bad.error}"
+            )
+        return result

@@ -1,0 +1,193 @@
+"""Declarative job model for the batch-characterization pipeline.
+
+A :class:`JobSpec` names everything one unit of work depends on — the
+benchmark, the simulated interval, the supply network and the analysis
+stages to run — as plain values, never live objects.  That buys three
+things at once:
+
+* jobs can cross a process boundary (the executor pickles specs, not
+  simulators);
+* two specs that describe the same computation hash identically, which
+  is what makes the on-disk result cache content-addressed;
+* a spec is self-describing, so ``repro pipeline status`` and the cache
+  layout stay debuggable with nothing but a JSON viewer.
+
+The supply network travels as its design-facing parameter tuple (the
+frozen-dataclass fields of :class:`~repro.power.PowerSupplyNetwork`), so
+a worker reconstructs the *exact* network without re-running the
+stressmark calibration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields as dataclass_fields
+
+from .. import __version__
+from ..power import PowerSupplyNetwork
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CACHE_SALT",
+    "DEFAULT_STAGES",
+    "JobSpec",
+    "serialize_network",
+    "deserialize_network",
+]
+
+#: Bump when artifact layouts change; invalidates every cache entry.
+CACHE_SCHEMA_VERSION = 1
+
+#: Code-version salt folded into every cache key, so results computed by
+#: a different release or schema never alias.
+CACHE_SALT = f"repro/{__version__}/pipeline-schema-{CACHE_SCHEMA_VERSION}"
+
+#: The §4 characterization chain (Figure 9's estimate vs. truth).
+DEFAULT_STAGES = ("simulate", "voltage", "characterize")
+
+
+def serialize_network(network: PowerSupplyNetwork) -> tuple[tuple[str, float], ...]:
+    """A network as a sorted, hashable (field, value) tuple."""
+    return tuple(
+        sorted(
+            (f.name, float(getattr(network, f.name)))
+            for f in dataclass_fields(network)
+        )
+    )
+
+
+def deserialize_network(
+    data: tuple[tuple[str, float], ...] | None,
+) -> PowerSupplyNetwork:
+    """Rebuild the exact network a spec was created with."""
+    if data is None:
+        raise ValueError("job spec carries no supply network")
+    return PowerSupplyNetwork(**dict(data))
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One benchmark x configuration x analysis-chain unit of work.
+
+    Attributes
+    ----------
+    benchmark:
+        Workload-model name (``repro.workloads.SPEC2000``).
+    cycles / seed / warmup_cycles:
+        Simulation interval, stream seed and SimPoint-style preamble —
+        the full :func:`~repro.uarch.simulate_benchmark` contract.
+    window / threshold:
+        Characterization window (cycles, power of two) and the voltage
+        control point the §4 estimate targets.
+    network:
+        Serialized supply network (see :func:`serialize_network`), or
+        ``None`` for stages that need no supply model.
+    impedance:
+        Display label only (the paper's "percent of target impedance");
+        never hashed — the concrete ``network`` is what matters.
+    stages:
+        Ordered analysis stages from the registry
+        (:mod:`repro.pipeline.stages`).
+    params:
+        Sorted (name, value) pairs of stage-specific knobs (control
+        scheme, monitor terms, margin, ...), JSON-scalar values only.
+    """
+
+    benchmark: str
+    cycles: int = 32768
+    seed: int | None = None
+    warmup_cycles: int = 4096
+    window: int = 256
+    threshold: float = 0.97
+    network: tuple[tuple[str, float], ...] | None = None
+    impedance: float | None = None
+    stages: tuple[str, ...] = DEFAULT_STAGES
+    params: tuple[tuple[str, object], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.benchmark:
+            raise ValueError("benchmark must be non-empty")
+        if self.cycles <= 0:
+            raise ValueError("cycles must be positive")
+        if self.warmup_cycles < 0:
+            raise ValueError("warmup_cycles must be non-negative")
+        if not self.stages:
+            raise ValueError("a job needs at least one stage")
+        names = [name for name, _ in self.params]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate params: {names}")
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def make(
+        cls,
+        benchmark: str,
+        *,
+        network: PowerSupplyNetwork | None = None,
+        params: dict[str, object] | None = None,
+        **kwargs,
+    ) -> "JobSpec":
+        """Build a spec from live objects (network, params dict)."""
+        return cls(
+            benchmark=benchmark,
+            network=serialize_network(network) if network is not None else None,
+            params=tuple(sorted((params or {}).items())),
+            **kwargs,
+        )
+
+    # -- access ---------------------------------------------------------------
+
+    def param(self, name: str, default=None):
+        """A stage parameter by name, or ``default``."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def field_value(self, name: str):
+        """A hashable field by name — spec attribute, else param."""
+        if name == "params":
+            return list(list(p) for p in self.params)
+        if hasattr(self, name):
+            value = getattr(self, name)
+            return list(list(p) for p in value) if name == "network" and value else value
+        return self.param(name)
+
+    def resolve_network(self) -> PowerSupplyNetwork:
+        """The live supply network this spec was built against."""
+        return deserialize_network(self.network)
+
+    # -- identity -------------------------------------------------------------
+
+    def canonical(self) -> dict:
+        """The spec as a JSON-ready dict (stable field order via sort)."""
+        return {
+            "benchmark": self.benchmark,
+            "cycles": self.cycles,
+            "seed": self.seed,
+            "warmup_cycles": self.warmup_cycles,
+            "window": self.window,
+            "threshold": self.threshold,
+            "network": self.field_value("network"),
+            "stages": list(self.stages),
+            "params": self.field_value("params"),
+        }
+
+    def digest(self) -> str:
+        """Content hash of the whole spec (includes the code salt)."""
+        return hash_payload({"salt": CACHE_SALT, "spec": self.canonical()})
+
+    @property
+    def label(self) -> str:
+        """Short human label for progress lines."""
+        if self.impedance is not None:
+            return f"{self.benchmark}@{self.impedance:.0f}%"
+        return self.benchmark
+
+
+def hash_payload(payload: dict) -> str:
+    """SHA-256 of a canonical-JSON payload (the cache-key primitive)."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()

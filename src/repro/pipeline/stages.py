@@ -1,0 +1,252 @@
+"""Stage registry: the pipeline's unit computations.
+
+Each stage wraps one existing entry point — the out-of-order simulator,
+the convolution voltage engine, the §4 wavelet-variance estimator, the
+§5 closed-loop controllers — behind a uniform signature::
+
+    stage(ctx: StageContext) -> artifact
+
+Artifacts are either a :class:`~repro.uarch.SimulationResult` (``kind
+= "result"``, persisted via :mod:`repro.uarch.traceio`) or a JSON-ready
+dict of scalars (``kind = "json"``), so every artifact round-trips the
+on-disk cache byte-identically.
+
+Cache keys chain: stage *n*'s key hashes its own spec fields together
+with stage *n-1*'s key, so editing the characterization threshold
+invalidates ``voltage``/``characterize`` entries while the expensive
+``simulate`` entry stays valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core import (
+    AnalogVoltageSensor,
+    ControlResult,
+    FullConvolutionMonitor,
+    PipelineDampingController,
+    ThresholdController,
+    WaveletVoltageEstimator,
+    WaveletVoltageMonitor,
+    run_control_experiment,
+)
+from ..power import ConvolutionVoltageSimulator
+from ..uarch import simulate_benchmark
+from .spec import CACHE_SALT, JobSpec, hash_payload
+from .windows import streaming_fraction_below, streaming_level_contributions
+
+__all__ = [
+    "Stage",
+    "StageContext",
+    "available_stages",
+    "get_stage",
+    "register_stage",
+    "stage_cache_keys",
+    "control_result_from_artifact",
+]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One registered pipeline stage."""
+
+    name: str
+    func: Callable[["StageContext"], object]
+    fields: tuple[str, ...]  # spec fields hashed into this stage's key
+    kind: str = "json"  # artifact serialization: "json" | "result"
+
+
+_REGISTRY: dict[str, Stage] = {}
+
+
+def register_stage(name: str, *, fields: tuple[str, ...], kind: str = "json"):
+    """Decorator registering a stage function under ``name``."""
+
+    def wrap(func):
+        if name in _REGISTRY:
+            raise ValueError(f"stage {name!r} already registered")
+        if kind not in ("json", "result"):
+            raise ValueError(f"unknown artifact kind {kind!r}")
+        _REGISTRY[name] = Stage(name=name, func=func, fields=fields, kind=kind)
+        return func
+
+    return wrap
+
+
+def get_stage(name: str) -> Stage:
+    """Look up a registered stage."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown stage {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_stages() -> tuple[str, ...]:
+    """Registered stage names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def stage_cache_keys(spec: JobSpec) -> dict[str, str]:
+    """The chained content-address of every stage of a job."""
+    keys: dict[str, str] = {}
+    prev = ""
+    for name in spec.stages:
+        stage = get_stage(name)
+        payload = {
+            "salt": CACHE_SALT,
+            "stage": name,
+            "prev": prev,
+            "fields": {f: spec.field_value(f) for f in stage.fields},
+        }
+        prev = hash_payload(payload)
+        keys[name] = prev
+    return keys
+
+
+# Process-level estimator memo: calibrating scale factors costs a
+# stressmark-sized simulation, and every job against the same network
+# shares the result (exactly as the figure code shared one estimator).
+_ESTIMATORS: dict[tuple, WaveletVoltageEstimator] = {}
+
+
+class StageContext:
+    """Per-job execution context handed to every stage.
+
+    Lazily builds (and memoizes per process) the shared heavy objects —
+    supply network, calibrated estimator, convolution engine — and
+    carries the artifacts of already-executed stages in ``artifacts``.
+    """
+
+    def __init__(self, spec: JobSpec) -> None:
+        self.spec = spec
+        self.artifacts: dict[str, object] = {}
+
+    @property
+    def network(self):
+        return self.spec.resolve_network()
+
+    @property
+    def estimator(self) -> WaveletVoltageEstimator:
+        key = (self.spec.network, self.spec.window)
+        if key not in _ESTIMATORS:
+            _ESTIMATORS[key] = WaveletVoltageEstimator(
+                self.network, window=self.spec.window
+            )
+        return _ESTIMATORS[key]
+
+    def simulation(self):
+        """The upstream simulation artifact (most stages' input)."""
+        try:
+            return self.artifacts["simulate"]
+        except KeyError:
+            raise ValueError(
+                f"stage chain {self.spec.stages} needs 'simulate' first"
+            ) from None
+
+
+# -- built-in stages ----------------------------------------------------------
+
+
+@register_stage(
+    "simulate",
+    fields=("benchmark", "cycles", "seed", "warmup_cycles"),
+    kind="result",
+)
+def _stage_simulate(ctx: StageContext):
+    """Run the Table-1 machine over the workload model (§3.2)."""
+    return simulate_benchmark(
+        ctx.spec.benchmark,
+        cycles=ctx.spec.cycles,
+        seed=ctx.spec.seed,
+        warmup_cycles=ctx.spec.warmup_cycles,
+    )
+
+
+@register_stage("voltage", fields=("network", "threshold"))
+def _stage_voltage(ctx: StageContext):
+    """Convolution-simulated supply voltage: the §4 ground truth."""
+    result = ctx.simulation()
+    sim = ConvolutionVoltageSimulator(ctx.network)
+    current = result.current
+    voltage = sim.voltage(current)[min(sim.taps, len(current) // 4) :]
+    return {
+        "observed": float(np.mean(voltage < ctx.spec.threshold)),
+        "min_voltage": float(voltage.min()) if voltage.size else None,
+        "mean_voltage": float(voltage.mean()) if voltage.size else None,
+        "settled_cycles": int(voltage.size),
+    }
+
+
+@register_stage("characterize", fields=("network", "threshold", "window"))
+def _stage_characterize(ctx: StageContext):
+    """The §4.1 wavelet-variance estimate, streamed window by window."""
+    result = ctx.simulation()
+    estimator = ctx.estimator
+    estimated, count = streaming_fraction_below(
+        estimator, result.current, ctx.spec.threshold
+    )
+    levels = streaming_level_contributions(estimator, result.current)
+    return {
+        "estimated": estimated,
+        "windows": count,
+        # JSON object keys are strings; keep them strings from the start
+        # so cached and fresh artifacts compare equal.
+        "level_contributions": {str(lvl): v for lvl, v in levels.items()},
+    }
+
+
+def build_controller(scheme: str, network, spec: JobSpec):
+    """Construct a §5/§6 controller from declarative spec params."""
+    margin = float(spec.param("margin", 0.012))
+    if scheme == "wavelet":
+        terms = int(spec.param("terms", 13))
+        return ThresholdController(
+            WaveletVoltageMonitor(network, terms=terms), network, margin
+        )
+    if scheme == "fullconv":
+        return ThresholdController(
+            FullConvolutionMonitor(network), network, margin
+        )
+    if scheme == "analog":
+        delay = int(spec.param("sensor_delay", 2))
+        return ThresholdController(
+            AnalogVoltageSensor(network, delay=delay), network, margin
+        )
+    if scheme == "damping":
+        kwargs = {"delta": float(spec.param("damping_delta", 6.0))}
+        window = spec.param("damping_window")
+        if window is not None:
+            kwargs["window"] = int(window)
+        return PipelineDampingController(network, **kwargs)
+    raise ValueError(f"unknown control scheme {scheme!r}")
+
+
+@register_stage(
+    "control",
+    fields=("benchmark", "cycles", "warmup_cycles", "network", "params"),
+)
+def _stage_control(ctx: StageContext):
+    """One closed-loop control experiment (§5.3 / Table 2)."""
+    spec = ctx.spec
+    scheme = str(spec.param("scheme", "wavelet"))
+    network = ctx.network
+    result = run_control_experiment(
+        spec.benchmark,
+        network,
+        lambda: build_controller(scheme, network, spec),
+        cycles=spec.cycles,
+        warmup_cycles=spec.warmup_cycles,
+    )
+    return {"scheme": scheme, **asdict(result)}
+
+
+def control_result_from_artifact(artifact: dict) -> ControlResult:
+    """Rebuild the live :class:`ControlResult` from a control artifact."""
+    data = {k: v for k, v in artifact.items() if k != "scheme"}
+    return ControlResult(**data)

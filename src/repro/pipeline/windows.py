@@ -1,0 +1,127 @@
+"""Chunked/streaming window iteration over current traces.
+
+The §4 characterization consumes a trace strictly as a sequence of
+non-overlapping power-of-two windows, so no stage ever needs the whole
+trace resident: this module turns any source — an in-memory array, a
+memory-mapped ``.npy`` file, or an arbitrary iterable of sample chunks —
+into a stream of exact-size windows with O(window) working memory.
+
+The streaming aggregators mirror the accumulation order of
+:class:`~repro.core.WaveletVoltageEstimator`'s whole-trace methods
+exactly, so a streamed estimate is bit-identical to the in-memory one.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "as_chunks",
+    "iter_windows",
+    "streaming_fraction_below",
+    "streaming_level_contributions",
+]
+
+#: Default samples per chunk when re-chunking an array-like source.
+CHUNK = 1 << 16
+
+
+def as_chunks(source, chunk: int = CHUNK) -> Iterator[np.ndarray]:
+    """Yield 1-D float chunks from any trace source.
+
+    Accepts a 1-D array (or memmap), a ``.npy``/``.npz`` path, or an
+    iterable of scalars/arrays.  ``.npy`` files are memory-mapped so an
+    arbitrarily long on-disk trace is never fully materialized; ``.npz``
+    archives (our :mod:`~repro.uarch.traceio` format) decompress fully —
+    prefer ``.npy`` for traces that do not fit in memory.
+    """
+    if chunk < 1:
+        raise ValueError("chunk must be at least one sample")
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        if path.suffix == ".npy":
+            source = np.load(path, mmap_mode="r")
+        else:
+            from ..uarch.traceio import import_current_trace
+
+            source = import_current_trace(path).current
+    if isinstance(source, np.ndarray):
+        if source.ndim != 1:
+            raise ValueError("current trace must be 1-D")
+        for start in range(0, len(source), chunk):
+            yield np.asarray(source[start : start + chunk], dtype=float)
+        return
+    buf: list[float] = []
+    for piece in source:
+        arr = np.atleast_1d(np.asarray(piece, dtype=float))
+        if arr.ndim != 1:
+            raise ValueError("trace chunks must be scalars or 1-D arrays")
+        if len(buf) + arr.size >= chunk:
+            yield np.concatenate([np.asarray(buf), arr]) if buf else arr
+            buf = []
+        else:
+            buf.extend(arr.tolist())
+    if buf:
+        yield np.asarray(buf, dtype=float)
+
+
+def iter_windows(
+    source, window: int, chunk: int = CHUNK
+) -> Iterator[np.ndarray]:
+    """Non-overlapping ``window``-sized views of a trace, streamed.
+
+    The trailing partial window (fewer than ``window`` samples) is
+    dropped, matching the whole-trace estimators' tiling.
+    """
+    if window < 1:
+        raise ValueError("window must be at least one sample")
+    carry = np.empty(0)
+    for arr in as_chunks(source, chunk=max(chunk, window)):
+        if carry.size:
+            arr = np.concatenate([carry, arr])
+        count = len(arr) // window
+        for k in range(count):
+            yield arr[k * window : (k + 1) * window]
+        carry = arr[count * window :]
+
+
+def streaming_fraction_below(
+    estimator, source, threshold: float
+) -> tuple[float, int]:
+    """Streamed equivalent of ``estimator.estimate_fraction_below``.
+
+    Returns ``(estimate, windows_seen)``; accumulation order matches the
+    in-memory method, so results are bit-identical for the same trace.
+    """
+    total = 0.0
+    count = 0
+    for w in iter_windows(source, estimator.window):
+        total += estimator.characterize_window(w).prob_below(threshold)
+        count += 1
+    if count == 0:
+        raise ValueError(
+            f"trace shorter than one {estimator.window}-cycle window"
+        )
+    return total / count, count
+
+
+def streaming_level_contributions(estimator, source) -> dict[int, float]:
+    """Streamed equivalent of ``estimator.level_contributions``."""
+    totals = {lvl: 0.0 for lvl in range(1, estimator.levels + 1)}
+    count = 0
+    for w in iter_windows(source, estimator.window):
+        ch = estimator.characterize_window(w)
+        for lvl in totals:
+            totals[lvl] += (
+                estimator.factors.factor(lvl, ch.scale_correlations[lvl])
+                * ch.scale_variances[lvl]
+            )
+        count += 1
+    if count == 0:
+        raise ValueError(
+            f"trace shorter than one {estimator.window}-cycle window"
+        )
+    return {lvl: v / count for lvl, v in totals.items()}

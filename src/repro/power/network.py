@@ -21,7 +21,7 @@ under the worst-case stressmark; 150 % = 1.5x that impedance).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 
 import numpy as np
@@ -117,9 +117,9 @@ class PowerSupplyNetwork:
         w0 = 2.0 * np.pi * self.resonant_hz
         q = self.quality_factor
         r = self.impedance_scale * self.peak_impedance / (q * np.sqrt(1.0 + q * q))
-        l = q * r / w0
-        c = 1.0 / (w0 * w0 * l)
-        return SupplyParameters(resistance=r, inductance=l, capacitance=c)
+        ind = q * r / w0
+        c = 1.0 / (w0 * w0 * ind)
+        return SupplyParameters(resistance=r, inductance=ind, capacitance=c)
 
     @property
     def cycle_time(self) -> float:

@@ -9,7 +9,6 @@ artifact, or pasting into an issue.  The CLI exposes it as
 
 from __future__ import annotations
 
-import numpy as np
 
 from . import viz
 from .core import calibrated_supply

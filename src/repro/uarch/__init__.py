@@ -34,7 +34,12 @@ from .simulator import (
     Simulator,
     simulate_benchmark,
 )
-from .traceio import import_current_trace, load_result, save_result
+from .traceio import (
+    import_current_trace,
+    load_result,
+    sanitize_current,
+    save_result,
+)
 
 __all__ = [
     "ActivityCounters",
@@ -66,6 +71,7 @@ __all__ = [
     "import_current_trace",
     "load_result",
     "make_predictor",
+    "sanitize_current",
     "save_result",
     "simulate_benchmark",
 ]

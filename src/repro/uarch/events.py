@@ -8,9 +8,8 @@ outstanding — the signal behind Figures 10–12.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
 
 __all__ = ["RunStatistics"]
 

@@ -19,7 +19,7 @@ from collections import deque
 from typing import Iterator
 
 from .branch import BranchTargetBuffer, ReturnAddressStack, make_predictor
-from .caches import CacheHierarchy, ServiceLevel
+from .caches import CacheHierarchy
 from .config import ProcessorConfig
 from .events import RunStatistics
 from .funits import FunctionalUnits

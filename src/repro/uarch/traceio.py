@@ -25,7 +25,12 @@ import numpy as np
 from .events import RunStatistics
 from .simulator import SimulationResult
 
-__all__ = ["save_result", "load_result", "import_current_trace"]
+__all__ = [
+    "save_result",
+    "load_result",
+    "import_current_trace",
+    "sanitize_current",
+]
 
 _FORMAT = "repro-current-trace"
 _VERSION = 1
@@ -93,10 +98,52 @@ def load_result(path: str | Path) -> SimulationResult:
         )
 
 
+def sanitize_current(
+    current: np.ndarray, origin: str, nan_policy: str = "error"
+) -> np.ndarray:
+    """Validate (or repair) the non-finite samples of a current trace.
+
+    NaN or infinite amperes silently poison everything downstream — the
+    wavelet transform propagates one NaN into every coefficient of the
+    window, and the convolution engine smears it across the whole
+    voltage trace — so they must be dealt with at the import boundary.
+
+    ``nan_policy`` decides how:
+
+    * ``"error"`` (default) — raise ``ValueError`` naming how many NaN /
+      infinite samples there are and where the first one sits;
+    * ``"drop"`` — remove the offending samples (shortens the trace);
+    * ``"zero"`` — replace them with 0.0 A (keeps cycle alignment).
+    """
+    if nan_policy not in ("error", "drop", "zero"):
+        raise ValueError(
+            f"nan_policy must be 'error', 'drop' or 'zero', "
+            f"got {nan_policy!r}"
+        )
+    finite = np.isfinite(current)
+    if finite.all():
+        return current
+    nans = int(np.isnan(current).sum())
+    infs = int(np.isinf(current).sum())
+    if nan_policy == "error":
+        first = int(np.flatnonzero(~finite)[0])
+        raise ValueError(
+            f"{origin} contains {nans} NaN and {infs} infinite current "
+            f"samples (first at index {first} of {current.size}); pass "
+            f"nan_policy='drop' or 'zero' to sanitize instead"
+        )
+    if nan_policy == "drop":
+        return current[finite]
+    repaired = current.copy()
+    repaired[~finite] = 0.0
+    return repaired
+
+
 def import_current_trace(
     path: str | Path,
     name: str | None = None,
     column: int = 0,
+    nan_policy: str = "error",
 ) -> SimulationResult:
     """Import an external per-cycle current trace.
 
@@ -105,6 +152,11 @@ def import_current_trace(
     line, or whitespace-separated columns with ``column`` selecting the
     amperes column — the shape gem5/McPAT post-processing scripts
     usually emit).
+
+    Every import path — including our own ``.npz`` archives — passes
+    through :func:`sanitize_current`, so NaN and infinite samples are
+    rejected with a clear error (or repaired, per ``nan_policy``) rather
+    than silently propagating into the wavelet transform.
 
     The returned :class:`SimulationResult` carries empty run statistics
     and no event log; the characterization pipeline needs neither.
@@ -115,7 +167,18 @@ def import_current_trace(
     elif path.suffix == ".npz":
         with np.load(path, allow_pickle=False) as data:
             if str(data.get("format", "")) == _FORMAT:
-                return load_result(path)
+                result = load_result(path)
+                current = sanitize_current(
+                    result.current, str(path), nan_policy
+                )
+                if current is result.current:
+                    return result
+                return SimulationResult(
+                    name=name or result.name,
+                    current=current,
+                    l2_outstanding=np.zeros(current.size, dtype=bool),
+                    stats=RunStatistics(cycles=current.size),
+                )
             if "current" not in data:
                 raise ValueError(f"{path} has no 'current' array")
             current = np.asarray(data["current"])
@@ -129,8 +192,9 @@ def import_current_trace(
     current = np.asarray(current, dtype=float).ravel()
     if current.size == 0:
         raise ValueError(f"{path} contains no samples")
-    if not np.all(np.isfinite(current)):
-        raise ValueError(f"{path} contains non-finite samples")
+    current = sanitize_current(current, str(path), nan_policy)
+    if current.size == 0:
+        raise ValueError(f"{path} contains no finite samples")
     if np.any(current < 0):
         raise ValueError(f"{path} contains negative current samples")
     return SimulationResult(

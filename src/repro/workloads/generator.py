@@ -2,9 +2,17 @@
 
 Turns a :class:`~repro.workloads.spec.WorkloadProfile` into the lazy
 sequence of :class:`~repro.uarch.isa.Instruction` objects the pipeline
-consumes.  All randomness flows from one seeded ``numpy`` generator, so a
-(benchmark, seed) pair always produces the identical stream — every
-experiment in the repo is bit-reproducible.
+consumes.  All randomness flows from one explicitly-passed
+``numpy.random.Generator`` — there is no module-level RNG state anywhere
+in this package — so a (benchmark, seed) pair always produces the
+identical stream, and parallel pipeline workers simulating different
+benchmarks can never perturb each other's draws: every experiment in the
+repo is bit-reproducible regardless of worker count or execution order.
+
+``seed`` arguments accept an ``int`` (seeds a fresh generator), an
+existing ``numpy.random.Generator`` (used as-is, for callers that manage
+streams via ``numpy.random.SeedSequence.spawn``), or ``None`` (the
+profile's own seed).
 
 Structure
 ---------
@@ -67,14 +75,26 @@ class _Slot:
     target_offset: int = 0  # taken-branch displacement (instructions)
 
 
+def _resolve_rng(
+    profile: WorkloadProfile,
+    seed: int | np.random.Generator | None,
+) -> np.random.Generator:
+    """One generator per stream: explicit Generator > int seed > profile."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(profile.seed if seed is None else seed)
+
+
 class InstructionGenerator:
     """Iterator of dynamic instructions for one workload profile."""
 
-    def __init__(self, profile: WorkloadProfile, seed: int | None = None) -> None:
+    def __init__(
+        self,
+        profile: WorkloadProfile,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
         self.profile = profile
-        self._rng = np.random.default_rng(
-            profile.seed if seed is None else seed
-        )
+        self._rng = _resolve_rng(profile, seed)
         self._phases = PhaseScheduler(profile.phases, self._rng)
         self._cold_ptr = _COLD_BASE
         self._cold_code_ptr = _COLD_CODE_BASE
@@ -311,7 +331,8 @@ def prewarm_caches(hierarchy, profile: WorkloadProfile | str) -> None:
 
 
 def generate(
-    profile: WorkloadProfile | str, seed: int | None = None
+    profile: WorkloadProfile | str,
+    seed: int | np.random.Generator | None = None,
 ) -> InstructionGenerator:
     """Build a generator from a profile or a benchmark name."""
     if isinstance(profile, str):
@@ -322,7 +343,7 @@ def generate(
 def instruction_stream(
     profile: WorkloadProfile | str,
     count: int,
-    seed: int | None = None,
+    seed: int | np.random.Generator | None = None,
 ) -> Iterator[Instruction]:
     """A bounded stream of ``count`` instructions."""
     if count < 0:

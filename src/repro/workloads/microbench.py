@@ -25,7 +25,7 @@ _HOT_BASE = 0x1800_0000
 def stressmark_stream(
     half_period_cycles: int,
     burst_ipc: float = 3.5,
-    seed: int = 0,
+    seed: int | np.random.Generator = 0,
 ) -> Iterator[Instruction]:
     """Alternating burst/dead instruction stream.
 
@@ -42,7 +42,8 @@ def stressmark_stream(
         raise ValueError("half_period_cycles must be positive")
     if burst_ipc <= 0:
         raise ValueError("burst_ipc must be positive")
-    rng = np.random.default_rng(seed)
+    rng = (seed if isinstance(seed, np.random.Generator)
+           else np.random.default_rng(seed))
     burst_len = max(1, int(round(half_period_cycles * burst_ipc)))
     chain = max(1, int(np.ceil(half_period_cycles / 4)))
     # The stressmark is a tight loop: PCs repeat so the front end streams

@@ -20,7 +20,7 @@ draw — which the profile controls through three levers:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = [
     "PhaseSpec",

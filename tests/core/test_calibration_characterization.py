@@ -10,7 +10,7 @@ from repro.core import (
     calibrated_supply,
     predict_trace,
 )
-from repro.power import PowerSupplyNetwork, simulate_voltage
+from repro.power import simulate_voltage
 
 
 @pytest.fixture(scope="module")

@@ -1,6 +1,5 @@
 """Unit tests for the hysteresis controller variant."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

@@ -1,6 +1,5 @@
 """Unit tests for the phase-aware controller."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

@@ -1,0 +1,117 @@
+"""Executor behavior: ordering, telemetry, errors, worker-pool parity."""
+
+import pytest
+
+from repro.core import calibrated_supply, predict_trace
+from repro.pipeline import (
+    JobSpec,
+    PipelineError,
+    build_characterization_jobs,
+    build_control_jobs,
+    control_results_from,
+    predictions_from,
+    run_batch,
+    suite_names,
+)
+from repro.uarch import simulate_benchmark
+
+CYCLES = 4096
+NAMES = ("gzip", "mcf")
+
+
+@pytest.fixture(scope="module")
+def net150():
+    return calibrated_supply(150)
+
+
+@pytest.fixture(scope="module")
+def batch(net150):
+    jobs = build_characterization_jobs(NAMES, net150, cycles=CYCLES)
+    return run_batch(jobs)
+
+
+class TestInlineExecution:
+    def test_outcomes_keep_submission_order(self, batch):
+        assert [o.spec.benchmark for o in batch.outcomes] == list(NAMES)
+
+    def test_telemetry_recorded(self, batch):
+        for o in batch.outcomes:
+            assert set(o.timings) == {"simulate", "voltage", "characterize"}
+            assert all(t >= 0 for t in o.timings.values())
+            assert o.elapsed > 0
+            assert o.cache_hits == {s: False for s in o.timings}
+
+    def test_matches_legacy_predict_trace(self, batch, net150):
+        preds = predictions_from(batch)
+        for name in NAMES:
+            trace = simulate_benchmark(name, cycles=CYCLES).current
+            legacy = predict_trace(net150, trace, 0.97, name)
+            assert preds[name].estimated == legacy.estimated
+            assert preds[name].observed == legacy.observed
+
+    def test_progress_callback_sees_every_job(self, net150):
+        jobs = build_characterization_jobs(NAMES, net150, cycles=CYCLES)
+        seen = []
+        run_batch(jobs, progress=lambda o: seen.append(o.spec.benchmark))
+        assert seen == list(NAMES)
+
+
+class TestErrors:
+    def test_failed_job_raises_by_default(self):
+        bad = JobSpec("no-such-benchmark", stages=("simulate",))
+        with pytest.raises(PipelineError, match="no-such-benchmark"):
+            run_batch([bad])
+
+    def test_failures_collected_when_asked(self, net150):
+        bad = JobSpec("no-such-benchmark", stages=("simulate",))
+        good = build_characterization_jobs(("gzip",), net150, cycles=CYCLES)
+        batch = run_batch([bad] + good, raise_on_error=False)
+        assert not batch.outcomes[0].ok
+        assert batch.outcomes[1].ok
+        assert len(batch.errors) == 1
+
+
+class TestControlJobs:
+    def test_control_results_round_trip(self, net150):
+        jobs = build_control_jobs(
+            ("vpr",), net150, scheme="wavelet", cycles=3000,
+            terms=13, margin=0.012,
+        )
+        results = control_results_from(run_batch(jobs))
+        assert results[0].name == "vpr"
+        assert abs(results[0].slowdown) < 0.1
+
+    def test_unknown_scheme_fails(self, net150):
+        jobs = build_control_jobs(("vpr",), net150, scheme="psychic",
+                                  cycles=1024)
+        with pytest.raises(PipelineError, match="unknown control scheme"):
+            run_batch(jobs)
+
+
+class TestSuites:
+    def test_suite_names(self):
+        assert len(suite_names("spec2000")) == 26
+        assert set(suite_names("int")) | set(suite_names("fp")) == set(
+            suite_names("spec2000")
+        )
+        with pytest.raises(ValueError, match="unknown suite"):
+            suite_names("spec2017")
+
+
+@pytest.mark.slow
+class TestWorkerPool:
+    def test_parallel_equals_serial(self, net150, tmp_path):
+        jobs = build_characterization_jobs(
+            ("gzip", "mcf", "vpr"), net150, cycles=CYCLES
+        )
+        serial = predictions_from(run_batch(jobs, jobs=1))
+        parallel = predictions_from(
+            run_batch(jobs, jobs=3, cache_dir=tmp_path)
+        )
+        assert serial == parallel
+
+    def test_parallel_cache_warm_restart(self, net150, tmp_path):
+        jobs = build_characterization_jobs(NAMES, net150, cycles=CYCLES)
+        run_batch(jobs, jobs=2, cache_dir=tmp_path)
+        again = run_batch(jobs, jobs=2, cache_dir=tmp_path)
+        assert again.cache_hits == again.stage_runs

@@ -1,0 +1,77 @@
+"""Job-spec identity: canonical hashing and chained stage keys."""
+
+import pytest
+
+from repro.pipeline import (
+    JobSpec,
+    deserialize_network,
+    serialize_network,
+    stage_cache_keys,
+)
+from repro.power import PowerSupplyNetwork
+
+
+def spec(**kw):
+    base = dict(benchmark="gzip", cycles=4096)
+    base.update(kw)
+    return JobSpec.make(base.pop("benchmark"), network=PowerSupplyNetwork(), **base)
+
+
+class TestNetworkSerialization:
+    def test_round_trip_is_exact(self):
+        net = PowerSupplyNetwork(impedance_scale=1.5, quality_factor=7.0)
+        assert deserialize_network(serialize_network(net)) == net
+
+    def test_missing_network_rejected(self):
+        s = JobSpec("gzip", stages=("simulate",))
+        with pytest.raises(ValueError, match="no supply network"):
+            s.resolve_network()
+
+
+class TestDigest:
+    def test_equal_specs_hash_equal(self):
+        assert spec().digest() == spec().digest()
+
+    def test_any_field_change_changes_digest(self):
+        base = spec().digest()
+        assert spec(cycles=8192).digest() != base
+        assert spec(threshold=0.96).digest() != base
+        assert spec(benchmark="mcf").digest() != base
+
+    def test_params_are_order_insensitive(self):
+        a = spec(params={"scheme": "wavelet", "terms": 13})
+        b = spec(params={"terms": 13, "scheme": "wavelet"})
+        assert a.digest() == b.digest()
+
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            JobSpec("gzip", params=(("a", 1), ("a", 2)))
+
+
+class TestStageKeys:
+    def test_keys_chain_in_stage_order(self):
+        keys = stage_cache_keys(spec())
+        assert list(keys) == ["simulate", "voltage", "characterize"]
+        assert len(set(keys.values())) == 3
+
+    def test_threshold_change_keeps_simulate_key(self):
+        a = stage_cache_keys(spec(threshold=0.97))
+        b = stage_cache_keys(spec(threshold=0.96))
+        assert a["simulate"] == b["simulate"]
+        assert a["voltage"] != b["voltage"]
+        assert a["characterize"] != b["characterize"]
+
+    def test_cycles_change_invalidates_whole_chain(self):
+        a = stage_cache_keys(spec(cycles=4096))
+        b = stage_cache_keys(spec(cycles=8192))
+        assert all(a[s] != b[s] for s in a)
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError, match="unknown stage"):
+            stage_cache_keys(spec(stages=("simulate", "nonsense")))
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="at least one stage"):
+            JobSpec("gzip", stages=())
+        with pytest.raises(ValueError, match="cycles"):
+            JobSpec("gzip", cycles=0)

@@ -100,3 +100,91 @@ class TestExtendedCommands:
 
         args = build_parser().parse_args(["sizing", "gzip", "mcf", "mgrid"])
         assert args.benchmarks == ["gzip", "mcf", "mgrid"]
+
+
+class TestPipelineParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["pipeline", "run"])
+        assert args.pipeline_command == "run"
+        assert args.jobs == 1
+        assert args.cache_dir == ".repro-cache"
+        assert args.suite is None and args.benchmarks is None
+
+    def test_run_suite_and_jobs(self):
+        args = build_parser().parse_args(
+            ["pipeline", "run", "--suite", "spec2000", "--jobs", "4"]
+        )
+        assert args.suite == "spec2000"
+        assert args.jobs == 4
+
+    def test_status_and_clear(self):
+        assert build_parser().parse_args(
+            ["pipeline", "status"]
+        ).pipeline_command == "status"
+        assert build_parser().parse_args(
+            ["pipeline", "clear"]
+        ).pipeline_command == "clear"
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["pipeline"])
+
+    def test_characterize_jobs_flag(self):
+        args = build_parser().parse_args(
+            ["characterize", "gcc", "vpr", "--jobs", "2"]
+        )
+        assert args.benchmarks == ["gcc", "vpr"]
+        assert args.jobs == 2
+
+
+class TestPipelineCommands:
+    def test_run_reports_timings_hits_and_rms(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        argv = [
+            "pipeline", "run", "--benchmarks", "vpr", "gzip",
+            "--cycles", "4096", "--cache-dir", cache,
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "simulate" in first and "[miss]" in first
+        assert "figure9 rms error" in first
+        assert "0 cache hits / 6 misses" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "[hit ]" in second
+        assert "6 cache hits / 0 misses" in second
+        # identical figure9 output between fresh and cached runs
+        def rms(out):
+            return [ln for ln in out.splitlines() if "rms error" in ln][0]
+
+        assert rms(first) == rms(second)
+
+    def test_run_no_cache(self, capsys):
+        assert main([
+            "pipeline", "run", "--benchmarks", "vpr",
+            "--cycles", "4096", "--no-cache",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cache disabled" in out
+
+    def test_status_and_clear(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        main([
+            "pipeline", "run", "--benchmarks", "vpr",
+            "--cycles", "4096", "--cache-dir", cache,
+        ])
+        capsys.readouterr()
+        assert main(["pipeline", "status", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "entries         : 3" in out
+        assert main(["pipeline", "clear", "--cache-dir", cache]) == 0
+        assert "removed 3" in capsys.readouterr().out
+
+    def test_characterize_multiple_benchmarks(self, capsys):
+        assert main([
+            "characterize", "vpr", "gzip", "--cycles", "4096",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 benchmarks at 150% impedance" in out
+        assert "est %" in out
+        assert "stage runs" in out

@@ -48,3 +48,13 @@ class TestExamples:
         out = run_example("ir_drop_map.py", "gzip")
         assert "spatial IR drop" in out
         assert "worst node" in out
+
+    def test_batch_characterize(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        first = run_example("batch_characterize.py", "2", cache, "gzip", "mcf")
+        assert "miss+miss+miss" in first
+        assert "figure9 rms error" in first
+        second = run_example("batch_characterize.py", "2", cache, "gzip", "mcf")
+        assert "hit+hit+hit" in second
+        rms = [ln for ln in first.splitlines() if "rms error" in ln]
+        assert rms == [ln for ln in second.splitlines() if "rms error" in ln]

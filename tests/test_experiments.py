@@ -1,6 +1,5 @@
 """Unit tests for the programmatic experiments API (small-scale runs)."""
 
-import numpy as np
 import pytest
 
 from repro.core import calibrated_supply

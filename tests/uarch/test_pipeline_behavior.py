@@ -5,8 +5,6 @@ never notice: in-order commit, RUU/fetch-queue backpressure, issue-width
 saturation, and store-to-load forwarding timing.
 """
 
-import numpy as np
-import pytest
 
 from repro.uarch import Instruction, OpClass, Pipeline, ProcessorConfig, TABLE_1
 

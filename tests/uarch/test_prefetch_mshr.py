@@ -1,6 +1,5 @@
 """Unit tests for the sequential prefetcher and MSHR limiting."""
 
-import numpy as np
 import pytest
 
 from repro.uarch import (

@@ -1,7 +1,5 @@
 """Property-based tests (hypothesis) for the microarchitecture substrate."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

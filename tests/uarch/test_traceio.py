@@ -93,3 +93,57 @@ class TestImport:
         p3.write_text("1 2\n3 4\n")
         with pytest.raises(ValueError):
             import_current_trace(p3, column=5)
+
+
+class TestSanitizeNonFinite:
+    """NaN/Inf samples must never reach the wavelet transform silently."""
+
+    def test_error_message_counts_and_locates(self, tmp_path):
+        p = tmp_path / "dirty.npy"
+        np.save(p, np.array([1.0, np.nan, np.inf, 2.0, np.nan]))
+        with pytest.raises(ValueError) as err:
+            import_current_trace(p)
+        msg = str(err.value)
+        assert "2 NaN" in msg and "1 infinite" in msg
+        assert "index 1" in msg
+
+    def test_drop_policy_removes_bad_samples(self, tmp_path):
+        p = tmp_path / "dirty.npy"
+        np.save(p, np.array([1.0, np.nan, 2.0, np.inf, 3.0]))
+        r = import_current_trace(p, nan_policy="drop")
+        np.testing.assert_allclose(r.current, [1.0, 2.0, 3.0])
+        assert r.stats.cycles == 3
+
+    def test_zero_policy_keeps_alignment(self, tmp_path):
+        p = tmp_path / "dirty.npy"
+        np.save(p, np.array([1.0, np.nan, 2.0]))
+        r = import_current_trace(p, nan_policy="zero")
+        np.testing.assert_allclose(r.current, [1.0, 0.0, 2.0])
+
+    def test_own_format_archives_are_validated_too(self, tmp_path):
+        from repro.uarch.events import RunStatistics
+        from repro.uarch.simulator import SimulationResult
+
+        dirty = SimulationResult(
+            name="dirty",
+            current=np.array([1.0, np.nan, 2.0]),
+            l2_outstanding=np.zeros(3, dtype=bool),
+            stats=RunStatistics(cycles=3),
+        )
+        path = save_result(dirty, tmp_path / "dirty.npz")
+        with pytest.raises(ValueError, match="NaN"):
+            import_current_trace(path)
+        repaired = import_current_trace(path, nan_policy="zero")
+        np.testing.assert_allclose(repaired.current, [1.0, 0.0, 2.0])
+
+    def test_all_nan_trace_rejected_even_with_drop(self, tmp_path):
+        p = tmp_path / "void.npy"
+        np.save(p, np.array([np.nan, np.nan]))
+        with pytest.raises(ValueError, match="no finite samples"):
+            import_current_trace(p, nan_policy="drop")
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        p = tmp_path / "ok.npy"
+        np.save(p, np.array([1.0, 2.0]))
+        with pytest.raises(ValueError, match="nan_policy"):
+            import_current_trace(p, nan_policy="ignore")

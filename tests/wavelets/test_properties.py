@@ -10,7 +10,6 @@ from repro.wavelets import (
     WaveletConvolver,
     decompose,
     dwt,
-    haar_dwt,
     idwt,
     subband_signals,
     wavedec,
