@@ -18,6 +18,11 @@ Four commands cover the repo's main flows:
 * ``breakdown`` — Wattch-style per-unit power breakdown of a benchmark.
 * ``sizing`` — the largest target impedance a workload set tolerates.
 * ``report`` — the whole evaluation as one text report.
+* ``obs`` — observability utilities (``obs report`` renders a JSONL log).
+
+Every command accepts the global ``--obs {off,summary,jsonl,prom}`` flag
+(before or after the subcommand) selecting the telemetry exporter, plus
+``--obs-path`` for the JSONL log location; see ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -26,7 +31,7 @@ import argparse
 
 import numpy as np
 
-from . import viz
+from . import obs, viz
 from .core import (
     AnalogVoltageSensor,
     FullConvolutionMonitor,
@@ -42,21 +47,61 @@ from .workloads import SPEC2000, SPEC_FP, SPEC_INT
 __all__ = ["main", "build_parser"]
 
 
+OBS_MODES = ("off", "summary", "jsonl", "prom")
+
+
+def _obs_options() -> argparse.ArgumentParser:
+    """Shared ``--obs`` options, attachable to any subparser.
+
+    Subparsers default to ``SUPPRESS`` so a flag given after the
+    subcommand overrides the root default while its absence leaves the
+    root-level value (``repro --obs summary pipeline run`` and
+    ``repro pipeline run --obs summary`` both work).
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--obs",
+        choices=OBS_MODES,
+        default=argparse.SUPPRESS,
+        help="telemetry exporter: console summary, JSONL log, "
+             "Prometheus dump (default off)",
+    )
+    parent.add_argument(
+        "--obs-path",
+        default=argparse.SUPPRESS,
+        help="JSONL log path for --obs jsonl (default repro-obs.jsonl)",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument schema (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Wavelet-based dI/dt characterization (HPCA 2004 repro)",
     )
+    parser.add_argument(
+        "--obs",
+        choices=OBS_MODES,
+        default="off",
+        help="telemetry exporter (see docs/OBSERVABILITY.md)",
+    )
+    parser.add_argument("--obs-path", default=None, help=argparse.SUPPRESS)
+    obs_opts = _obs_options()
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available benchmark models")
 
-    sim = sub.add_parser("simulate", help="simulate one benchmark")
+    sim = sub.add_parser(
+        "simulate", help="simulate one benchmark", parents=[obs_opts]
+    )
     sim.add_argument("benchmark", choices=sorted(SPEC2000))
     sim.add_argument("--cycles", type=int, default=16384)
 
-    char = sub.add_parser("characterize", help="offline §4 characterization")
+    char = sub.add_parser(
+        "characterize", help="offline §4 characterization",
+        parents=[obs_opts],
+    )
     char.add_argument("benchmarks", nargs="+", choices=sorted(SPEC2000),
                       metavar="benchmark")
     char.add_argument("--cycles", type=int, default=32768)
@@ -68,7 +113,9 @@ def build_parser() -> argparse.ArgumentParser:
     char.add_argument("--cache-dir", default=None,
                       help="on-disk result cache directory (default: none)")
 
-    ctl = sub.add_parser("control", help="closed-loop §5 dI/dt control")
+    ctl = sub.add_parser(
+        "control", help="closed-loop §5 dI/dt control", parents=[obs_opts]
+    )
     ctl.add_argument("benchmark", choices=sorted(SPEC2000))
     ctl.add_argument("--cycles", type=int, default=12288)
     ctl.add_argument("--impedance", type=float, default=150.0)
@@ -83,25 +130,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ctl.add_argument("--damping-delta", type=float, default=6.0)
 
-    ph = sub.add_parser("phases", help="phase-resolved dI/dt exposure")
+    ph = sub.add_parser(
+        "phases", help="phase-resolved dI/dt exposure", parents=[obs_opts]
+    )
     ph.add_argument("benchmark", choices=sorted(SPEC2000))
     ph.add_argument("--cycles", type=int, default=32768)
     ph.add_argument("--phases", type=int, default=3)
     ph.add_argument("--impedance", type=float, default=150.0)
 
-    bd = sub.add_parser("breakdown", help="per-unit power breakdown")
+    bd = sub.add_parser(
+        "breakdown", help="per-unit power breakdown", parents=[obs_opts]
+    )
     bd.add_argument("benchmark", choices=sorted(SPEC2000))
     bd.add_argument("--cycles", type=int, default=8192)
 
     sz = sub.add_parser(
-        "sizing", help="max tolerable target impedance for a workload set"
+        "sizing", help="max tolerable target impedance for a workload set",
+        parents=[obs_opts],
     )
     sz.add_argument("benchmarks", nargs="+", choices=sorted(SPEC2000))
     sz.add_argument("--cycles", type=int, default=16384)
     sz.add_argument("--budget", type=float, default=0.0,
                     help="allowed fraction of fault cycles (default 0)")
 
-    rep = sub.add_parser("report", help="run the evaluation and print a report")
+    rep = sub.add_parser(
+        "report", help="run the evaluation and print a report",
+        parents=[obs_opts],
+    )
     rep.add_argument("--cycles", type=int, default=16384)
     rep.add_argument("--full", action="store_true",
                      help="all 26 benchmarks (slow) instead of the quick subset")
@@ -112,7 +167,9 @@ def build_parser() -> argparse.ArgumentParser:
         "pipeline", help="parallel batch characterization with result cache"
     )
     psub = pipe.add_subparsers(dest="pipeline_command", required=True)
-    prun = psub.add_parser("run", help="run a characterization batch")
+    prun = psub.add_parser(
+        "run", help="run a characterization batch", parents=[obs_opts]
+    )
     prun.add_argument("--suite", choices=("spec2000", "int", "fp"),
                       default=None, help="run a whole benchmark suite")
     prun.add_argument("--benchmarks", nargs="+", choices=sorted(SPEC2000),
@@ -133,6 +190,13 @@ def build_parser() -> argparse.ArgumentParser:
     pstat.add_argument("--cache-dir", default=".repro-cache")
     pclear = psub.add_parser("clear", help="delete every cache entry")
     pclear.add_argument("--cache-dir", default=".repro-cache")
+
+    obsp = sub.add_parser("obs", help="observability utilities")
+    osub = obsp.add_subparsers(dest="obs_command", required=True)
+    orep = osub.add_parser(
+        "report", help="render a JSONL observability log"
+    )
+    orep.add_argument("log", help="path to a run's JSONL log")
     return parser
 
 
@@ -228,12 +292,15 @@ def _cmd_characterize(args) -> str:
 
 def _batch_footer(batch) -> str:
     """Shared telemetry line: workers, stage runs, cache hits, wall time."""
-    return (
-        f"{len(batch.outcomes)} jobs via {batch.workers} worker(s) in "
-        f"{batch.elapsed:.2f}s: {batch.stage_runs} stage runs, "
-        f"{batch.cache_hits} cache hits / "
-        f"{batch.stage_runs - batch.cache_hits} misses"
+    s = batch.summary()
+    line = (
+        f"{s['jobs']} jobs via {s['workers']} worker(s) in "
+        f"{s['wall_s']:.2f}s: {s['stage_runs']} stage runs, "
+        f"{s['cache_hits']} cache hits / {s['cache_misses']} misses"
     )
+    if s["errors"]:
+        line += f", {s['errors']} errors"
+    return line
 
 
 def _cmd_pipeline_run(args) -> str:
@@ -420,9 +487,27 @@ def _cmd_sizing(args) -> str:
     return "\n".join(lines)
 
 
+def _cmd_obs_report(args) -> str:
+    return obs.render_report(args.log)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    obs_mode = getattr(args, "obs", "off")
+    if obs_mode != "off":
+        obs.enable(obs_mode, getattr(args, "obs_path", None))
+    try:
+        return _dispatch(args)
+    finally:
+        if obs_mode != "off":
+            tail = obs.finish()
+            if tail:
+                print(tail)
+
+
+def _dispatch(args) -> int:
+    """Route parsed arguments to their command handler."""
     if args.command == "list":
         print(_cmd_list())
     elif args.command == "simulate":
@@ -444,6 +529,9 @@ def main(argv: list[str] | None = None) -> int:
             print(_cmd_pipeline_status(args))
         elif args.pipeline_command == "clear":
             print(_cmd_pipeline_clear(args))
+    elif args.command == "obs":
+        if args.obs_command == "report":
+            print(_cmd_obs_report(args))
     elif args.command == "report":
         from .report import QUICK_SUBSET, generate_report
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import trace as obs
 from ..power import ConvolutionVoltageSimulator, PowerSupplyNetwork
 from ..stats import GaussianModel
 from ..wavelets import (
@@ -130,15 +131,27 @@ class WaveletVoltageEstimator:
                 f"trace shorter than one {self.window}-cycle window"
             )
         totals = {lvl: 0.0 for lvl in range(1, self.levels + 1)}
-        for k in range(count):
-            ch = self.characterize_window(
-                i[k * self.window : (k + 1) * self.window]
-            )
-            for lvl in totals:
-                totals[lvl] += self.factors.factor(
-                    lvl, ch.scale_correlations[lvl]
-                ) * ch.scale_variances[lvl]
-        return {lvl: v / count for lvl, v in totals.items()}
+        with obs.span(
+            "characterize.level_contributions", windows=count
+        ):
+            for k in range(count):
+                ch = self.characterize_window(
+                    i[k * self.window : (k + 1) * self.window]
+                )
+                for lvl in totals:
+                    totals[lvl] += self.factors.factor(
+                        lvl, ch.scale_correlations[lvl]
+                    ) * ch.scale_variances[lvl]
+        contributions = {lvl: v / count for lvl, v in totals.items()}
+        if obs.ENABLED:
+            for lvl, contribution in contributions.items():
+                obs.gauge_set(
+                    "characterize_level_contribution",
+                    contribution,
+                    "per-scale voltage-variance contribution of the last trace",
+                    level=str(lvl),
+                )
+        return contributions
 
     def top_levels_for(self, current: np.ndarray, count: int) -> set[int]:
         """The ``count`` levels contributing most voltage variance on a trace."""
@@ -191,9 +204,15 @@ class WaveletVoltageEstimator:
                 f"trace shorter than one {self.window}-cycle window"
             )
         total = 0.0
-        for k in range(count):
-            w = i[k * self.window : (k + 1) * self.window]
-            total += self.characterize_window(w).prob_below(threshold)
+        with obs.span(
+            "characterize.trace", windows=count, threshold=threshold
+        ):
+            for k in range(count):
+                w = i[k * self.window : (k + 1) * self.window]
+                total += self.characterize_window(w).prob_below(threshold)
+        obs.counter_inc(
+            "characterize_traces_total", 1, "whole-trace characterizations"
+        )
         return total / count
 
     def estimate_voltage_variance(self, current: np.ndarray) -> float:

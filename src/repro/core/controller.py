@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import trace as obs
 from ..power import PowerSupplyNetwork, StreamingVoltageModel
 from ..uarch import Pipeline, ProcessorConfig, TABLE_1
 from ..workloads.generator import generate, prewarm_caches
@@ -199,6 +200,9 @@ def _run_pipeline(
     n = 0
     committed = 0
     last_commit_cycle = 0
+    # hoisted so the per-cycle loop pays one local-bool test when off
+    obs_on = obs.ENABLED
+    in_emergency = False
     while n < max_cycles:
         amps = pipe.tick()
         currents[n] = amps
@@ -206,6 +210,17 @@ def _run_pipeline(
         v_true = truth.step(amps)
         if v_true < network.v_min or v_true > network.v_max:
             faults += 1
+            if obs_on and not in_emergency:
+                obs.event(
+                    "emergency_onset",
+                    benchmark=profile.name,
+                    cycle=n,
+                    voltage=round(v_true, 6),
+                    controlled=controller is not None,
+                )
+            in_emergency = True
+        else:
+            in_emergency = False
         if controller is not None:
             stall, noops = controller.update(amps)
             if (stall or noops) and control_band is not None:
@@ -259,16 +274,53 @@ def run_control_experiment(
         getattr(controller, "v_low_control", network.v_min) + safety_band,
         getattr(controller, "v_high_control", network.v_max) - safety_band,
     )
-    ctl_cycles, ctl_insts, ctl_faults, _ = _run_pipeline(
-        profile,
-        config,
-        network,
-        controller,
-        base_insts,
-        4 * cycles,
-        warmup_cycles,
-        band,
-    )
+    with obs.span(
+        "control.experiment",
+        benchmark=profile.name,
+        controller=type(controller).__name__,
+    ):
+        ctl_cycles, ctl_insts, ctl_faults, _ = _run_pipeline(
+            profile,
+            config,
+            network,
+            controller,
+            base_insts,
+            4 * cycles,
+            warmup_cycles,
+            band,
+        )
+    if obs.ENABLED:
+        stalls = getattr(controller, "stall_decisions", 0)
+        boosts = getattr(controller, "boost_decisions", 0)
+        obs.counter_inc(
+            "control_stall_actuations_total",
+            stalls,
+            "issue-stall actuations taken by controllers",
+        )
+        obs.counter_inc(
+            "control_boost_actuations_total",
+            boosts,
+            "no-op-injection actuations taken by controllers",
+        )
+        obs.counter_inc(
+            "control_false_positives_total",
+            getattr(controller, "false_positives", 0),
+            "interventions taken while the true voltage was safe",
+        )
+        obs.gauge_set(
+            "control_engagement_rate",
+            getattr(controller, "engagement_rate", 0.0),
+            "fraction of cycles the controller intervened on",
+            benchmark=profile.name,
+        )
+        obs.event(
+            "actuation_summary",
+            benchmark=profile.name,
+            controller=type(controller).__name__,
+            stalls=stalls,
+            boosts=boosts,
+            residual_faults=ctl_faults,
+        )
     return ControlResult(
         name=profile.name,
         baseline_cycles=base_cycles,

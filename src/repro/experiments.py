@@ -40,6 +40,7 @@ from .core import (
     gaussianity_study,
     predict_trace,
 )
+from .obs import trace as obs
 from .pipeline import (
     JobSpec,
     build_characterization_jobs,
@@ -106,7 +107,10 @@ def simulate_suite(
     specs = [
         JobSpec(name, cycles=cycles, stages=("simulate",)) for name in names
     ]
-    batch = run_batch(specs, jobs=jobs, cache_dir=cache_dir)
+    with obs.span(
+        "experiment.simulate_suite", benchmarks=len(names), cycles=cycles
+    ):
+        batch = run_batch(specs, jobs=jobs, cache_dir=cache_dir)
     return {
         o.spec.benchmark: o.artifacts["simulate"] for o in batch.outcomes
     }
@@ -131,7 +135,13 @@ def characterize_suite(
     specs = build_characterization_jobs(
         names, network, cycles=cycles, threshold=threshold, seed=seed
     )
-    batch = run_batch(specs, jobs=jobs, cache_dir=cache_dir)
+    with obs.span(
+        "experiment.characterize_suite",
+        benchmarks=len(names),
+        cycles=cycles,
+        threshold=threshold,
+    ):
+        batch = run_batch(specs, jobs=jobs, cache_dir=cache_dir)
     return Figure9Result(
         threshold=threshold, predictions=predictions_from(batch)
     )
@@ -443,7 +453,8 @@ def figure15(
             )
         )
         cells.extend((pct, name) for name in names)
-    batch = run_batch(specs, jobs=jobs, cache_dir=cache_dir)
+    with obs.span("experiment.figure15", cells=len(cells), cycles=cycles):
+        batch = run_batch(specs, jobs=jobs, cache_dir=cache_dir)
     results = dict(zip(cells, control_results_from(batch)))
     return Figure15Result(results=results, names=tuple(names))
 

@@ -1,0 +1,90 @@
+"""Zero-dependency observability: metrics, tracing spans, event log.
+
+The paper's methodology is *watching* a running system — per-cycle
+current, voltage-emergency counts, actuation rates, per-scale wavelet
+energy — and this package makes the repro observable the same way:
+
+* a **metrics registry** (:class:`Counter`, :class:`Gauge`,
+  :class:`Histogram` with exponential buckets, labeled series) that
+  merges worker-process contributions back through the pipeline
+  executor's result channel;
+* **tracing spans** (``with span("stage.simulate", benchmark="gzip"):``)
+  with wall/CPU time and nesting, wired through the pipeline, the
+  microarchitectural simulator and the closed-loop controllers;
+* an **event log** for discrete occurrences — voltage-emergency onsets,
+  controller actuations;
+* **exporters**: a JSONL record stream, a Prometheus text dump and an
+  end-of-run console summary, selected by the ``repro --obs`` flag and
+  rendered offline by ``repro obs report``.
+
+Everything is gated on one module-level flag
+(:data:`repro.obs.trace.ENABLED`), so instrumented code is no-op-cheap
+when observability is off.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from .export import JsonlWriter, SpanCollector, summary_table
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    exponential_buckets,
+)
+from .report import load_records, render_report
+from .trace import (
+    Span,
+    absorb,
+    counter_inc,
+    current_span,
+    disable,
+    drain_records,
+    enable,
+    event,
+    finish,
+    gauge_set,
+    histogram_observe,
+    mode,
+    registry,
+    span,
+    span_collector,
+    worker_mode,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlWriter",
+    "MetricsRegistry",
+    "Span",
+    "SpanCollector",
+    "absorb",
+    "counter_inc",
+    "current_span",
+    "diff_snapshots",
+    "disable",
+    "drain_records",
+    "enable",
+    "enabled",
+    "event",
+    "exponential_buckets",
+    "finish",
+    "gauge_set",
+    "histogram_observe",
+    "load_records",
+    "mode",
+    "registry",
+    "render_report",
+    "span",
+    "span_collector",
+    "summary_table",
+    "worker_mode",
+]
+
+
+def enabled() -> bool:
+    """Whether observability is currently on (the live flag)."""
+    from . import trace
+
+    return trace.ENABLED

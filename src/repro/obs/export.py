@@ -1,0 +1,134 @@
+"""Exporters: JSONL event log, console summary, Prometheus dump.
+
+Three consumers of the same telemetry:
+
+* :class:`JsonlWriter` streams one JSON object per line — spans and
+  events as they complete, final metric totals at ``finish()`` — giving
+  a machine-readable run log that ``repro obs report`` can re-aggregate.
+* :func:`summary_table` renders the end-of-run console view: a
+  per-span-name latency table plus cache and event counters.
+* Prometheus text format comes straight from
+  :meth:`~repro.obs.registry.MetricsRegistry.to_prometheus`; see
+  ``docs/OBSERVABILITY.md`` for a scrape example.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .registry import MetricsRegistry
+
+__all__ = ["JsonlWriter", "SpanCollector", "summary_table"]
+
+
+class JsonlWriter:
+    """Append-only JSON-lines record sink."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        if self.path.parent != Path("."):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self.records = 0
+
+    def write(self, record: dict) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        # flush per record: forked workers must never inherit buffered
+        # lines (their exit-time flush would duplicate them in the log)
+        self._fh.flush()
+        self.records += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class SpanCollector:
+    """Per-span-name aggregation (count, wall, CPU, max) for the summary."""
+
+    def __init__(self) -> None:
+        self._stats: dict[str, list[float]] = {}
+
+    def add(self, name: str, wall_s: float, cpu_s: float) -> None:
+        stats = self._stats.get(name)
+        if stats is None:
+            self._stats[name] = [1, wall_s, cpu_s, wall_s]
+        else:
+            stats[0] += 1
+            stats[1] += wall_s
+            stats[2] += cpu_s
+            stats[3] = max(stats[3], wall_s)
+
+    def reset(self) -> None:
+        self._stats.clear()
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def rows(self) -> dict[str, dict[str, float]]:
+        """``{name: {count, wall_s, cpu_s, max_s, mean_s}}``, sorted by wall."""
+        out = {}
+        for name, (count, wall, cpu, peak) in sorted(
+            self._stats.items(), key=lambda kv: -kv[1][1]
+        ):
+            out[name] = {
+                "count": int(count),
+                "wall_s": wall,
+                "cpu_s": cpu,
+                "max_s": peak,
+                "mean_s": wall / count if count else 0.0,
+            }
+        return out
+
+
+def _counter_total(registry: MetricsRegistry, name: str) -> float:
+    families = {m.name: m for m in registry.families()}
+    metric = families.get(name)
+    if metric is None or metric.kind != "counter":
+        return 0.0
+    return sum(metric._series.values())
+
+
+def summary_table(collector: SpanCollector, registry: MetricsRegistry) -> str:
+    """The end-of-run console summary: spans, cache traffic, events."""
+    from .. import viz
+
+    lines = []
+    rows = collector.rows()
+    if rows:
+        table_rows = {
+            name: [
+                s["count"],
+                f"{s['wall_s']:.3f}",
+                f"{s['mean_s'] * 1e3:.1f}",
+                f"{s['max_s'] * 1e3:.1f}",
+                f"{s['cpu_s']:.3f}",
+            ]
+            for name, s in rows.items()
+        }
+        lines.append(
+            viz.table(
+                table_rows,
+                headers=["count", "wall s", "mean ms", "max ms", "cpu s"],
+                title="observability summary — spans",
+            )
+        )
+    hits = _counter_total(registry, "pipeline_cache_hits_total")
+    misses = _counter_total(registry, "pipeline_cache_misses_total")
+    if hits or misses:
+        total = hits + misses
+        rate = 100.0 * hits / total if total else 0.0
+        lines.append(
+            f"cache: {hits:.0f} hits / {misses:.0f} misses "
+            f"({rate:.0f}% hit rate)"
+        )
+    events = _counter_total(registry, "events_total")
+    if events:
+        lines.append(f"events: {events:.0f} logged")
+    if not lines:
+        return "observability summary: nothing recorded"
+    return "\n".join(lines)

@@ -1,0 +1,337 @@
+"""Metrics registry: counters, gauges and histograms with labels.
+
+A :class:`MetricsRegistry` owns every metric family recorded during a
+run.  Families are identified by name; each family holds one series per
+distinct label set, so ``cache_hits_total{stage="simulate"}`` and
+``cache_hits_total{stage="voltage"}`` accumulate independently but
+export together.
+
+Everything is plain Python and lock-protected, so the registry is safe
+to share between threads.  Child *processes* cannot share it — instead a
+worker snapshots its registry before and after a unit of work
+(:meth:`MetricsRegistry.snapshot`, :func:`diff_snapshots`) and ships the
+delta back through the pipeline executor's result channel, where the
+parent folds it in with :meth:`MetricsRegistry.merge`.  Counters and
+histograms merge additively; gauges take the incoming sample (last
+writer wins, which matches their "current value" semantics).
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "diff_snapshots",
+    "exponential_buckets",
+]
+
+
+def exponential_buckets(
+    start: float, factor: float, count: int
+) -> tuple[float, ...]:
+    """``count`` ascending bucket upper bounds growing by ``factor``."""
+    if start <= 0:
+        raise ValueError("start must be positive")
+    if factor <= 1:
+        raise ValueError("factor must exceed 1")
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    return tuple(start * factor**i for i in range(count))
+
+
+#: Default histogram edges: 10 us .. ~3 min, one bucket per 4x of latency.
+DEFAULT_BUCKETS = exponential_buckets(1e-5, 4.0, 12)
+
+
+def _label_key(labels: dict) -> tuple[tuple[str, str], ...]:
+    """Canonical, hashable form of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Shared label-series bookkeeping for every metric kind."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._series: dict[tuple, object] = {}
+
+    def labels(self) -> list[tuple[tuple[str, str], ...]]:
+        """Every label set this family has seen, sorted."""
+        return sorted(self._series)
+
+    def value(self, **labels):
+        """The current value for one label set (0/None if unseen)."""
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing count, e.g. cache hits."""
+
+    kind = "counter"
+
+    def inc(self, value: float = 1.0, **labels) -> None:
+        if value < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + value
+
+    def value(self, **labels) -> float:
+        return float(self._series.get(_label_key(labels), 0.0))
+
+
+class Gauge(_Metric):
+    """Point-in-time value, e.g. the live engagement rate."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        self._series[_label_key(labels)] = float(value)
+
+    def value(self, **labels) -> float | None:
+        v = self._series.get(_label_key(labels))
+        return None if v is None else float(v)
+
+
+class Histogram(_Metric):
+    """Distribution with exponential buckets, e.g. stage latency."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        edges = tuple(float(b) for b in buckets)
+        if list(edges) != sorted(set(edges)):
+            raise ValueError("bucket edges must be strictly ascending")
+        if not edges:
+            raise ValueError("need at least one bucket edge")
+        self.buckets = edges
+
+    def _state(self, key) -> dict:
+        state = self._series.get(key)
+        if state is None:
+            state = {
+                "count": 0,
+                "sum": 0.0,
+                # one slot per finite edge plus the +Inf overflow slot
+                "counts": [0] * (len(self.buckets) + 1),
+            }
+            self._series[key] = state
+        return state
+
+    def observe(self, value: float, **labels) -> None:
+        state = self._state(_label_key(labels))
+        state["count"] += 1
+        state["sum"] += float(value)
+        for i, edge in enumerate(self.buckets):
+            if value <= edge:
+                state["counts"][i] += 1
+                return
+        state["counts"][-1] += 1
+
+    def value(self, **labels) -> dict | None:
+        """``{"count", "sum", "counts"}`` for one label set."""
+        state = self._series.get(_label_key(labels))
+        if state is None:
+            return None
+        return {
+            "count": state["count"],
+            "sum": state["sum"],
+            "counts": list(state["counts"]),
+        }
+
+
+class MetricsRegistry:
+    """All metric families of one process, thread-safe."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Metric] = {}
+
+    def _family(self, name: str, cls, **kwargs):
+        with self._lock:
+            metric = self._families.get(name)
+            if metric is None:
+                metric = cls(name, **kwargs)
+                self._families[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"{name!r} already registered as {metric.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._family(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._family(name, Gauge, help=help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._family(name, Histogram, help=help, buckets=buckets)
+
+    def families(self) -> list[_Metric]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._families.clear()
+
+    # -- cross-process transport ----------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The registry as a plain picklable dict."""
+        out: dict = {}
+        with self._lock:
+            for name, metric in self._families.items():
+                series = {}
+                for key, value in metric._series.items():
+                    series[key] = (
+                        dict(value, counts=list(value["counts"]))
+                        if metric.kind == "histogram"
+                        else value
+                    )
+                out[name] = {
+                    "kind": metric.kind,
+                    "help": metric.help,
+                    "series": series,
+                }
+                if metric.kind == "histogram":
+                    out[name]["buckets"] = metric.buckets
+        return out
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a snapshot (usually a worker's delta) into this registry.
+
+        Counters and histogram slots add; gauges take the incoming value.
+        """
+        for name, family in snapshot.items():
+            kind = family["kind"]
+            if kind == "counter":
+                metric = self.counter(name, family.get("help", ""))
+                for key, value in family["series"].items():
+                    metric.inc(value, **dict(key))
+            elif kind == "gauge":
+                metric = self.gauge(name, family.get("help", ""))
+                for key, value in family["series"].items():
+                    metric.set(value, **dict(key))
+            elif kind == "histogram":
+                metric = self.histogram(
+                    name,
+                    family.get("help", ""),
+                    buckets=tuple(family.get("buckets", DEFAULT_BUCKETS)),
+                )
+                for key, value in family["series"].items():
+                    state = metric._state(tuple(key))
+                    state["count"] += value["count"]
+                    state["sum"] += value["sum"]
+                    for i, c in enumerate(value["counts"]):
+                        state["counts"][i] += c
+            else:  # pragma: no cover - future kinds
+                raise ValueError(f"unknown metric kind {kind!r}")
+
+    # -- export ----------------------------------------------------------------
+
+    def to_prometheus(self, prefix: str = "repro_") -> str:
+        """The registry in Prometheus text exposition format."""
+        lines: list[str] = []
+        for metric in self.families():
+            name = prefix + metric.name
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            for key in metric.labels():
+                value = metric._series[key]
+                if metric.kind == "histogram":
+                    cumulative = 0
+                    for edge, c in zip(metric.buckets, value["counts"]):
+                        cumulative += c
+                        labels = _prom_labels(key + (("le", _prom_float(edge)),))
+                        lines.append(f"{name}_bucket{labels} {cumulative}")
+                    cumulative += value["counts"][-1]
+                    labels = _prom_labels(key + (("le", "+Inf"),))
+                    lines.append(f"{name}_bucket{labels} {cumulative}")
+                    lines.append(
+                        f"{name}_sum{_prom_labels(key)} {value['sum']:.9g}"
+                    )
+                    lines.append(
+                        f"{name}_count{_prom_labels(key)} {value['count']}"
+                    )
+                else:
+                    lines.append(
+                        f"{name}{_prom_labels(key)} "
+                        f"{_prom_float(float(value))}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prom_float(value: float) -> str:
+    """Compact float formatting matching Prometheus conventions."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.9g}"
+
+
+def _prom_labels(key: tuple[tuple[str, str], ...]) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in sorted(key))
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def diff_snapshots(before: dict, after: dict) -> dict:
+    """The delta from ``before`` to ``after`` (a worker's contribution).
+
+    Counter and histogram series subtract; gauge series keep the
+    ``after`` value.  Series absent from ``before`` pass through whole;
+    series that did not change are dropped, keeping the pickled payload
+    small.
+    """
+    delta: dict = {}
+    for name, family in after.items():
+        old = before.get(name, {"series": {}})
+        series: dict = {}
+        for key, value in family["series"].items():
+            prev = old["series"].get(key)
+            if family["kind"] == "counter":
+                changed = value - (prev or 0.0)
+                if changed:
+                    series[key] = changed
+            elif family["kind"] == "gauge":
+                if prev is None or prev != value:
+                    series[key] = value
+            else:  # histogram
+                if prev is None:
+                    series[key] = dict(value, counts=list(value["counts"]))
+                elif value["count"] != prev["count"]:
+                    series[key] = {
+                        "count": value["count"] - prev["count"],
+                        "sum": value["sum"] - prev["sum"],
+                        "counts": [
+                            a - b
+                            for a, b in zip(value["counts"], prev["counts"])
+                        ],
+                    }
+        if series:
+            delta[name] = dict(family, series=series)
+    return delta

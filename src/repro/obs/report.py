@@ -1,0 +1,84 @@
+"""Offline rendering of a JSONL observability log.
+
+``repro obs report run.jsonl`` re-aggregates the streamed records into
+the same per-stage latency / cache breakdown the live ``--obs summary``
+exporter prints, so a run's telemetry can be inspected (or diffed
+against another run's) long after the process exited.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .export import SpanCollector
+from .registry import MetricsRegistry
+
+__all__ = ["load_records", "render_report"]
+
+
+def load_records(path: str | Path) -> list[dict]:
+    """Parse one record per line, rejecting anything malformed."""
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: bad JSON: {exc}") from None
+            if not isinstance(record, dict) or "type" not in record:
+                raise ValueError(f"{path}:{lineno}: not an obs record")
+            records.append(record)
+    return records
+
+
+def _registry_from(records: list[dict]) -> MetricsRegistry:
+    """Rebuild final metric totals from the log's ``metric`` records."""
+    registry = MetricsRegistry()
+    for record in records:
+        if record["type"] != "metric":
+            continue
+        labels = record.get("labels", {})
+        value = record["value"]
+        kind = record.get("kind", "counter")
+        if kind == "counter":
+            registry.counter(record["name"]).inc(value, **labels)
+        elif kind == "gauge":
+            registry.gauge(record["name"]).set(value, **labels)
+        elif kind == "histogram":
+            # totals suffice for reporting; bucket shape is in the log
+            hist = registry.histogram(record["name"])
+            state = hist._state(
+                tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+            )
+            state["count"] += value["count"]
+            state["sum"] += value["sum"]
+    return registry
+
+
+def render_report(path: str | Path) -> str:
+    """The per-stage latency and cache breakdown of one JSONL log."""
+    from .export import summary_table
+
+    records = load_records(path)
+    collector = SpanCollector()
+    spans = events = 0
+    for record in records:
+        if record["type"] == "span":
+            collector.add(
+                record["name"],
+                record.get("wall_s", 0.0),
+                record.get("cpu_s", 0.0),
+            )
+            spans += 1
+        elif record["type"] == "event":
+            events += 1
+    registry = _registry_from(records)
+    header = (
+        f"{path}: {len(records)} records "
+        f"({spans} spans, {events} events)"
+    )
+    return header + "\n" + summary_table(collector, registry)

@@ -1,0 +1,396 @@
+"""Tracing spans, event log and the process-global observability state.
+
+The module-level :data:`ENABLED` flag is the single gate every
+instrumentation site checks: with observability off (the default) a
+``span(...)`` returns one shared no-op object and the metric helpers
+return immediately, so instrumented code pays one attribute load and a
+branch — nothing allocates, nothing locks.
+
+With observability on:
+
+* ``span("stage.simulate", benchmark="gzip")`` times a block (wall and
+  CPU), nests via a per-thread stack into a per-run trace tree, and on
+  exit feeds a span record to the active exporter;
+* ``event("emergency_onset", cycle=812)`` logs one discrete occurrence
+  and bumps the ``events_total`` counter;
+* ``counter_inc`` / ``gauge_set`` / ``histogram_observe`` record into
+  the process :class:`~repro.obs.registry.MetricsRegistry`.
+
+Worker processes run in *capture* mode (:func:`worker_mode`): span and
+event records buffer in memory instead of hitting the parent's log file,
+and :func:`drain_records` hands them to the executor, which ships them
+back through the result channel for the parent to :func:`absorb`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from .export import JsonlWriter, SpanCollector
+from .registry import DEFAULT_BUCKETS, MetricsRegistry, diff_snapshots
+
+__all__ = [
+    "ENABLED",
+    "Span",
+    "absorb",
+    "counter_inc",
+    "current_span",
+    "disable",
+    "drain_records",
+    "enable",
+    "event",
+    "finish",
+    "gauge_set",
+    "histogram_observe",
+    "mode",
+    "registry",
+    "span",
+    "span_collector",
+    "worker_mode",
+]
+
+#: Fast-path gate consulted by every instrumentation site.
+ENABLED = False
+
+#: Default JSONL log location when ``--obs jsonl`` gives no path.
+DEFAULT_JSONL_PATH = "repro-obs.jsonl"
+
+#: Cap on buffered records in worker-capture mode (overflow is counted,
+#: not silently dropped).
+CAPTURE_LIMIT = 100_000
+
+_MODE = "off"
+_REGISTRY = MetricsRegistry()
+_COLLECTOR = SpanCollector()
+_WRITER: JsonlWriter | None = None
+_CAPTURE = False
+_CAPTURED: list[dict] = []
+_LOCAL = threading.local()
+
+
+def registry() -> MetricsRegistry:
+    """The live process registry (valid whether or not enabled)."""
+    return _REGISTRY
+
+
+def span_collector() -> SpanCollector:
+    """The in-process per-span-name aggregation."""
+    return _COLLECTOR
+
+
+def mode() -> str:
+    """The active exporter mode (``off`` when disabled)."""
+    return _MODE
+
+
+def enable(mode: str = "summary", path: str | None = None) -> None:
+    """Turn observability on, resetting any previous run's state.
+
+    ``mode`` selects the exporter: ``summary`` (console table at
+    :func:`finish`), ``jsonl`` (stream records to ``path``) or ``prom``
+    (Prometheus text dump at :func:`finish`).
+    """
+    global ENABLED, _MODE, _WRITER, _CAPTURE
+    if mode not in ("summary", "jsonl", "prom"):
+        raise ValueError(f"unknown obs mode {mode!r}")
+    disable()
+    _MODE = mode
+    _CAPTURE = False
+    if mode == "jsonl":
+        _WRITER = JsonlWriter(path or DEFAULT_JSONL_PATH)
+    ENABLED = True
+
+
+def worker_mode(enabled: bool) -> None:
+    """Configure a pool worker: capture records, never touch the log.
+
+    Called at the top of every worker job.  After a ``fork`` the child
+    inherits the parent's writer handle; buffering instead of writing
+    keeps the JSONL file single-writer.
+    """
+    global ENABLED, _WRITER, _CAPTURE
+    _WRITER = None
+    _CAPTURE = bool(enabled)
+    ENABLED = bool(enabled)
+
+
+def disable() -> None:
+    """Turn observability off and drop all recorded state."""
+    global ENABLED, _MODE, _WRITER, _CAPTURE
+    ENABLED = False
+    _MODE = "off"
+    if _WRITER is not None:
+        _WRITER.close()
+        _WRITER = None
+    _CAPTURE = False
+    _CAPTURED.clear()
+    _REGISTRY.reset()
+    _COLLECTOR.reset()
+    _LOCAL.stack = []
+
+
+def finish() -> str | None:
+    """Flush the active exporter and disable; returns text to print.
+
+    ``summary`` returns the console table, ``prom`` the Prometheus text
+    dump, ``jsonl`` a one-line pointer at the written log (after
+    appending one ``metric`` record per series, so the log alone can
+    reproduce every final total).
+    """
+    from .export import summary_table
+
+    out: str | None = None
+    if ENABLED:
+        if _MODE == "summary":
+            out = summary_table(_COLLECTOR, _REGISTRY)
+        elif _MODE == "prom":
+            out = _REGISTRY.to_prometheus()
+        elif _MODE == "jsonl" and _WRITER is not None:
+            for record in _metric_records():
+                _WRITER.write(record)
+            out = (
+                f"observability log: {_WRITER.path} "
+                f"({_WRITER.records} records) — "
+                f"render with `repro obs report {_WRITER.path}`"
+            )
+    disable()
+    return out
+
+
+def _metric_records() -> list[dict]:
+    """One JSONL record per metric series (final totals)."""
+    records = []
+    now = time.time()
+    for name, family in _REGISTRY.snapshot().items():
+        for key, value in family["series"].items():
+            records.append(
+                {
+                    "type": "metric",
+                    "t": now,
+                    "name": name,
+                    "kind": family["kind"],
+                    "labels": dict(key),
+                    "value": value,
+                }
+            )
+    return records
+
+
+def _emit(record: dict) -> None:
+    if _WRITER is not None:
+        _WRITER.write(record)
+    elif _CAPTURE:
+        if len(_CAPTURED) < CAPTURE_LIMIT:
+            _CAPTURED.append(record)
+        else:
+            _REGISTRY.counter(
+                "obs_records_dropped_total",
+                "records dropped by the worker capture buffer cap",
+            ).inc()
+
+
+def drain_records() -> list[dict]:
+    """Take (and clear) the worker-captured span/event records."""
+    records = list(_CAPTURED)
+    _CAPTURED.clear()
+    return records
+
+
+def snapshot_delta(before: dict) -> dict:
+    """Registry delta since ``before`` (see :func:`diff_snapshots`)."""
+    return diff_snapshots(before, _REGISTRY.snapshot())
+
+
+def absorb(delta: dict | None, records: list[dict] | None) -> None:
+    """Fold a worker's metric delta and captured records into this process.
+
+    Call only with payloads produced in *another* process — the caller
+    checks the producing PID so inline execution is never double-counted.
+    """
+    if not ENABLED:
+        return
+    if delta:
+        _REGISTRY.merge(delta)
+    for record in records or ():
+        if record.get("type") == "span":
+            _COLLECTOR.add(
+                record["name"],
+                record.get("wall_s", 0.0),
+                record.get("cpu_s", 0.0),
+            )
+        if _WRITER is not None:
+            _WRITER.write(record)
+
+
+# -- spans ---------------------------------------------------------------------
+
+
+def _stack() -> list:
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = _LOCAL.stack = []
+    return stack
+
+
+class Span:
+    """One timed, attributed, nestable block of work."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "children",
+        "depth",
+        "parent_name",
+        "t_start",
+        "wall_s",
+        "cpu_s",
+        "_cpu_start",
+    )
+
+    def __init__(self, name: str, attrs: dict) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.children: list[Span] = []
+        self.depth = 0
+        self.parent_name: str | None = None
+        self.t_start = 0.0
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self._cpu_start = 0.0
+
+    def set(self, **attrs) -> None:
+        """Attach attributes mid-flight (e.g. a result count)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        if stack:
+            parent = stack[-1]
+            self.depth = parent.depth + 1
+            self.parent_name = parent.name
+            parent.children.append(self)
+        stack.append(self)
+        self.t_start = time.time()
+        self._cpu_start = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.cpu_s = time.process_time() - self._cpu_start
+        self.wall_s = max(time.time() - self.t_start, 0.0)
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        if not ENABLED:  # disabled mid-span: drop silently
+            return
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        _COLLECTOR.add(self.name, self.wall_s, self.cpu_s)
+        _emit(
+            {
+                "type": "span",
+                "t": self.t_start,
+                "name": self.name,
+                "attrs": self.attrs,
+                "wall_s": self.wall_s,
+                "cpu_s": self.cpu_s,
+                "depth": self.depth,
+                "parent": self.parent_name,
+                "pid": os.getpid(),
+            }
+        )
+
+    def tree(self, indent: int = 0) -> str:
+        """Render this span's subtree, one line per span."""
+        lines = [f"{'  ' * indent}{self.name} {self.wall_s * 1e3:.2f} ms"]
+        for child in self.children:
+            lines.append(child.tree(indent + 1))
+        return "\n".join(lines)
+
+
+class _NullSpan:
+    """The shared disabled-mode span: every operation is a no-op."""
+
+    __slots__ = ()
+    name = ""
+    attrs: dict = {}
+    children: list = []
+    wall_s = 0.0
+    cpu_s = 0.0
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    def tree(self, indent: int = 0) -> str:
+        return ""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, **attrs):
+    """Context manager timing one named block (no-op when disabled)."""
+    if not ENABLED:
+        return _NULL_SPAN
+    return Span(name, attrs)
+
+
+def current_span():
+    """The innermost live span of this thread, or ``None``."""
+    stack = getattr(_LOCAL, "stack", None)
+    return stack[-1] if stack else None
+
+
+# -- events and metric helpers -------------------------------------------------
+
+
+def event(name: str, **attrs) -> None:
+    """Log one discrete occurrence (emergency onset, actuation, ...)."""
+    if not ENABLED:
+        return
+    _REGISTRY.counter("events_total", "discrete events by name").inc(
+        event=name
+    )
+    _emit(
+        {
+            "type": "event",
+            "t": time.time(),
+            "name": name,
+            "attrs": attrs,
+            "pid": os.getpid(),
+        }
+    )
+
+
+def counter_inc(name: str, value: float = 1.0, help: str = "", **labels) -> None:
+    """Bump a counter (no-op when disabled)."""
+    if not ENABLED:
+        return
+    _REGISTRY.counter(name, help).inc(value, **labels)
+
+
+def gauge_set(name: str, value: float, help: str = "", **labels) -> None:
+    """Set a gauge (no-op when disabled)."""
+    if not ENABLED:
+        return
+    _REGISTRY.gauge(name, help).set(value, **labels)
+
+
+def histogram_observe(
+    name: str,
+    value: float,
+    help: str = "",
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    **labels,
+) -> None:
+    """Record one histogram sample (no-op when disabled)."""
+    if not ENABLED:
+        return
+    _REGISTRY.histogram(name, help, buckets=buckets).observe(value, **labels)

@@ -20,6 +20,7 @@ import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..obs import trace as obs
 from ..uarch.traceio import load_result, save_result
 
 __all__ = ["CacheStats", "ResultCache"]
@@ -68,10 +69,28 @@ class ResultCache:
                         value = json.load(fh)["artifact"]
             except (OSError, ValueError, KeyError):
                 value = _MISS  # corrupt or foreign entry: recompute
+                obs.counter_inc(
+                    "pipeline_cache_invalidations_total",
+                    1,
+                    "unreadable cache entries treated as misses",
+                    stage=stage,
+                )
         if value is _MISS:
             self.misses[stage] = self.misses.get(stage, 0) + 1
+            obs.counter_inc(
+                "pipeline_cache_misses_total",
+                1,
+                "cache lookups that had to recompute",
+                stage=stage,
+            )
             return False, None
         self.hits[stage] = self.hits.get(stage, 0) + 1
+        obs.counter_inc(
+            "pipeline_cache_hits_total",
+            1,
+            "cache lookups served from disk",
+            stage=stage,
+        )
         return True, value
 
     def put(self, stage: str, key: str, kind: str, artifact) -> Path:
@@ -94,6 +113,12 @@ class ResultCache:
             os.replace(tmp, path)
         finally:
             tmp.unlink(missing_ok=True)
+        obs.counter_inc(
+            "pipeline_cache_writes_total",
+            1,
+            "artifacts persisted to the cache",
+            stage=stage,
+        )
         return path
 
     # -- accounting -----------------------------------------------------------
@@ -129,6 +154,12 @@ class ResultCache:
             if path.is_file():
                 path.unlink()
                 removed += 1
+        obs.counter_inc(
+            "pipeline_cache_invalidations_total",
+            removed,
+            "unreadable cache entries treated as misses",
+            stage="<clear>",
+        )
         for shard in self.root.glob("*"):
             if shard.is_dir():
                 try:

@@ -9,15 +9,23 @@ batch only pays for the jobs that never finished.
 
 ``workers <= 1`` executes inline — no processes, no pickling — which is
 both the test path and what the figure code uses by default.
+
+With observability on (:mod:`repro.obs`), every batch, job and stage is
+a tracing span, and each worker ships its metric delta plus captured
+span records back on the :class:`JobOutcome`, where the parent folds
+them into the process-wide registry — so ``--obs`` totals cover the
+whole pool, not just the coordinating process.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 import traceback
 from dataclasses import dataclass, field
 
+from ..obs import trace as obs
 from .cache import ResultCache
 from .spec import JobSpec
 from .stages import StageContext, get_stage, stage_cache_keys
@@ -39,6 +47,11 @@ class JobOutcome:
     cache_hits: dict[str, bool] = field(default_factory=dict)
     elapsed: float = 0.0
     error: str | None = None
+    failed_stage: str | None = None
+    # worker-side observability payloads, folded in by the parent
+    metrics: dict | None = None
+    obs_records: list = field(default_factory=list)
+    pid: int = 0
 
     @property
     def ok(self) -> bool:
@@ -69,6 +82,18 @@ class BatchResult:
     def stage_runs(self) -> int:
         return sum(len(o.cache_hits) for o in self.outcomes)
 
+    def summary(self) -> dict:
+        """The batch's headline numbers as a plain dict."""
+        return {
+            "jobs": len(self.outcomes),
+            "errors": len(self.errors),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.stage_runs - self.cache_hits,
+            "stage_runs": self.stage_runs,
+            "wall_s": self.elapsed,
+            "workers": self.workers,
+        }
+
     def artifact(self, benchmark: str, stage: str):
         """The first matching artifact, for quick interactive poking."""
         for o in self.outcomes:
@@ -78,36 +103,76 @@ class BatchResult:
 
 
 def execute_job(spec: JobSpec, cache: ResultCache | None = None) -> JobOutcome:
-    """Run one job's stage chain, cache-aware, never raising."""
-    outcome = JobOutcome(spec=spec)
+    """Run one job's stage chain, cache-aware, never raising.
+
+    Per-stage wall time is recorded even for the stage that raises, so a
+    failed job still reports every timing it accumulated (the partial
+    telemetry matters most exactly when diagnosing the failure).
+    """
+    outcome = JobOutcome(spec=spec, pid=os.getpid())
+    snap_before = obs.registry().snapshot() if obs.ENABLED else None
     t_job = time.perf_counter()
-    try:
-        keys = stage_cache_keys(spec)
-        ctx = StageContext(spec)
-        for name in spec.stages:
-            stage = get_stage(name)
-            t0 = time.perf_counter()
-            hit = False
-            artifact = None
-            if cache is not None:
-                hit, artifact = cache.get(name, keys[name], stage.kind)
-            if not hit:
-                artifact = stage.func(ctx)
-                if cache is not None:
-                    cache.put(name, keys[name], stage.kind, artifact)
-            ctx.artifacts[name] = artifact
-            outcome.artifacts[name] = artifact
-            outcome.cache_hits[name] = hit
-            outcome.timings[name] = time.perf_counter() - t0
-    except Exception:
-        outcome.error = traceback.format_exc()
+    with obs.span("pipeline.job", **spec.obs_attrs()):
+        try:
+            keys = stage_cache_keys(spec)
+            ctx = StageContext(spec)
+            for name in spec.stages:
+                stage = get_stage(name)
+                t0 = time.perf_counter()
+                hit = False
+                try:
+                    artifact = None
+                    if cache is not None:
+                        hit, artifact = cache.get(name, keys[name], stage.kind)
+                    if not hit:
+                        with obs.span(
+                            f"stage.{name}", benchmark=spec.benchmark
+                        ):
+                            artifact = stage.func(ctx)
+                        if cache is not None:
+                            cache.put(name, keys[name], stage.kind, artifact)
+                finally:
+                    stage_s = time.perf_counter() - t0
+                    outcome.timings[name] = stage_s
+                    outcome.cache_hits[name] = hit
+                    if obs.ENABLED:
+                        obs.histogram_observe(
+                            "pipeline_stage_seconds",
+                            stage_s,
+                            "stage wall time including cache lookups",
+                            stage=name,
+                        )
+                ctx.artifacts[name] = artifact
+                outcome.artifacts[name] = artifact
+        except Exception:
+            outcome.error = traceback.format_exc()
+            outcome.failed_stage = next(
+                (
+                    name
+                    for name in spec.stages
+                    if name not in outcome.artifacts
+                ),
+                None,
+            )
     outcome.elapsed = time.perf_counter() - t_job
+    if obs.ENABLED:
+        obs.counter_inc(
+            "pipeline_jobs_total",
+            1,
+            "jobs executed by outcome status",
+            status="ok" if outcome.ok else "error",
+        )
+        outcome.metrics = obs.snapshot_delta(snap_before)
+        outcome.obs_records = obs.drain_records()
     return outcome
 
 
-def _execute_payload(payload: tuple[JobSpec, str | None]) -> JobOutcome:
+def _execute_payload(
+    payload: tuple[JobSpec, str | None, bool],
+) -> JobOutcome:
     """Pool entry point: rebuild the cache handle inside the worker."""
-    spec, cache_dir = payload
+    spec, cache_dir, obs_enabled = payload
+    obs.worker_mode(obs_enabled)
     cache = ResultCache(cache_dir) if cache_dir else None
     return execute_job(spec, cache)
 
@@ -145,20 +210,30 @@ class PipelineExecutor:
         t0 = time.perf_counter()
         outcomes: list[JobOutcome] = []
         pool_size = min(self.workers, len(specs))
-        if pool_size <= 1:
-            cache = ResultCache(self.cache_dir) if self.cache_dir else None
-            for spec in specs:
-                outcome = execute_job(spec, cache)
-                outcomes.append(outcome)
-                if progress is not None:
-                    progress(outcome)
-        else:
-            payloads = [(spec, self.cache_dir) for spec in specs]
-            with _pool_context().Pool(pool_size) as pool:
-                for outcome in pool.imap(_execute_payload, payloads):
-                    outcomes.append(outcome)
-                    if progress is not None:
-                        progress(outcome)
+
+        def collect(outcome: JobOutcome) -> None:
+            # fold a pool worker's telemetry into this process exactly
+            # once; inline outcomes already recorded here directly
+            if outcome.pid != os.getpid():
+                obs.absorb(outcome.metrics, outcome.obs_records)
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome)
+
+        with obs.span(
+            "pipeline.batch", jobs=len(specs), workers=pool_size
+        ):
+            if pool_size <= 1:
+                cache = ResultCache(self.cache_dir) if self.cache_dir else None
+                for spec in specs:
+                    collect(execute_job(spec, cache))
+            else:
+                payloads = [
+                    (spec, self.cache_dir, obs.ENABLED) for spec in specs
+                ]
+                with _pool_context().Pool(pool_size) as pool:
+                    for outcome in pool.imap(_execute_payload, payloads):
+                        collect(outcome)
         result = BatchResult(
             outcomes=outcomes,
             elapsed=time.perf_counter() - t0,

@@ -186,6 +186,14 @@ class JobSpec:
             return f"{self.benchmark}@{self.impedance:.0f}%"
         return self.benchmark
 
+    def obs_attrs(self) -> dict:
+        """Span attributes identifying this job in telemetry."""
+        return {
+            "benchmark": self.benchmark,
+            "cycles": self.cycles,
+            "stages": ",".join(self.stages),
+        }
+
 
 def hash_payload(payload: dict) -> str:
     """SHA-256 of a canonical-JSON payload (the cache-key primitive)."""

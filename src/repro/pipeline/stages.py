@@ -34,6 +34,7 @@ from ..core import (
     WaveletVoltageMonitor,
     run_control_experiment,
 )
+from ..obs import trace as obs
 from ..power import ConvolutionVoltageSimulator
 from ..uarch import simulate_benchmark
 from .spec import CACHE_SALT, JobSpec, hash_payload
@@ -135,8 +136,14 @@ class StageContext:
     def estimator(self) -> WaveletVoltageEstimator:
         key = (self.spec.network, self.spec.window)
         if key not in _ESTIMATORS:
-            _ESTIMATORS[key] = WaveletVoltageEstimator(
-                self.network, window=self.spec.window
+            with obs.span("pipeline.calibrate", window=self.spec.window):
+                _ESTIMATORS[key] = WaveletVoltageEstimator(
+                    self.network, window=self.spec.window
+                )
+            obs.counter_inc(
+                "pipeline_estimator_builds_total",
+                1,
+                "cold wavelet-estimator calibrations (memo misses)",
             )
         return _ESTIMATORS[key]
 
@@ -192,6 +199,14 @@ def _stage_characterize(ctx: StageContext):
         estimator, result.current, ctx.spec.threshold
     )
     levels = streaming_level_contributions(estimator, result.current)
+    if obs.ENABLED:
+        for lvl, contribution in levels.items():
+            obs.gauge_set(
+                "characterize_level_contribution",
+                contribution,
+                "per-scale voltage-variance contribution of the last trace",
+                level=str(lvl),
+            )
     return {
         "estimated": estimated,
         "windows": count,

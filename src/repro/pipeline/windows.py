@@ -18,6 +18,8 @@ from typing import Iterator
 
 import numpy as np
 
+from ..obs import trace as obs
+
 __all__ = [
     "as_chunks",
     "iter_windows",
@@ -79,13 +81,24 @@ def iter_windows(
     if window < 1:
         raise ValueError("window must be at least one sample")
     carry = np.empty(0)
-    for arr in as_chunks(source, chunk=max(chunk, window)):
-        if carry.size:
-            arr = np.concatenate([carry, arr])
-        count = len(arr) // window
-        for k in range(count):
-            yield arr[k * window : (k + 1) * window]
-        carry = arr[count * window :]
+    emitted = 0
+    try:
+        for arr in as_chunks(source, chunk=max(chunk, window)):
+            if carry.size:
+                arr = np.concatenate([carry, arr])
+            count = len(arr) // window
+            for k in range(count):
+                yield arr[k * window : (k + 1) * window]
+            emitted += count
+            carry = arr[count * window :]
+    finally:
+        # one batched bump per trace, so streaming costs nothing per window
+        if emitted:
+            obs.counter_inc(
+                "pipeline_windows_total",
+                emitted,
+                "characterization windows streamed",
+            )
 
 
 def streaming_fraction_below(

@@ -14,6 +14,7 @@ from typing import Iterable, Iterator, Protocol
 
 import numpy as np
 
+from ..obs import trace as obs
 from ..workloads.generator import generate, prewarm_caches
 from ..workloads.spec import WorkloadProfile, get_profile
 from .config import ProcessorConfig, TABLE_1
@@ -58,6 +59,63 @@ class SimulationResult:
         return float(self.current.mean()) if self.cycles else 0.0
 
 
+def _record_run(result: SimulationResult, pipe: Pipeline) -> None:
+    """Fold one finished run's aggregate activity into the obs registry.
+
+    Recorded once per run (never per cycle), so the simulator's hot loop
+    carries zero instrumentation overhead.
+    """
+    s = result.stats
+    obs.counter_inc(
+        "sim_runs_total", 1, "simulation runs", benchmark=result.name
+    )
+    obs.counter_inc("sim_cycles_total", s.cycles, "simulated machine cycles")
+    for kind in (
+        "fetched",
+        "dispatched",
+        "issued",
+        "committed",
+        "branches",
+        "mispredictions",
+        "noops_injected",
+        "store_forwards",
+        "stall_cycles",
+        "l1i_misses",
+        "l1d_misses",
+        "l2_misses",
+    ):
+        count = getattr(s, kind)
+        if count:
+            obs.counter_inc(
+                "sim_events_total",
+                count,
+                "pipeline activity by event kind",
+                kind=kind,
+            )
+    obs.gauge_set(
+        "sim_ipc", s.ipc, "last run's committed IPC", benchmark=result.name
+    )
+    obs.gauge_set(
+        "sim_mean_current",
+        result.mean_current,
+        "last run's mean current draw (A)",
+        benchmark=result.name,
+    )
+    # per-funit activity, when the run tracked the power breakdown
+    try:
+        breakdown = pipe.power_breakdown
+    except RuntimeError:
+        breakdown = {}
+    for unit, amps in breakdown.items():
+        obs.gauge_set(
+            "sim_funit_current",
+            amps,
+            "per-functional-unit mean current (A)",
+            unit=unit,
+            benchmark=result.name,
+        )
+
+
 class Simulator:
     """Configurable driver around :class:`~repro.uarch.pipeline.Pipeline`."""
 
@@ -88,23 +146,32 @@ class Simulator:
         current = np.empty(max_cycles)
         l2_flag = np.empty(max_cycles, dtype=bool)
         n = 0
-        for _ in range(max_cycles):
-            amps = pipe.tick()
-            current[n] = amps
-            l2_flag[n] = pipe.l2_miss_outstanding
-            n += 1
-            if controller is not None:
-                stall, noops = controller.update(amps)
-                pipe.stall_issue = stall
-                pipe.inject_noops = noops
-            if pipe.drained:
-                break
-        return SimulationResult(
+        with obs.span(
+            "uarch.simulate",
+            benchmark=name,
+            max_cycles=max_cycles,
+            controlled=controller is not None,
+        ):
+            for _ in range(max_cycles):
+                amps = pipe.tick()
+                current[n] = amps
+                l2_flag[n] = pipe.l2_miss_outstanding
+                n += 1
+                if controller is not None:
+                    stall, noops = controller.update(amps)
+                    pipe.stall_issue = stall
+                    pipe.inject_noops = noops
+                if pipe.drained:
+                    break
+        result = SimulationResult(
             name=name,
             current=current[:n],
             l2_outstanding=l2_flag[:n],
             stats=pipe.stats,
         )
+        if obs.ENABLED:
+            _record_run(result, pipe)
+        return result
 
 
 _CACHE: dict[tuple[str, int, int | None, int], SimulationResult] = {}
@@ -130,31 +197,42 @@ def simulate_benchmark(
     key = (profile.name, cycles, seed, warmup_cycles)
     cacheable = use_cache and config is TABLE_1
     if cacheable and key in _CACHE:
+        obs.counter_inc(
+            "sim_memo_hits_total", 1, "in-process simulation memo hits"
+        )
         return _CACHE[key]
-    sim = Simulator(config)
-    stream = generate(profile, seed)
-    pipe = Pipeline(config, iter(stream), sim.power_model)
-    prewarm_caches(pipe.caches, profile)
-    # Warm-up interval: run the machine without recording, so predictors
-    # train and the pipeline fills (the SimPoint interval's preamble).
-    for _ in range(warmup_cycles):
-        pipe.tick()
-    pipe.stats = RunStatistics()
-    current = np.empty(cycles)
-    l2_flag = np.empty(cycles, dtype=bool)
-    n = 0
-    for _ in range(cycles):
-        current[n] = pipe.tick()
-        l2_flag[n] = pipe.l2_miss_outstanding
-        n += 1
-        if pipe.drained:
-            break
+    with obs.span(
+        "uarch.simulate",
+        benchmark=profile.name,
+        max_cycles=cycles,
+        warmup_cycles=warmup_cycles,
+    ):
+        sim = Simulator(config)
+        stream = generate(profile, seed)
+        pipe = Pipeline(config, iter(stream), sim.power_model)
+        prewarm_caches(pipe.caches, profile)
+        # Warm-up interval: run the machine without recording, so predictors
+        # train and the pipeline fills (the SimPoint interval's preamble).
+        for _ in range(warmup_cycles):
+            pipe.tick()
+        pipe.stats = RunStatistics()
+        current = np.empty(cycles)
+        l2_flag = np.empty(cycles, dtype=bool)
+        n = 0
+        for _ in range(cycles):
+            current[n] = pipe.tick()
+            l2_flag[n] = pipe.l2_miss_outstanding
+            n += 1
+            if pipe.drained:
+                break
     result = SimulationResult(
         name=profile.name,
         current=current[:n],
         l2_outstanding=l2_flag[:n],
         stats=pipe.stats,
     )
+    if obs.ENABLED:
+        _record_run(result, pipe)
     if cacheable:
         _CACHE[key] = result
     return result

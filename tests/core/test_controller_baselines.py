@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    HysteresisController,
     PipelineDampingController,
     ThresholdController,
     WaveletVoltageMonitor,
@@ -156,3 +157,21 @@ class TestControlExperiment:
         )
         assert 0.0 <= result.false_positive_rate <= 1.0
         assert result.slowdown >= -0.05  # controlled run can't be much faster
+
+
+class TestEngagementRateBeforeAnyUpdate:
+    """A controller that never ran must report 0.0, not divide by zero."""
+
+    def test_threshold(self, net):
+        ctl = ThresholdController(WaveletVoltageMonitor(net, terms=8), net)
+        assert ctl.engagement_rate == 0.0
+
+    def test_hysteresis(self, net):
+        ctl = HysteresisController(
+            WaveletVoltageMonitor(net, terms=8), net
+        )
+        assert ctl.engagement_rate == 0.0
+
+    def test_pipeline_damping(self, net):
+        ctl = PipelineDampingController(net, delta=5.0, window=4)
+        assert ctl.engagement_rate == 0.0

@@ -1,0 +1,136 @@
+"""Metrics registry: labels, buckets, snapshots, merge, Prometheus."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    diff_snapshots,
+    exponential_buckets,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_label_series_accumulate_independently(self, registry):
+        c = registry.counter("cache_hits_total")
+        c.inc(stage="simulate")
+        c.inc(2, stage="simulate")
+        c.inc(5, stage="voltage")
+        assert c.value(stage="simulate") == 3
+        assert c.value(stage="voltage") == 5
+        assert c.value(stage="characterize") == 0
+
+    def test_label_order_is_irrelevant(self, registry):
+        c = registry.counter("x_total")
+        c.inc(a="1", b="2")
+        assert c.value(b="2", a="1") == 1
+
+    def test_counters_reject_negative(self, registry):
+        with pytest.raises(ValueError, match="only go up"):
+            registry.counter("x_total").inc(-1)
+
+    def test_same_family_is_shared(self, registry):
+        registry.counter("x_total").inc(3)
+        assert registry.counter("x_total").value() == 3
+
+    def test_kind_conflict_rejected(self, registry):
+        registry.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("x")
+
+
+class TestGauge:
+    def test_last_write_wins(self, registry):
+        g = registry.gauge("engagement_rate")
+        g.set(0.25, benchmark="gzip")
+        g.set(0.75, benchmark="gzip")
+        assert g.value(benchmark="gzip") == 0.75
+        assert g.value(benchmark="mcf") is None
+
+
+class TestHistogram:
+    def test_exponential_buckets(self):
+        edges = exponential_buckets(1e-3, 10.0, 4)
+        assert edges == pytest.approx((1e-3, 1e-2, 1e-1, 1.0))
+        with pytest.raises(ValueError):
+            exponential_buckets(0.0, 10.0, 4)
+        with pytest.raises(ValueError):
+            exponential_buckets(1e-3, 1.0, 4)
+        with pytest.raises(ValueError):
+            exponential_buckets(1e-3, 10.0, 0)
+
+    def test_bucket_edges_are_inclusive_upper_bounds(self, registry):
+        h = registry.histogram("lat", buckets=(1.0, 10.0))
+        h.observe(1.0)   # lands in the first bucket (le="1")
+        h.observe(1.001)  # second bucket
+        h.observe(10.0)  # second bucket
+        h.observe(11.0)  # +Inf overflow
+        state = h.value()
+        assert state["counts"] == [1, 2, 1]
+        assert state["count"] == 4
+        assert state["sum"] == pytest.approx(23.001)
+
+    def test_unseen_labels_return_none(self, registry):
+        assert registry.histogram("lat").value(stage="x") is None
+
+    def test_misordered_buckets_rejected(self, registry):
+        with pytest.raises(ValueError, match="ascending"):
+            registry.histogram("bad", buckets=(2.0, 1.0))
+
+
+class TestSnapshotMerge:
+    def test_cross_process_delta_merges_additively(self, registry):
+        # the worker flow: snapshot, work, diff, merge into the parent
+        registry.counter("hits_total").inc(2, stage="simulate")
+        before = registry.snapshot()
+        registry.counter("hits_total").inc(3, stage="simulate")
+        registry.gauge("rate").set(0.5)
+        registry.histogram("lat", buckets=(1.0, 2.0)).observe(1.5)
+        delta = diff_snapshots(before, registry.snapshot())
+
+        parent = MetricsRegistry()
+        parent.counter("hits_total").inc(10, stage="simulate")
+        parent.merge(delta)
+        assert parent.counter("hits_total").value(stage="simulate") == 13
+        assert parent.gauge("rate").value() == 0.5
+        assert parent.histogram("lat").value()["count"] == 1
+
+    def test_unchanged_series_are_dropped_from_delta(self, registry):
+        registry.counter("hits_total").inc(2)
+        registry.histogram("lat").observe(0.5)
+        before = registry.snapshot()
+        registry.counter("hits_total").inc(0.0)  # no change
+        delta = diff_snapshots(before, registry.snapshot())
+        assert delta == {}
+
+    def test_merge_is_idempotent_on_empty(self, registry):
+        registry.merge({})
+        assert registry.families() == []
+
+
+class TestPrometheus:
+    def test_text_format(self, registry):
+        registry.counter("cache_hits_total", "cache hits").inc(
+            4, stage="simulate"
+        )
+        registry.gauge("rate").set(0.25)
+        text = registry.to_prometheus()
+        assert "# HELP repro_cache_hits_total cache hits" in text
+        assert "# TYPE repro_cache_hits_total counter" in text
+        assert 'repro_cache_hits_total{stage="simulate"} 4' in text
+        assert "repro_rate 0.25" in text
+
+    def test_histogram_buckets_are_cumulative(self, registry):
+        h = registry.histogram("lat_seconds", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(50.0)
+        text = registry.to_prometheus()
+        assert 'repro_lat_seconds_bucket{le="1"} 1' in text
+        assert 'repro_lat_seconds_bucket{le="10"} 2' in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_lat_seconds_count 3" in text

@@ -1,0 +1,130 @@
+"""Spans, events and the enabled/disabled gate."""
+
+import pytest
+
+from repro import obs
+from repro.obs import trace
+
+
+@pytest.fixture
+def enabled():
+    obs.enable("summary")
+    yield
+    obs.disable()
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self, enabled):
+        with obs.span("outer") as outer:
+            with obs.span("mid") as mid:
+                with obs.span("leaf"):
+                    pass
+        assert [c.name for c in outer.children] == ["mid"]
+        assert [c.name for c in mid.children] == ["leaf"]
+        assert mid.depth == 1 and mid.parent_name == "outer"
+        assert "outer" in outer.tree() and "leaf" in outer.tree()
+
+    def test_timing_monotonicity(self, enabled):
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                sum(range(10_000))
+        assert outer.wall_s >= inner.wall_s >= 0.0
+        assert outer.cpu_s >= inner.cpu_s >= 0.0
+
+    def test_spans_feed_the_collector(self, enabled):
+        with obs.span("stage.simulate"):
+            pass
+        with obs.span("stage.simulate"):
+            pass
+        rows = obs.span_collector().rows()
+        assert rows["stage.simulate"]["count"] == 2
+        assert rows["stage.simulate"]["wall_s"] >= 0.0
+        assert (
+            rows["stage.simulate"]["max_s"]
+            <= rows["stage.simulate"]["wall_s"]
+        )
+
+    def test_attrs_and_error_annotation(self, enabled):
+        with pytest.raises(RuntimeError):
+            with obs.span("job", benchmark="gzip") as s:
+                s.set(windows=16)
+                raise RuntimeError("boom")
+        assert s.attrs["benchmark"] == "gzip"
+        assert s.attrs["windows"] == 16
+        assert s.attrs["error"] == "RuntimeError"
+
+    def test_current_span(self, enabled):
+        assert obs.current_span() is None
+        with obs.span("outer"):
+            with obs.span("inner"):
+                assert obs.current_span().name == "inner"
+            assert obs.current_span().name == "outer"
+        assert obs.current_span() is None
+
+
+class TestDisabledMode:
+    def test_disabled_span_is_shared_noop(self):
+        assert not obs.enabled()
+        s1 = obs.span("a", x=1)
+        s2 = obs.span("b")
+        assert s1 is s2  # one shared null object: nothing allocates
+        with s1 as inside:
+            inside.set(anything="goes")
+        assert inside.tree() == ""
+
+    def test_disabled_helpers_record_nothing(self):
+        obs.counter_inc("x_total", 5)
+        obs.gauge_set("g", 1.0)
+        obs.histogram_observe("h", 0.1)
+        obs.event("emergency_onset", cycle=1)
+        assert obs.registry().families() == []
+        assert len(obs.span_collector()) == 0
+
+    def test_finish_when_disabled_returns_none(self):
+        assert obs.finish() is None
+
+    def test_enable_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown obs mode"):
+            obs.enable("xml")
+
+
+class TestEvents:
+    def test_events_count_by_name(self, enabled):
+        obs.event("emergency_onset", cycle=10)
+        obs.event("emergency_onset", cycle=55)
+        obs.event("actuation_summary", stalls=3)
+        counter = obs.registry().counter("events_total")
+        assert counter.value(event="emergency_onset") == 2
+        assert counter.value(event="actuation_summary") == 1
+
+
+class TestWorkerCapture:
+    def test_captured_records_absorb_into_parent(self):
+        # worker side: capture without an exporter
+        obs.worker_mode(True)
+        try:
+            with obs.span("stage.simulate"):
+                pass
+            obs.event("emergency_onset", cycle=3)
+            before = {}
+            delta = trace.snapshot_delta(before)
+            records = obs.drain_records()
+        finally:
+            obs.disable()
+        assert {r["type"] for r in records} == {"span", "event"}
+        assert obs.drain_records() == []  # drained exactly once
+
+        # parent side: fold the shipped payloads in
+        obs.enable("summary")
+        try:
+            obs.absorb(delta, records)
+            rows = obs.span_collector().rows()
+            assert rows["stage.simulate"]["count"] == 1
+            counter = obs.registry().counter("events_total")
+            assert counter.value(event="emergency_onset") == 1
+        finally:
+            obs.disable()
+
+    def test_worker_mode_off_disables(self):
+        obs.worker_mode(False)
+        assert not obs.enabled()

@@ -115,3 +115,60 @@ class TestWorkerPool:
         run_batch(jobs, jobs=2, cache_dir=tmp_path)
         again = run_batch(jobs, jobs=2, cache_dir=tmp_path)
         assert again.cache_hits == again.stage_runs
+
+
+class TestPartialTelemetryOnFailure:
+    def test_failing_stage_still_reports_its_timing(self, net150):
+        spec = JobSpec("no-such-benchmark", stages=("simulate",))
+        batch = run_batch([spec], raise_on_error=False)
+        outcome = batch.outcomes[0]
+        assert not outcome.ok
+        assert outcome.failed_stage == "simulate"
+        assert "simulate" in outcome.timings
+        assert outcome.timings["simulate"] >= 0.0
+        assert outcome.cache_hits == {"simulate": False}
+
+    def test_later_stages_never_get_timings(self, net150):
+        spec = JobSpec(
+            "no-such-benchmark",
+            stages=("simulate", "voltage", "characterize"),
+        )
+        batch = run_batch([spec], raise_on_error=False)
+        outcome = batch.outcomes[0]
+        assert outcome.failed_stage == "simulate"
+        assert set(outcome.timings) == {"simulate"}
+
+
+class TestBatchSummary:
+    def test_summary_headline_numbers(self, batch):
+        s = batch.summary()
+        assert s["jobs"] == len(NAMES)
+        assert s["errors"] == 0
+        assert s["stage_runs"] == 3 * len(NAMES)
+        assert s["cache_hits"] + s["cache_misses"] == s["stage_runs"]
+        assert s["wall_s"] > 0
+        assert s["workers"] == 1
+
+    def test_summary_counts_errors(self, net150):
+        bad = JobSpec("no-such-benchmark", stages=("simulate",))
+        batch = run_batch([bad], raise_on_error=False)
+        assert batch.summary()["errors"] == 1
+
+
+@pytest.mark.slow
+class TestWorkerPoolObservability:
+    def test_worker_metrics_merge_into_parent(self, net150, tmp_path):
+        from repro import obs
+
+        jobs = build_characterization_jobs(NAMES, net150, cycles=CYCLES)
+        obs.enable("summary")
+        try:
+            run_batch(jobs, jobs=2, cache_dir=tmp_path)
+            counter = obs.registry().counter("pipeline_jobs_total")
+            assert counter.value(status="ok") == len(NAMES)
+            rows = obs.span_collector().rows()
+            # worker-side spans shipped back and absorbed by the parent
+            assert rows["pipeline.job"]["count"] == len(NAMES)
+            assert rows["stage.simulate"]["count"] == len(NAMES)
+        finally:
+            obs.disable()
