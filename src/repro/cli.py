@@ -18,16 +18,22 @@ Four commands cover the repo's main flows:
 * ``breakdown`` — Wattch-style per-unit power breakdown of a benchmark.
 * ``sizing`` — the largest target impedance a workload set tolerates.
 * ``report`` — the whole evaluation as one text report.
+* ``bench`` — time every reference/vectorized kernel pair and write
+  ``BENCH_kernels.json`` (see ``docs/KERNELS.md``).
 * ``obs`` — observability utilities (``obs report`` renders a JSONL log).
 
 Every command accepts the global ``--obs {off,summary,jsonl,prom}`` flag
 (before or after the subcommand) selecting the telemetry exporter, plus
 ``--obs-path`` for the JSONL log location; see ``docs/OBSERVABILITY.md``.
+``--kernel-backend {vectorized,reference}`` (again before or after the
+subcommand) pins the numerical kernel backend for the whole run,
+including pipeline worker processes.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 
 import numpy as np
 
@@ -71,6 +77,13 @@ def _obs_options() -> argparse.ArgumentParser:
         default=argparse.SUPPRESS,
         help="JSONL log path for --obs jsonl (default repro-obs.jsonl)",
     )
+    parent.add_argument(
+        "--kernel-backend",
+        choices=("vectorized", "reference"),
+        default=argparse.SUPPRESS,
+        help="numerical kernel backend (default vectorized; reference "
+             "is the scalar oracle, for debugging numerics)",
+    )
     return parent
 
 
@@ -87,6 +100,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="telemetry exporter (see docs/OBSERVABILITY.md)",
     )
     parser.add_argument("--obs-path", default=None, help=argparse.SUPPRESS)
+    parser.add_argument(
+        "--kernel-backend",
+        choices=("vectorized", "reference"),
+        default=None,
+        help="numerical kernel backend (default vectorized)",
+    )
     obs_opts = _obs_options()
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -162,6 +181,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="all 26 benchmarks (slow) instead of the quick subset")
     rep.add_argument("--no-control", action="store_true",
                      help="skip the closed-loop Table-2 section")
+
+    bench = sub.add_parser(
+        "bench",
+        help="time reference vs vectorized kernels, write BENCH_kernels.json",
+        parents=[obs_opts],
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="CI-smoke sizes (seconds instead of minutes)")
+    bench.add_argument("--output", default=None,
+                       help="result JSON path (default BENCH_kernels.json; "
+                            "'-' to skip writing)")
 
     pipe = sub.add_parser(
         "pipeline", help="parallel batch characterization with result cache"
@@ -487,6 +517,19 @@ def _cmd_sizing(args) -> str:
     return "\n".join(lines)
 
 
+def _cmd_bench(args) -> str:
+    from .kernels.bench import DEFAULT_OUTPUT, format_results, run_bench
+
+    output = args.output or DEFAULT_OUTPUT
+    results = run_bench(
+        quick=args.quick, output=None if output == "-" else output
+    )
+    text = format_results(results)
+    if output != "-":
+        text += f"\nwrote {output}"
+    return text
+
+
 def _cmd_obs_report(args) -> str:
     return obs.render_report(args.log)
 
@@ -494,6 +537,13 @@ def _cmd_obs_report(args) -> str:
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    backend = getattr(args, "kernel_backend", None)
+    if backend:
+        from .kernels import set_backend
+
+        # The env var carries the choice into pipeline worker processes.
+        os.environ["REPRO_KERNEL_BACKEND"] = backend
+        set_backend(backend)
     obs_mode = getattr(args, "obs", "off")
     if obs_mode != "off":
         obs.enable(obs_mode, getattr(args, "obs_path", None))
@@ -522,6 +572,8 @@ def _dispatch(args) -> int:
         print(_cmd_breakdown(args))
     elif args.command == "sizing":
         print(_cmd_sizing(args))
+    elif args.command == "bench":
+        print(_cmd_bench(args))
     elif args.command == "pipeline":
         if args.pipeline_command == "run":
             print(_cmd_pipeline_run(args))

@@ -73,6 +73,19 @@ class ScaleFactorModel:
             raise KeyError(f"level {level} was not calibrated")
         return float(np.interp(rho, self.rho_grid, self.table[level]))
 
+    def factor_array(self, level: int, rhos: np.ndarray) -> np.ndarray:
+        """:meth:`factor` for a whole vector of correlations at once.
+
+        Element ``k`` equals ``factor(level, rhos[k])`` exactly — the
+        same ``np.interp`` over the same grid — so the batched §4.1
+        path reproduces the per-window path bit for bit.
+        """
+        if level not in self.table:
+            raise KeyError(f"level {level} was not calibrated")
+        return np.interp(
+            np.asarray(rhos, dtype=float), self.rho_grid, self.table[level]
+        )
+
     def peak_level(self) -> int:
         """The scale the supply amplifies the most (at rho = 0)."""
         return max(self.levels, key=lambda lvl: self.factor(lvl, 0.0))

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..kernels import get_kernel
 from ..obs import trace as obs
 from ..power import ConvolutionVoltageSimulator, PowerSupplyNetwork
 from ..stats import GaussianModel
@@ -118,11 +119,14 @@ class WaveletVoltageEstimator:
         """
         return set(self.factors.ranked_levels()[:count])
 
-    def level_contributions(self, current: np.ndarray) -> dict[int, float]:
-        """Mean per-level voltage-variance contribution over a trace.
+    # -- batched window evaluation (the kernel-dispatch hot path) ---------------
 
-        The basis for level truncation: §4.1 ignores "those wavelet
-        levels that have small impact while estimating voltage variance".
+    def tile_windows(self, current: np.ndarray) -> np.ndarray:
+        """The trace as a ``(count, window)`` matrix of full windows.
+
+        Non-overlapping tiling with the trailing partial window dropped
+        — the same convention every whole-trace method (and the
+        streaming aggregators) use.  Raises if no full window fits.
         """
         i = np.asarray(current, dtype=float)
         count = len(i) // self.window
@@ -130,19 +134,97 @@ class WaveletVoltageEstimator:
             raise ValueError(
                 f"trace shorter than one {self.window}-cycle window"
             )
-        totals = {lvl: 0.0 for lvl in range(1, self.levels + 1)}
+        return i[: count * self.window].reshape(count, self.window)
+
+    def _window_stats(self, windows: np.ndarray):
+        """Steps 1-3 for a ``(W, window)`` matrix via the active kernel."""
+        return get_kernel("window_stats")(
+            np.asarray(windows, dtype=float), self.levels
+        )
+
+    def _voltage_params_from(self, stats) -> tuple[np.ndarray, np.ndarray]:
+        """Per-window Gaussian (mean, variance) from batched statistics."""
+        v_var = np.zeros(stats.windows)
+        for lvl in range(1, self.levels + 1):
+            if self.keep_levels is not None and lvl not in self.keep_levels:
+                continue
+            v_var += (
+                self.factors.factor_array(lvl, stats.correlations[lvl - 1])
+                * stats.variances[lvl - 1]
+            )
+        mean_v = self.network.vdd - stats.means * self.network.dc_resistance
+        return mean_v, v_var
+
+    def _contribution_terms_from(self, stats) -> np.ndarray:
+        """Per-(level, window) voltage-variance terms from batched stats."""
+        terms = np.empty((self.levels, stats.windows))
+        for lvl in range(1, self.levels + 1):
+            terms[lvl - 1] = (
+                self.factors.factor_array(lvl, stats.correlations[lvl - 1])
+                * stats.variances[lvl - 1]
+            )
+        return terms
+
+    def window_voltage_params(
+        self, windows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Gaussian-model (mean, variance) for every window row (§4.1 1-4).
+
+        One ``window_stats`` kernel call covers steps 1-3 for all rows;
+        the calibrated factors then turn per-scale current variance into
+        voltage variance, honouring ``keep_levels``.  Row ``k`` matches
+        :meth:`characterize_window` on ``windows[k]`` to float round-off
+        (exactly, on the reference backend).
+        """
+        return self._voltage_params_from(self._window_stats(windows))
+
+    def window_probs_below(
+        self, windows: np.ndarray, threshold: float
+    ) -> np.ndarray:
+        """Per-window probability of sitting below ``threshold`` (step 5)."""
+        mean_v, v_var = self.window_voltage_params(windows)
+        return get_kernel("gaussian_prob_below")(mean_v, v_var, threshold)
+
+    def window_contribution_terms(self, windows: np.ndarray) -> np.ndarray:
+        """Per-(level, window) voltage-variance terms, shape ``(levels, W)``.
+
+        ``terms[j - 1, k]`` is level ``j``'s contribution in window
+        ``k`` — the quantity :meth:`level_contributions` averages.
+        """
+        return self._contribution_terms_from(self._window_stats(windows))
+
+    def characterize_windows(
+        self, windows: np.ndarray, threshold: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Probabilities and contribution terms from one shared stats pass.
+
+        What the ``characterize`` pipeline stage wants: both outputs of
+        the §4.1 analysis without decomposing every window twice.
+        Results are bit-identical to calling :meth:`window_probs_below`
+        and :meth:`window_contribution_terms` separately.
+        """
+        stats = self._window_stats(windows)
+        mean_v, v_var = self._voltage_params_from(stats)
+        probs = get_kernel("gaussian_prob_below")(mean_v, v_var, threshold)
+        return probs, self._contribution_terms_from(stats)
+
+    def level_contributions(self, current: np.ndarray) -> dict[int, float]:
+        """Mean per-level voltage-variance contribution over a trace.
+
+        The basis for level truncation: §4.1 ignores "those wavelet
+        levels that have small impact while estimating voltage variance".
+        """
+        windows = self.tile_windows(current)
+        count = windows.shape[0]
         with obs.span(
             "characterize.level_contributions", windows=count
         ):
-            for k in range(count):
-                ch = self.characterize_window(
-                    i[k * self.window : (k + 1) * self.window]
-                )
-                for lvl in totals:
-                    totals[lvl] += self.factors.factor(
-                        lvl, ch.scale_correlations[lvl]
-                    ) * ch.scale_variances[lvl]
-        contributions = {lvl: v / count for lvl, v in totals.items()}
+            terms = self.window_contribution_terms(windows)
+        totals = terms.sum(axis=1)
+        contributions = {
+            lvl: float(totals[lvl - 1]) / count
+            for lvl in range(1, self.levels + 1)
+        }
         if obs.ENABLED:
             for lvl, contribution in contributions.items():
                 obs.gauge_set(
@@ -197,42 +279,21 @@ class WaveletVoltageEstimator:
         Tiles the trace with non-overlapping 256-cycle windows and
         averages each window's Gaussian-model probability.
         """
-        i = np.asarray(current, dtype=float)
-        count = len(i) // self.window
-        if count == 0:
-            raise ValueError(
-                f"trace shorter than one {self.window}-cycle window"
-            )
-        total = 0.0
+        windows = self.tile_windows(current)
+        count = windows.shape[0]
         with obs.span(
             "characterize.trace", windows=count, threshold=threshold
         ):
-            for k in range(count):
-                w = i[k * self.window : (k + 1) * self.window]
-                total += self.characterize_window(w).prob_below(threshold)
+            probs = self.window_probs_below(windows, threshold)
         obs.counter_inc(
             "characterize_traces_total", 1, "whole-trace characterizations"
         )
-        return total / count
+        return float(probs.sum()) / count
 
     def estimate_voltage_variance(self, current: np.ndarray) -> float:
         """Mean estimated per-window voltage variance over a trace."""
-        i = np.asarray(current, dtype=float)
-        count = len(i) // self.window
-        if count == 0:
-            raise ValueError(
-                f"trace shorter than one {self.window}-cycle window"
-            )
-        return float(
-            np.mean(
-                [
-                    self.characterize_window(
-                        i[k * self.window : (k + 1) * self.window]
-                    ).voltage_model.variance
-                    for k in range(count)
-                ]
-            )
-        )
+        _, v_var = self.window_voltage_params(self.tile_windows(current))
+        return float(np.mean(v_var))
 
 
 @dataclass(frozen=True)

@@ -42,7 +42,17 @@ __all__ = [
 
 
 class _CompressedKernelMonitor:
-    """Common streaming/batch evaluation over a compressed FIR kernel."""
+    """Common streaming/batch evaluation over a compressed FIR kernel.
+
+    Warm-up semantics (pinned by ``tests/kernels/test_golden.py`` and
+    the monitor tests): a fresh (or :meth:`reset`) monitor starts from
+    an all-zero history, which is exactly the zero-extension convention
+    of causal convolution — so for the first ``taps`` cycles and beyond,
+    streaming :meth:`observe` agrees with batch :meth:`estimate_trace`
+    to float round-off.  :meth:`estimate_trace` always answers for a
+    freshly-reset monitor: it neither reads nor advances the streaming
+    history, so interleaving the two interfaces is safe.
+    """
 
     network: PowerSupplyNetwork
     taps: int
@@ -67,12 +77,15 @@ class _CompressedKernelMonitor:
     # -- batch interface ---------------------------------------------------------
 
     def estimate_trace(self, current: np.ndarray) -> np.ndarray:
-        """Estimated voltage for every cycle of a trace (vectorized)."""
-        from scipy.signal import fftconvolve
+        """Estimated voltage for every cycle of a trace, from zero history.
 
-        i = np.asarray(current, dtype=float)
-        droop = fftconvolve(i, self.compressed_kernel)[: len(i)]
-        return self.network.vdd - droop
+        Dispatches through the ``monitor_estimate_trace`` kernel: one
+        whole-trace FIR convolution on the vectorized backend, the
+        replayed ``observe`` loop on the reference backend.
+        """
+        from ..kernels import get_kernel
+
+        return get_kernel("monitor_estimate_trace")(self, current)
 
     def max_error_on(self, current: np.ndarray) -> float:
         """Worst |exact - estimated| voltage over a trace (Figure 13)."""
@@ -80,9 +93,8 @@ class _CompressedKernelMonitor:
 
         i = np.asarray(current, dtype=float)
         exact_kernel = impulse_response(self.network, self.taps)
-        exact = fftconvolve(i, exact_kernel)[: len(i)]
-        approx = fftconvolve(i, self.compressed_kernel)[: len(i)]
-        return float(np.max(np.abs(exact - approx)))
+        exact = self.network.vdd - fftconvolve(i, exact_kernel)[: len(i)]
+        return float(np.max(np.abs(exact - self.estimate_trace(i))))
 
 
 class WaveletVoltageMonitor(_CompressedKernelMonitor):
@@ -119,9 +131,7 @@ class WaveletVoltageMonitor(_CompressedKernelMonitor):
         self.wavelet = wavelet
         # The truncated monitor is linear; its action equals an FIR filter
         # with the compressed kernel (reconstruction of the kept terms).
-        self.compressed_kernel = (
-            self.convolver._h_dec.truncate(self.terms).reconstruct()
-        )
+        self.compressed_kernel = self.convolver.compressed_fir()
         self._init_history()
 
 

@@ -40,6 +40,7 @@ from .core import (
     gaussianity_study,
     predict_trace,
 )
+from .kernels import get_backend
 from .obs import trace as obs
 from .pipeline import (
     JobSpec,
@@ -140,6 +141,7 @@ def characterize_suite(
         benchmarks=len(names),
         cycles=cycles,
         threshold=threshold,
+        kernel_backend=get_backend(),
     ):
         batch = run_batch(specs, jobs=jobs, cache_dir=cache_dir)
     return Figure9Result(

@@ -37,7 +37,9 @@ __all__ = [
 ]
 
 #: Bump when artifact layouts change; invalidates every cache entry.
-CACHE_SCHEMA_VERSION = 1
+#: v2: characterize artifacts come from the vectorized kernel backend,
+#: whose floats can differ from v1's sequential loop in the last ulp.
+CACHE_SCHEMA_VERSION = 2
 
 #: Code-version salt folded into every cache key, so results computed by
 #: a different release or schema never alias.

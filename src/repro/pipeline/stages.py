@@ -38,7 +38,7 @@ from ..obs import trace as obs
 from ..power import ConvolutionVoltageSimulator
 from ..uarch import simulate_benchmark
 from .spec import CACHE_SALT, JobSpec, hash_payload
-from .windows import streaming_fraction_below, streaming_level_contributions
+from .windows import streaming_characterize
 
 __all__ = [
     "Stage",
@@ -192,13 +192,16 @@ def _stage_voltage(ctx: StageContext):
 
 @register_stage("characterize", fields=("network", "threshold", "window"))
 def _stage_characterize(ctx: StageContext):
-    """The §4.1 wavelet-variance estimate, streamed window by window."""
+    """The §4.1 wavelet-variance estimate, streamed block by block.
+
+    One pass through the kernel-dispatched batch path yields both the
+    below-threshold estimate and the per-level contributions.
+    """
     result = ctx.simulation()
     estimator = ctx.estimator
-    estimated, count = streaming_fraction_below(
+    estimated, count, levels = streaming_characterize(
         estimator, result.current, ctx.spec.threshold
     )
-    levels = streaming_level_contributions(estimator, result.current)
     if obs.ENABLED:
         for lvl, contribution in levels.items():
             obs.gauge_set(

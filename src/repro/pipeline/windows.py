@@ -6,9 +6,12 @@ trace resident: this module turns any source — an in-memory array, a
 memory-mapped ``.npy`` file, or an arbitrary iterable of sample chunks —
 into a stream of exact-size windows with O(window) working memory.
 
-The streaming aggregators mirror the accumulation order of
-:class:`~repro.core.WaveletVoltageEstimator`'s whole-trace methods
-exactly, so a streamed estimate is bit-identical to the in-memory one.
+The streaming aggregators feed whole *blocks* of windows (one chunk's
+worth at a time) through the same batched kernel path as
+:class:`~repro.core.WaveletVoltageEstimator`'s whole-trace methods.
+Because every kernel reduction is row-local and the final reduction runs
+over the concatenated per-window results, a streamed estimate is
+bit-identical to the in-memory one on either kernel backend.
 """
 
 from __future__ import annotations
@@ -23,8 +26,10 @@ from ..obs import trace as obs
 __all__ = [
     "as_chunks",
     "iter_windows",
+    "iter_window_blocks",
     "streaming_fraction_below",
     "streaming_level_contributions",
+    "streaming_characterize",
 ]
 
 #: Default samples per chunk when re-chunking an array-like source.
@@ -101,40 +106,107 @@ def iter_windows(
             )
 
 
+def iter_window_blocks(
+    source, window: int, chunk: int = CHUNK
+) -> Iterator[np.ndarray]:
+    """Stream ``(k, window)`` matrices of consecutive full windows.
+
+    The block form of :func:`iter_windows`: each yielded matrix holds
+    every full window of one chunk (so the batched kernels get real
+    work per call), the trailing partial window is dropped, and working
+    memory stays O(chunk).
+    """
+    if window < 1:
+        raise ValueError("window must be at least one sample")
+    carry = np.empty(0)
+    emitted = 0
+    try:
+        for arr in as_chunks(source, chunk=max(chunk, window)):
+            if carry.size:
+                arr = np.concatenate([carry, arr])
+            count = len(arr) // window
+            if count:
+                yield arr[: count * window].reshape(count, window)
+            emitted += count
+            carry = arr[count * window :]
+    finally:
+        if emitted:
+            obs.counter_inc(
+                "pipeline_windows_total",
+                emitted,
+                "characterization windows streamed",
+            )
+
+
 def streaming_fraction_below(
     estimator, source, threshold: float
 ) -> tuple[float, int]:
     """Streamed equivalent of ``estimator.estimate_fraction_below``.
 
-    Returns ``(estimate, windows_seen)``; accumulation order matches the
+    Returns ``(estimate, windows_seen)``.  Each block goes through the
+    estimator's batched ``window_probs_below`` (kernel-dispatched), and
+    the final reduction runs over the concatenated per-window
+    probabilities — the same floats, reduced the same way, as the
     in-memory method, so results are bit-identical for the same trace.
     """
-    total = 0.0
-    count = 0
-    for w in iter_windows(source, estimator.window):
-        total += estimator.characterize_window(w).prob_below(threshold)
-        count += 1
-    if count == 0:
+    probs = [
+        estimator.window_probs_below(block, threshold)
+        for block in iter_window_blocks(source, estimator.window)
+    ]
+    if not probs:
         raise ValueError(
             f"trace shorter than one {estimator.window}-cycle window"
         )
-    return total / count, count
+    flat = np.concatenate(probs)
+    return float(flat.sum()) / len(flat), len(flat)
 
 
 def streaming_level_contributions(estimator, source) -> dict[int, float]:
     """Streamed equivalent of ``estimator.level_contributions``."""
-    totals = {lvl: 0.0 for lvl in range(1, estimator.levels + 1)}
-    count = 0
-    for w in iter_windows(source, estimator.window):
-        ch = estimator.characterize_window(w)
-        for lvl in totals:
-            totals[lvl] += (
-                estimator.factors.factor(lvl, ch.scale_correlations[lvl])
-                * ch.scale_variances[lvl]
-            )
-        count += 1
-    if count == 0:
+    blocks = [
+        estimator.window_contribution_terms(block)
+        for block in iter_window_blocks(source, estimator.window)
+    ]
+    if not blocks:
         raise ValueError(
             f"trace shorter than one {estimator.window}-cycle window"
         )
-    return {lvl: v / count for lvl, v in totals.items()}
+    terms = np.concatenate(blocks, axis=1)
+    totals = terms.sum(axis=1)
+    count = terms.shape[1]
+    return {
+        lvl: float(totals[lvl - 1]) / count
+        for lvl in range(1, estimator.levels + 1)
+    }
+
+
+def streaming_characterize(
+    estimator, source, threshold: float
+) -> tuple[float, int, dict[int, float]]:
+    """Both §4.1 trace outputs from one streamed pass over the windows.
+
+    Returns ``(estimate, windows_seen, level_contributions)``.  Each
+    block is decomposed once via ``estimator.characterize_windows``, so
+    the characterize pipeline stage pays for one wavelet pass instead of
+    two.  Per-window results are bit-identical to the separate
+    :func:`streaming_fraction_below` / :func:`streaming_level_contributions`
+    calls (and to the in-memory estimator methods).
+    """
+    prob_blocks: list[np.ndarray] = []
+    term_blocks: list[np.ndarray] = []
+    for block in iter_window_blocks(source, estimator.window):
+        probs, terms = estimator.characterize_windows(block, threshold)
+        prob_blocks.append(probs)
+        term_blocks.append(terms)
+    if not prob_blocks:
+        raise ValueError(
+            f"trace shorter than one {estimator.window}-cycle window"
+        )
+    flat = np.concatenate(prob_blocks)
+    count = len(flat)
+    totals = np.concatenate(term_blocks, axis=1).sum(axis=1)
+    contributions = {
+        lvl: float(totals[lvl - 1]) / count
+        for lvl in range(1, estimator.levels + 1)
+    }
+    return float(flat.sum()) / count, count, contributions

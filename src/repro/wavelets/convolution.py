@@ -50,11 +50,23 @@ def convolve_via_subbands(
     waveforms.  Mathematically identical to ``numpy.convolve(x, h)``;
     exists as the executable statement of the linearity argument and is
     tested against direct convolution.
+
+    Edge semantics (pinned by ``tests/kernels/test_properties.py``):
+    inputs shorter than the wavelet's filter support still work — the
+    signal is zero-padded to a power of two, and when even the padded
+    length cannot support one decomposition level the "decomposition"
+    degenerates to the approximation row alone, so the result is plain
+    convolution.  Empty ``x`` or ``h`` raise ``ValueError`` rather than
+    surfacing an obscure padding error.
     """
     from .subbands import subband_signals  # local import avoids cycle
 
     x = np.asarray(x, dtype=float)
     h = np.asarray(h, dtype=float)
+    if x.size == 0:
+        raise ValueError("cannot convolve an empty signal")
+    if h.size == 0:
+        raise ValueError("impulse response must be non-empty")
     n = len(x)
     padded = np.zeros(next_pow2(n))
     padded[:n] = x
@@ -108,6 +120,21 @@ class WaveletConvolver:
         self.keep = keep
         self.terms: list[tuple[CoefficientRef, float]] = ranked[:keep]
         self._dropped: list[tuple[CoefficientRef, float]] = ranked[keep:]
+        self._compressed_fir: np.ndarray | None = None
+
+    def compressed_fir(self) -> np.ndarray:
+        """The retained terms as a time-domain FIR kernel (cached).
+
+        ``IDWT(truncate(DWT(h)))`` — because the truncated monitor is
+        linear, its action on any history equals convolution with this
+        kernel, which is what the vectorized ``convolver_apply`` kernel
+        applies over whole traces.
+        """
+        if self._compressed_fir is None:
+            self._compressed_fir = (
+                self._h_dec.truncate(self.keep).reconstruct()
+            )
+        return self._compressed_fir
 
     # -- offline evaluation --------------------------------------------------
 
@@ -145,14 +172,14 @@ class WaveletConvolver:
 
         Produces ``y[t]`` for every t with the history zero-extended before
         the trace begins — the same convention as causal convolution.
+        Dispatches through the ``convolver_apply`` kernel: the reference
+        backend re-evaluates the wavelet-domain inner product per cycle,
+        the vectorized backend applies :meth:`compressed_fir` over the
+        whole trace at once.
         """
-        x = np.asarray(x, dtype=float)
-        padded = np.concatenate([np.zeros(self.window - 1), x])
-        out = np.empty(len(x))
-        for t in range(len(x)):
-            window = padded[t : t + self.window][::-1]
-            out[t] = self.evaluate(window)
-        return out
+        from ..kernels import get_kernel  # local import avoids cycle
+
+        return get_kernel("convolver_apply")(self, x)
 
     # -- error analysis -------------------------------------------------------
 
@@ -178,14 +205,15 @@ class WaveletConvolver:
         return bound
 
     def max_error_on(self, x: np.ndarray) -> float:
-        """Empirical max |exact - truncated| over a trace (Figure 13)."""
+        """Empirical max |exact - truncated| over a trace (Figure 13).
+
+        The exact branch is causal convolution with the full (padded)
+        impulse response; the truncated branch goes through
+        :meth:`apply`, so it exercises whichever kernel backend is
+        active.
+        """
         x = np.asarray(x, dtype=float)
-        padded = np.concatenate([np.zeros(self.window - 1), x])
-        h_full = self._h_dec.reconstruct()
-        worst = 0.0
-        for t in range(len(x)):
-            window = padded[t : t + self.window][::-1]
-            exact = float(np.dot(window, h_full))
-            approx = self.evaluate(window)
-            worst = max(worst, abs(exact - approx))
-        return worst
+        if x.size == 0:
+            return 0.0
+        exact = np.convolve(x, self._h_dec.reconstruct())[: len(x)]
+        return float(np.max(np.abs(exact - self.apply(x))))

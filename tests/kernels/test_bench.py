@@ -1,0 +1,88 @@
+"""The ``repro bench`` harness: structure always, speedups when slow.
+
+The fast test shrinks every input (the structural contract — one
+speedup entry per registered kernel, a parseable JSON artifact — does
+not need real sizes).  The full-size run asserting the headline
+speedup targets is ``-m slow``; CI's ``bench-smoke`` job covers the
+real ``repro bench --quick`` CLI path instead.
+"""
+
+import json
+
+import pytest
+
+from repro.kernels import available_kernels
+from repro.kernels import bench as kbench
+
+
+@pytest.fixture()
+def tiny_sizes(monkeypatch):
+    """Shrink every bench input so the structural test runs in seconds."""
+    monkeypatch.setattr(
+        kbench,
+        "_SIZES",
+        {
+            "wavedec_n": (1 << 10, 1 << 10),
+            "stats_cycles": (1 << 11, 1 << 11),
+            "gaussian_n": (1 << 8, 1 << 8),
+            "convolver_n": (1 << 8, 1 << 8),
+            "monitor_n": (1 << 9, 1 << 9),
+            "batch_benchmarks": (2, 2),
+            "batch_cycles": (1 << 11, 1 << 11),
+            "repeats": (1, 1),
+        },
+    )
+
+
+def test_bench_writes_speedup_entry_per_kernel(tiny_sizes, tmp_path):
+    out = tmp_path / "bench.json"
+    results = kbench.run_bench(quick=True, output=out)
+    data = json.loads(out.read_text())
+    for payload in (results, data):
+        assert set(payload["kernels"]) == set(available_kernels())
+        for name, row in payload["kernels"].items():
+            assert row["speedup"] > 0, name
+            assert row["reference_s"] > 0 and row["vectorized_s"] > 0
+            assert row["max_abs_diff"] < 1e-6, name
+        batch = payload["end_to_end"]["characterize_batch"]
+        assert batch["speedup"] > 0
+        assert batch["benchmarks"] == 2
+
+
+def test_bench_formats_human_table(tiny_sizes):
+    results = kbench.run_bench(quick=True, output=None)
+    text = kbench.format_results(results)
+    for name in available_kernels():
+        assert name in text
+    assert "characterize_batch" in text
+
+
+def test_bench_cli_flags_parse():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["bench", "--quick"])
+    assert args.command == "bench" and args.quick
+    args = build_parser().parse_args(
+        ["--kernel-backend", "reference", "bench"]
+    )
+    assert args.kernel_backend == "reference"
+    args = build_parser().parse_args(
+        ["bench", "--kernel-backend", "reference"]
+    )
+    assert args.kernel_backend == "reference"
+
+
+@pytest.mark.slow
+def test_full_bench_meets_speedup_targets(tmp_path):
+    """The ISSUE's headline targets: >=10x wavedec, >=5x end-to-end."""
+    # Best-of-two attempts guards against a loaded machine skewing one run.
+    for attempt in range(2):
+        results = kbench.run_bench(
+            quick=False, output=tmp_path / "bench.json"
+        )
+        wavedec = results["kernels"]["wavedec"]["speedup"]
+        batch = results["end_to_end"]["characterize_batch"]["speedup"]
+        if wavedec >= 10.0 and batch >= 5.0:
+            break
+    assert wavedec >= 10.0, results["kernels"]["wavedec"]
+    assert batch >= 5.0, results["end_to_end"]["characterize_batch"]

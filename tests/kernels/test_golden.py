@@ -1,0 +1,92 @@
+"""Golden regression fixtures for the kernel layer.
+
+``tests/fixtures/golden_kernels.npz`` (regenerated only deliberately,
+via ``tools/regen_golden.py``) pins the numerical outputs of the §4.1
+window statistics, the §5.1 compressed-monitor voltage estimate, and
+the emergency fraction on one seeded 4096-cycle trace.  Both backends
+must reproduce the stored values, so any accidental numerical drift —
+in either the oracle or the vectorized path — fails here even when the
+two backends still agree with each other.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    WaveletVoltageEstimator,
+    WaveletVoltageMonitor,
+    calibrated_supply,
+)
+from repro.kernels import available_backends, get_kernel, use_backend
+
+FIXTURE = Path(__file__).parent.parent / "fixtures" / "golden_kernels.npz"
+
+#: Reference regenerates the fixture bit-for-bit; vectorized may differ
+#: in the last ulp (different accumulation order), never more.
+RTOL = 1e-9
+ATOL = 1e-11
+
+
+@pytest.fixture(scope="module")
+def golden():
+    assert FIXTURE.exists(), (
+        f"{FIXTURE} is missing — run tools/regen_golden.py"
+    )
+    with np.load(FIXTURE) as data:
+        return {key: data[key] for key in data.files}
+
+
+@pytest.fixture(scope="module")
+def network(golden):
+    return calibrated_supply(float(golden["impedance"]))
+
+
+def test_fixture_shapes(golden):
+    cycles = golden["trace"].shape[0]
+    assert cycles == 4096
+    assert golden["wavelet_variances"].shape == (8, cycles // 256)
+    assert golden["wavelet_correlations"].shape == (8, cycles // 256)
+    assert golden["voltage_estimate"].shape == (cycles,)
+    assert golden["emergency_fraction"].shape == ()
+    assert 0.0 <= float(golden["emergency_fraction"]) <= 1.0
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_window_statistics_match_golden(golden, network, backend):
+    estimator = WaveletVoltageEstimator(network)
+    windows = estimator.tile_windows(golden["trace"])
+    with use_backend(backend):
+        stats = get_kernel("window_stats")(windows, estimator.levels)
+    np.testing.assert_allclose(
+        stats.variances, golden["wavelet_variances"], rtol=RTOL, atol=ATOL
+    )
+    np.testing.assert_allclose(
+        stats.correlations,
+        golden["wavelet_correlations"],
+        rtol=RTOL,
+        atol=ATOL,
+    )
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_voltage_estimate_matches_golden(golden, network, backend):
+    monitor = WaveletVoltageMonitor(network, terms=int(golden["terms"]))
+    with use_backend(backend):
+        voltage = monitor.estimate_trace(golden["trace"])
+    np.testing.assert_allclose(
+        voltage, golden["voltage_estimate"], rtol=RTOL, atol=ATOL
+    )
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_emergency_fraction_matches_golden(golden, network, backend):
+    estimator = WaveletVoltageEstimator(network)
+    with use_backend(backend):
+        fraction = estimator.estimate_fraction_below(
+            golden["trace"], float(golden["threshold"])
+        )
+    assert fraction == pytest.approx(
+        float(golden["emergency_fraction"]), rel=RTOL, abs=ATOL
+    )

@@ -1,0 +1,185 @@
+"""Property tests for kernel invariants, plus pinned edge semantics.
+
+Uses hypothesis when installed; otherwise each property falls back to a
+seeded sweep over deterministic random signals, so the invariants stay
+tested in minimal environments.
+
+Invariants: Parseval energy preservation of ``wavedec``, exact
+``waverec(wavedec(x))`` roundtrips, linearity of subband convolution,
+and the analytic truncation-error bound of the K-term convolver.
+
+Edge semantics (the latent-bug satellite): empty inputs raise clear
+``ValueError``s, signals shorter than the wavelet's filter support still
+convolve exactly, and a monitor's zero-history warm-up makes streaming
+``observe`` agree with batch ``estimate_trace`` from cycle 0.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import available_backends, get_kernel, use_backend
+from repro.wavelets import WaveletConvolver, convolve_via_subbands
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    from hypothesis.extra.numpy import arrays
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is an extra
+    HAVE_HYPOTHESIS = False
+
+BACKENDS = available_backends()
+
+
+def _seeded_signal(size: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    # Mix scales so the sweep exercises cancellation-heavy inputs too.
+    return rng.normal(0.0, 1.0, size) * rng.choice(
+        [1.0, 1e3, 1e-3], size=size
+    )
+
+
+def fuzz(**sizes: int):
+    """Property decorator: hypothesis ``@given`` or a seeded sweep.
+
+    ``@fuzz(x=64, h=8)`` supplies the named arguments as float arrays of
+    those lengths — drawn by hypothesis when it is installed, otherwise
+    swept over eight deterministic seeded signals per argument.  Binding
+    is by keyword, so it composes with ``pytest.mark.parametrize`` on
+    the test's other arguments.
+    """
+    if HAVE_HYPOTHESIS:
+        finite = st.floats(
+            min_value=-1e6, max_value=1e6, allow_nan=False, width=64
+        )
+        strategies = {
+            name: arrays(np.float64, size, elements=finite)
+            for name, size in sizes.items()
+        }
+
+        def deco(func):
+            return settings(max_examples=25, deadline=None)(
+                given(**strategies)(func)
+            )
+
+        return deco
+
+    names = list(sizes)
+    cases = [
+        tuple(
+            _seeded_signal(size, 101 * seed + 7 * k)
+            for k, size in enumerate(sizes.values())
+        )
+        for seed in range(8)
+    ]
+    if len(names) == 1:
+        cases = [case[0] for case in cases]
+
+    def deco(func):
+        return pytest.mark.parametrize(",".join(names), cases)(func)
+
+    return deco
+
+
+# -- invariants ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@fuzz(x=256)
+def test_parseval_energy_preservation(x, backend):
+    """Orthonormality: coefficient energy equals signal energy."""
+    coeffs = get_kernel("wavedec", backend=backend)(x, "haar")
+    energy = sum(float(np.sum(c**2)) for c in coeffs)
+    assert energy == pytest.approx(float(np.sum(x**2)), rel=1e-9, abs=1e-9)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@fuzz(x=256)
+def test_roundtrip_is_exact(x, backend):
+    """waverec(wavedec(x)) == x to 1e-10 (scaled by signal magnitude)."""
+    dec = get_kernel("wavedec", backend=backend)
+    rec = get_kernel("waverec", backend=backend)
+    out = rec(dec(x, "haar"), "haar")
+    np.testing.assert_allclose(
+        out, x, atol=1e-10 * (1.0 + np.abs(x).max()), rtol=1e-10
+    )
+
+
+@fuzz(x=64, y=64, h=8)
+def test_subband_convolution_is_linear(x, y, h):
+    """C(ax + by, h) == a C(x, h) + b C(y, h)."""
+    a, b = 0.75, -1.5
+    combined = convolve_via_subbands(a * x + b * y, h)
+    separate = a * convolve_via_subbands(x, h) + b * convolve_via_subbands(
+        y, h
+    )
+    scale = 1.0 + np.abs(separate).max()
+    np.testing.assert_allclose(combined, separate, atol=1e-9 * scale)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@fuzz(x=128)
+def test_truncation_error_within_analytic_bound(x, backend):
+    """Empirical K-term error never exceeds error_bound(max|x|)."""
+    rng = np.random.default_rng(42)
+    h = np.exp(-np.arange(64) / 9.0) * np.cos(np.arange(64) / 3.0)
+    h += 0.01 * rng.normal(size=64)
+    conv = WaveletConvolver(h, "haar", keep=8)
+    with use_backend(backend):
+        err = conv.max_error_on(x)
+    bound = conv.error_bound(float(np.abs(x).max()))
+    assert err <= bound * (1.0 + 1e-9) + 1e-12
+
+
+# -- pinned edge semantics ----------------------------------------------------
+
+
+def test_convolve_via_subbands_rejects_empty_inputs():
+    with pytest.raises(ValueError, match="empty signal"):
+        convolve_via_subbands(np.empty(0), np.ones(3))
+    with pytest.raises(ValueError, match="non-empty"):
+        convolve_via_subbands(np.ones(3), np.empty(0))
+
+
+@pytest.mark.parametrize("wavelet", ["haar", "db2", "db4"])
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 7])
+def test_convolve_via_subbands_short_inputs_match_direct(n, wavelet):
+    """Signals shorter than the filter support still convolve exactly."""
+    rng = np.random.default_rng(n)
+    x = rng.normal(size=n)
+    h = rng.normal(size=12)  # longer than the signal
+    out = convolve_via_subbands(x, h, wavelet)
+    np.testing.assert_allclose(out, np.convolve(x, h), atol=1e-9)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_convolver_apply_empty_trace(backend):
+    conv = WaveletConvolver(np.ones(8), "haar", keep=4)
+    with use_backend(backend):
+        out = conv.apply(np.empty(0))
+    assert out.shape == (0,)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_monitor_warmup_streaming_matches_batch(backend):
+    """Zero-history warm-up: observe agrees with estimate_trace from t=0."""
+    from repro.core import WaveletVoltageMonitor, calibrated_supply
+
+    monitor = WaveletVoltageMonitor(calibrated_supply(150), terms=13)
+    rng = np.random.default_rng(3)
+    # Shorter than the monitor's tap count: entirely warm-up territory.
+    trace = rng.normal(40.0, 5.0, monitor.taps // 2)
+    with use_backend(backend):
+        batch = monitor.estimate_trace(trace)
+        monitor.reset()
+        streamed = np.array([monitor.observe(i) for i in trace])
+        # estimate_trace must not have advanced the streaming history:
+        # interleaving it changes nothing.
+        monitor.reset()
+        interleaved = []
+        for i in trace:
+            monitor.estimate_trace(trace[:4])
+            interleaved.append(monitor.observe(i))
+    np.testing.assert_allclose(streamed, batch, atol=1e-9)
+    np.testing.assert_allclose(np.array(interleaved), batch, atol=1e-9)

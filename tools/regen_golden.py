@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Regenerate (or verify) the golden kernel fixture.
+
+``tests/fixtures/golden_kernels.npz`` pins the end-to-end numerical
+outputs of the kernel layer on one seeded 4096-cycle trace:
+
+* per-(level, window) wavelet variances and correlations (§4.1 steps
+  1-3 over sixteen 256-cycle windows),
+* the 13-term compressed-monitor voltage estimate for every cycle
+  (§5.1),
+* the Gaussian-model emergency fraction at the 0.97 V control point
+  (§4.1 step 5).
+
+All golden values are produced by the **reference** backend — the
+scalar oracle — so the fixture detects numerical drift in either
+backend.  Regenerate only when an intentional numerical change lands::
+
+    PYTHONPATH=src python tools/regen_golden.py
+
+``--check`` recomputes and compares against the committed fixture
+without writing, exiting non-zero on drift (useful in CI).
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import (  # noqa: E402
+    WaveletVoltageEstimator,
+    WaveletVoltageMonitor,
+    calibrated_supply,
+)
+from repro.kernels import get_kernel, use_backend  # noqa: E402
+
+FIXTURE = (
+    Path(__file__).resolve().parent.parent
+    / "tests"
+    / "fixtures"
+    / "golden_kernels.npz"
+)
+
+SEED = 2004
+CYCLES = 4096
+THRESHOLD = 0.97
+TERMS = 13
+IMPEDANCE = 150
+
+
+def golden_trace() -> np.ndarray:
+    """The seeded synthetic current trace every golden value derives from."""
+    rng = np.random.default_rng(SEED)
+    t = np.arange(CYCLES)
+    phases = 8.0 * np.sin(2 * np.pi * t / 512.0)
+    return 40.0 + phases + rng.normal(0.0, 5.0, CYCLES)
+
+
+def compute_golden() -> dict:
+    """Every golden array, computed via the reference backend."""
+    trace = golden_trace()
+    network = calibrated_supply(IMPEDANCE)
+    estimator = WaveletVoltageEstimator(network)
+    monitor = WaveletVoltageMonitor(network, terms=TERMS)
+    with use_backend("reference"):
+        windows = estimator.tile_windows(trace)
+        stats = get_kernel("window_stats")(windows, estimator.levels)
+        fraction = estimator.estimate_fraction_below(trace, THRESHOLD)
+        voltage = monitor.estimate_trace(trace)
+    return {
+        "trace": trace,
+        "wavelet_variances": stats.variances,
+        "wavelet_correlations": stats.correlations,
+        "voltage_estimate": voltage,
+        "emergency_fraction": np.array(fraction),
+        "threshold": np.array(THRESHOLD),
+        "terms": np.array(TERMS),
+        "impedance": np.array(IMPEDANCE),
+        "seed": np.array(SEED),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the committed fixture instead of rewriting it",
+    )
+    args = parser.parse_args()
+    golden = compute_golden()
+    if args.check:
+        if not FIXTURE.exists():
+            print(f"missing fixture: {FIXTURE}")
+            return 1
+        with np.load(FIXTURE) as stored:
+            drift = []
+            for key, value in golden.items():
+                if key not in stored:
+                    drift.append(f"{key}: missing from fixture")
+                    continue
+                diff = float(np.max(np.abs(stored[key] - value)))
+                if diff > 1e-12:
+                    drift.append(f"{key}: max |diff| = {diff:.3e}")
+        if drift:
+            print("golden fixture drift:")
+            for line in drift:
+                print(f"  {line}")
+            return 1
+        print(f"ok: {FIXTURE} matches recomputation")
+        return 0
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(FIXTURE, **golden)
+    print(f"wrote {FIXTURE}")
+    for key, value in golden.items():
+        print(f"  {key:<22} {np.asarray(value).shape}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
