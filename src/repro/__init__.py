@@ -29,10 +29,11 @@ Subpackages
 # Version first: repro.pipeline folds it into cache keys at import time.
 __version__ = "1.0.0"
 
-from . import core, pipeline, power, stats, uarch, wavelets, workloads
+from . import core, errors, pipeline, power, stats, uarch, wavelets, workloads
 
 __all__ = [
     "core",
+    "errors",
     "pipeline",
     "power",
     "stats",

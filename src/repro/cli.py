@@ -28,14 +28,25 @@ Every command accepts the global ``--obs {off,summary,jsonl,prom}`` flag
 ``--kernel-backend {vectorized,reference}`` (again before or after the
 subcommand) pins the numerical kernel backend for the whole run,
 including pipeline worker processes.
+
+Exit codes are uniform across commands: 0 — success; 1 — the work ran
+but some of it failed (a partial-failure batch, a failed job); 2 — the
+invocation itself was wrong (argparse errors, conflicting flags); 3 —
+an internal error (a genuine bug; the only case that prints a
+traceback).  Job-level failures print the batch's structured failure
+report instead of a traceback; see ``docs/ROBUSTNESS.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import sys
+import traceback
 
 import numpy as np
+
+from .errors import ReproError, UsageError
 
 from . import obs, viz
 from .core import (
@@ -50,10 +61,23 @@ from .core import (
 from .uarch import simulate_benchmark
 from .workloads import SPEC2000, SPEC_FP, SPEC_INT
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "EXIT_OK",
+    "EXIT_PARTIAL",
+    "EXIT_USAGE",
+    "EXIT_INTERNAL",
+]
 
 
 OBS_MODES = ("off", "summary", "jsonl", "prom")
+
+#: Uniform CLI exit codes (see the module docstring).
+EXIT_OK = 0
+EXIT_PARTIAL = 1
+EXIT_USAGE = 2
+EXIT_INTERNAL = 3
 
 
 def _obs_options() -> argparse.ArgumentParser:
@@ -216,6 +240,21 @@ def build_parser() -> argparse.ArgumentParser:
                       help="result cache directory (default .repro-cache)")
     prun.add_argument("--no-cache", action="store_true",
                       help="compute everything fresh, touch no cache")
+    prun.add_argument("--resume", action="store_true",
+                      help="satisfy fully-cached jobs from disk without "
+                           "occupying the pool (pick up an aborted batch)")
+    prun.add_argument("--retries", type=int, default=2,
+                      help="retry budget per job after the first attempt "
+                           "(default 2)")
+    prun.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                      help="per-job wall-clock budget; a job over budget is "
+                           "killed and requeued (default: none)")
+    prun.add_argument("--backoff", type=float, default=0.5, metavar="SECONDS",
+                      help="base retry backoff, doubling per attempt with "
+                           "deterministic jitter (default 0.5)")
+    prun.add_argument("--inject-faults", default=None, metavar="PLAN",
+                      help="deterministic fault plan (or a named plan like "
+                           "'ci-plan'); see docs/ROBUSTNESS.md")
     pstat = psub.add_parser("status", help="show result-cache contents")
     pstat.add_argument("--cache-dir", default=".repro-cache")
     pclear = psub.add_parser("clear", help="delete every cache entry")
@@ -328,26 +367,43 @@ def _batch_footer(batch) -> str:
         f"{s['wall_s']:.2f}s: {s['stage_runs']} stage runs, "
         f"{s['cache_hits']} cache hits / {s['cache_misses']} misses"
     )
+    if s["retries"]:
+        line += f", {s['retries']} retries"
+    if s["resumed"]:
+        line += f", {s['resumed']} resumed"
     if s["errors"]:
         line += f", {s['errors']} errors"
     return line
 
 
-def _cmd_pipeline_run(args) -> str:
+def _cmd_pipeline_run(args) -> int:
     from .experiments import Figure9Result
     from .pipeline import (
+        RetryPolicy,
         build_characterization_jobs,
+        faults,
         predictions_from,
         run_batch,
         suite_names,
     )
 
     if args.suite and args.benchmarks:
-        raise SystemExit("give either --suite or --benchmarks, not both")
+        raise UsageError("give either --suite or --benchmarks, not both")
+    if args.retries < 0:
+        raise UsageError("--retries must be non-negative")
+    if args.inject_faults:
+        faults.parse_plan(args.inject_faults)  # reject bad plans up front
     names = suite_names(args.suite or "spec2000")
     if args.benchmarks:
         names = tuple(args.benchmarks)
     cache_dir = None if args.no_cache else args.cache_dir
+    if args.resume and not cache_dir:
+        raise UsageError("--resume needs a cache (drop --no-cache)")
+    policy = RetryPolicy(
+        max_attempts=args.retries + 1,
+        timeout_s=args.timeout,
+        backoff_s=args.backoff,
+    )
     net = calibrated_supply(args.impedance)
     specs = build_characterization_jobs(
         names,
@@ -360,12 +416,21 @@ def _cmd_pipeline_run(args) -> str:
     )
 
     def progress(outcome):
+        if not outcome.ok:
+            f = outcome.failure()
+            print(
+                f"  {outcome.spec.benchmark:<10} FAILED "
+                f"({f['kind']}, {f['attempts']} attempts)",
+                flush=True,
+            )
+            return
         stages = "  ".join(
             f"{name} {outcome.timings[name]:6.2f}s"
             f"[{'hit ' if hit else 'miss'}]"
             for name, hit in outcome.cache_hits.items()
         )
-        print(f"  {outcome.spec.benchmark:<10} {stages}", flush=True)
+        retried = f"  (attempt {outcome.attempts})" if outcome.attempts > 1 else ""
+        print(f"  {outcome.spec.benchmark:<10} {stages}{retried}", flush=True)
 
     print(
         f"pipeline: {len(specs)} jobs x {' > '.join(specs[0].stages)}, "
@@ -373,27 +438,47 @@ def _cmd_pipeline_run(args) -> str:
         f"{cache_dir if cache_dir else 'disabled'}",
         flush=True,
     )
-    batch = run_batch(
-        specs, jobs=args.jobs, cache_dir=cache_dir, progress=progress
-    )
-    fig9 = Figure9Result(
-        threshold=args.threshold, predictions=predictions_from(batch)
-    )
-    lines = [
-        "",
-        _batch_footer(batch),
-        f"figure9 rms error        : {fig9.rms_error!r}",
-    ]
-    if len(fig9.predictions) > 1:  # rank needs two benchmarks to mean anything
-        lines.append(
-            f"figure9 rank correlation : {fig9.rank_correlation:.4f}"
+    saved_plan = os.environ.get(faults.ENV_VAR)
+    try:
+        if args.inject_faults:
+            # the env var carries the plan into pipeline worker processes
+            os.environ[faults.ENV_VAR] = args.inject_faults
+        batch = run_batch(
+            specs,
+            jobs=args.jobs,
+            cache_dir=cache_dir,
+            progress=progress,
+            raise_on_error=False,  # degrade gracefully: report, don't raise
+            policy=policy,
+            resume=args.resume,
         )
-    worst = max(fig9.predictions.values(), key=lambda p: abs(p.error))
-    lines.append(
-        f"worst benchmark          : {worst.name} "
-        f"(error {worst.error * 100:+.2f}%)"
-    )
-    return "\n".join(lines)
+    finally:
+        if args.inject_faults:
+            if saved_plan is None:
+                os.environ.pop(faults.ENV_VAR, None)
+            else:
+                os.environ[faults.ENV_VAR] = saved_plan
+    lines = ["", _batch_footer(batch)]
+    predictions = predictions_from(batch)
+    if predictions:
+        fig9 = Figure9Result(
+            threshold=args.threshold, predictions=predictions
+        )
+        obs.event("experiment_result", **fig9.summary())
+        lines.append(f"figure9 rms error        : {fig9.rms_error!r}")
+        if len(predictions) > 1:  # rank needs two benchmarks to mean anything
+            lines.append(
+                f"figure9 rank correlation : {fig9.rank_correlation:.4f}"
+            )
+        worst = max(predictions.values(), key=lambda p: abs(p.error))
+        lines.append(
+            f"worst benchmark          : {worst.name} "
+            f"(error {worst.error * 100:+.2f}%)"
+        )
+    if not batch.ok:
+        lines += ["", batch.describe_failures()]
+    print("\n".join(lines))
+    return EXIT_OK if batch.ok else EXIT_PARTIAL
 
 
 def _cmd_pipeline_status(args) -> str:
@@ -549,6 +634,27 @@ def main(argv: list[str] | None = None) -> int:
         obs.enable(obs_mode, getattr(args, "obs_path", None))
     try:
         return _dispatch(args)
+    except UsageError as exc:
+        print(f"repro: usage error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except ReproError as exc:
+        # Structured failure from the pipeline/analysis layer — report it
+        # without the traceback noise; details carry the context.
+        print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
+        for key, value in exc.details.items():
+            if key == "failures" and isinstance(value, list):
+                for f in value:
+                    print(
+                        f"repro:   job {f.get('job')} stage={f.get('stage')} "
+                        f"kind={f.get('kind')} attempts={f.get('attempts')}",
+                        file=sys.stderr,
+                    )
+            else:
+                print(f"repro:   {key}: {value}", file=sys.stderr)
+        return EXIT_PARTIAL
+    except Exception:  # a genuine bug: full traceback, distinct code
+        traceback.print_exc()
+        return EXIT_INTERNAL
     finally:
         if obs_mode != "off":
             tail = obs.finish()
@@ -576,7 +682,7 @@ def _dispatch(args) -> int:
         print(_cmd_bench(args))
     elif args.command == "pipeline":
         if args.pipeline_command == "run":
-            print(_cmd_pipeline_run(args))
+            return _cmd_pipeline_run(args)
         elif args.pipeline_command == "status":
             print(_cmd_pipeline_status(args))
         elif args.pipeline_command == "clear":
@@ -594,4 +700,4 @@ def _dispatch(args) -> int:
                 include_control=not args.no_control,
             )
         )
-    return 0
+    return EXIT_OK

@@ -1,0 +1,116 @@
+"""The unified error/result vocabulary of the whole package.
+
+Everything this library deliberately raises derives from
+:class:`ReproError`, so callers embedding the repro in a service can
+write one ``except ReproError`` boundary and know that anything else
+escaping is a genuine bug.  Subclasses also inherit the matching
+builtin exception (``KeyError``, ``ValueError``, ``TimeoutError``,
+``RuntimeError``) so code written against the pre-``repro.errors`` API —
+``except KeyError`` around an artifact lookup, ``except RuntimeError``
+around a batch — keeps working unchanged.
+
+Hierarchy::
+
+    ReproError
+    ├── UsageError            (ValueError)   caller passed bad arguments
+    ├── SpecError             (ValueError)   invalid job spec / stage name
+    ├── ArtifactNotFoundError (KeyError)     missing batch artifact
+    ├── JobError                             one job's failure, with identity
+    │   ├── StageTimeoutError (TimeoutError) job exceeded its wall-clock budget
+    │   ├── WorkerCrashError                 worker process died under a job
+    │   ├── RetryExhaustedError              bounded retries all failed
+    │   └── InjectedFaultError               fault-injection harness firing
+    └── PipelineError         (RuntimeError) at least one job in a batch failed
+
+Every error carries a ``details`` dict of structured context (job label,
+stage, attempt, ...) and serializes via :meth:`ReproError.to_dict`, the
+same shape the batch failure report and the JSONL observability log use.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "UsageError",
+    "SpecError",
+    "ArtifactNotFoundError",
+    "JobError",
+    "StageTimeoutError",
+    "WorkerCrashError",
+    "RetryExhaustedError",
+    "InjectedFaultError",
+    "PipelineError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception this library deliberately raises.
+
+    ``details`` holds structured, JSON-scalar context (job label, stage
+    name, attempt number, ...) so the same exception renders as a
+    human-readable message *and* as a machine-readable failure-report
+    entry without string parsing.
+    """
+
+    def __init__(self, message: str = "", **details) -> None:
+        super().__init__(message)
+        self.message = message
+        self.details = {k: v for k, v in details.items() if v is not None}
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.message or super().__str__()
+
+    def to_dict(self) -> dict:
+        """The error as a JSON-ready failure-report entry."""
+        return {
+            "error": type(self).__name__,
+            "message": self.message,
+            **self.details,
+        }
+
+
+class UsageError(ReproError, ValueError):
+    """The caller asked for something the API cannot mean (exit code 2)."""
+
+
+class SpecError(ReproError, ValueError):
+    """An invalid job spec, stage name, suite name or plan string."""
+
+
+class ArtifactNotFoundError(ReproError, KeyError):
+    """A requested batch artifact does not exist in any outcome."""
+
+
+class JobError(ReproError):
+    """One job's failure, carrying its identity through the chain.
+
+    ``details`` conventionally includes ``job`` (the spec label),
+    ``stage`` (the failing stage, when known) and ``attempt``.
+    """
+
+
+class StageTimeoutError(JobError, TimeoutError):
+    """A job exceeded its per-job wall-clock budget and was killed."""
+
+
+class WorkerCrashError(JobError):
+    """A worker process died (signal / hard crash) while running a job."""
+
+
+class RetryExhaustedError(JobError):
+    """A job failed on every attempt its retry policy allowed."""
+
+
+class InjectedFaultError(JobError):
+    """Raised by the deterministic fault-injection harness, never by
+    production code paths (see :mod:`repro.pipeline.faults`)."""
+
+
+class PipelineError(ReproError, RuntimeError):
+    """At least one job in a batch failed.
+
+    Historically defined in :mod:`repro.pipeline.executor` as a bare
+    ``RuntimeError`` subclass; it lives here now, and the executor
+    re-exports it so ``from repro.pipeline import PipelineError`` and
+    ``except RuntimeError`` both keep working.
+    """

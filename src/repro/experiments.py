@@ -24,7 +24,9 @@ without workers and caching.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
@@ -60,6 +62,8 @@ __all__ = [
     "QUIET",
     "LOW_L2_MISS",
     "HIGH_L2_MISS",
+    "ExperimentResult",
+    "ExperimentResultBase",
     "simulate_suite",
     "characterize_suite",
     "Figure6Result",
@@ -80,6 +84,65 @@ __all__ = [
     "Table2Row",
     "table2",
 ]
+
+@runtime_checkable
+class ExperimentResult(Protocol):
+    """What every figure/table result can do, regardless of its shape.
+
+    The CLI, the JSONL observability writer and any future service layer
+    serialize results through this one surface instead of knowing each
+    dataclass: ``to_dict()`` is the full JSON-ready payload,
+    ``summary()`` the flat dict of headline scalars.
+    """
+
+    def to_dict(self) -> dict: ...
+
+    def summary(self) -> dict: ...
+
+
+def _jsonify(value):
+    """Recursively convert a result payload to JSON-ready types."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: _jsonify(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return fields
+    if isinstance(value, dict):
+        return {_json_key(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, range):
+        return list(value)
+    return value
+
+
+def _json_key(key) -> str:
+    """Dict keys as JSON strings; tuple keys join with ``:``."""
+    if isinstance(key, tuple):
+        return ":".join(str(k) for k in key)
+    return str(key)
+
+
+class ExperimentResultBase:
+    """Shared :class:`ExperimentResult` implementation for the frozen
+    per-figure dataclasses below."""
+
+    def to_dict(self) -> dict:
+        """The whole result as one JSON-ready dict."""
+        return {
+            "experiment": type(self).__name__,
+            **_jsonify(self),
+        }
+
+    def summary(self) -> dict:
+        """Headline scalars only; subclasses override with their own."""
+        return {"experiment": type(self).__name__}
+
 
 #: The paper's benchmark groupings (§4.2 and Figures 10/11).
 PROBLEMATIC = ("mgrid", "gcc", "galgel", "apsi")
@@ -153,11 +216,20 @@ def characterize_suite(
 
 
 @dataclass(frozen=True)
-class Figure6Result:
+class Figure6Result(ExperimentResultBase):
     """Gaussian-window acceptance rates by suite and window size."""
 
     windows: tuple[int, ...]
     rates: dict[str, dict[int, float]]  # suite ("int"/"fp"/"all") -> size -> rate
+
+    def summary(self) -> dict:
+        return {
+            "experiment": "figure6",
+            **{
+                f"acceptance_all_w{w}": self.rates["all"][w]
+                for w in self.windows
+            },
+        }
 
 
 def figure6(
@@ -194,11 +266,20 @@ def figure6(
 
 
 @dataclass(frozen=True)
-class Figure7Result:
+class Figure7Result(ExperimentResultBase):
     """(non-Gaussian, overall) mean window variance per group and size."""
 
     windows: tuple[int, ...]
     rows: dict[int, dict[str, tuple[float, float]]]
+
+    def summary(self) -> dict:
+        out = {"experiment": "figure7"}
+        for w in self.windows:
+            non_gauss, overall = self.rows[w]["all"]
+            out[f"variance_ratio_w{w}"] = (
+                non_gauss / overall if overall else 0.0
+            )
+        return out
 
 
 def figure7(
@@ -240,12 +321,20 @@ def figure7(
 
 
 @dataclass(frozen=True)
-class Figure8Result:
+class Figure8Result(ExperimentResultBase):
     """Per-benchmark level-truncation errors."""
 
     variance_error: dict[str, float]  # relative error of the variance
     estimate_shift: dict[str, float]  # abs shift of the Fig-9 estimate
     kept_levels: dict[str, list[int]]
+
+    def summary(self) -> dict:
+        return {
+            "experiment": "figure8",
+            "benchmarks": len(self.variance_error),
+            "max_variance_error": max(self.variance_error.values(), default=0.0),
+            "max_estimate_shift": max(self.estimate_shift.values(), default=0.0),
+        }
 
 
 def figure8(
@@ -283,11 +372,22 @@ def figure8(
 
 
 @dataclass(frozen=True)
-class Figure9Result:
+class Figure9Result(ExperimentResultBase):
     """Estimated vs. observed emergency exposure for the whole suite."""
 
     threshold: float
     predictions: dict[str, TracePrediction]
+
+    def summary(self) -> dict:
+        out = {
+            "experiment": "figure9",
+            "benchmarks": len(self.predictions),
+            "threshold": self.threshold,
+            "rms_error": self.rms_error,
+        }
+        if len(self.predictions) > 1:  # rank needs two points to mean anything
+            out["rank_correlation"] = self.rank_correlation
+        return out
 
     @property
     def rms_error(self) -> float:
@@ -325,11 +425,18 @@ def figure9(
 
 
 @dataclass(frozen=True)
-class Figure1011Result:
+class Figure1011Result(ExperimentResultBase):
     """Voltage histograms and nominal-voltage spikes per benchmark."""
 
     histograms: dict[str, VoltageHistogram]
     spike_ratios: dict[str, float]
+
+    def summary(self) -> dict:
+        return {
+            "experiment": "figures10_11",
+            "benchmarks": len(self.histograms),
+            "max_spike_ratio": max(self.spike_ratios.values(), default=0.0),
+        }
 
 
 def figures10_11(
@@ -354,11 +461,17 @@ def figures10_11(
 
 
 @dataclass(frozen=True)
-class Figure12Result:
+class Figure12Result(ExperimentResultBase):
     """Per-benchmark 64-cycle current Gaussianity and L2 pressure."""
 
     rates: dict[str, float]
     l2_mpki: dict[str, float]
+
+    def summary(self) -> dict:
+        out = {"experiment": "figure12", "benchmarks": len(self.rates)}
+        if len(self.rates) > 1:
+            out["rank_correlation"] = self.rank_correlation
+        return out
 
     @property
     def rank_correlation(self) -> float:
@@ -408,11 +521,22 @@ def figure13(
 
 
 @dataclass(frozen=True)
-class Figure15Result:
+class Figure15Result(ExperimentResultBase):
     """Per-(impedance, benchmark) control outcomes."""
 
     results: dict[tuple[float, str], object]
     names: tuple[str, ...]
+
+    def summary(self) -> dict:
+        percents = sorted({pct for pct, _ in self.results})
+        return {
+            "experiment": "figure15",
+            "benchmarks": len(self.names),
+            **{
+                f"mean_slowdown_{pct:g}pct": self.mean_slowdown(pct)
+                for pct in percents
+            },
+        }
 
     def mean_slowdown(self, percent: float) -> float:
         """Average slowdown at one impedance point."""
@@ -465,7 +589,7 @@ def figure15(
 
 
 @dataclass(frozen=True)
-class Table2Row:
+class Table2Row(ExperimentResultBase):
     """Quantified Table-2 columns for one scheme."""
 
     scheme: str
@@ -474,6 +598,15 @@ class Table2Row:
     false_positive_rate: float
     fault_reduction: float
     ops_per_cycle: int
+
+    def summary(self) -> dict:
+        return {
+            "experiment": "table2",
+            "scheme": self.scheme,
+            "mean_slowdown": self.mean_slowdown,
+            "fault_reduction": self.fault_reduction,
+            "ops_per_cycle": self.ops_per_cycle,
+        }
 
 
 def table2(

@@ -3,10 +3,13 @@
 The execution subsystem behind the paper's 26-benchmark sweeps: a
 declarative job model (:class:`JobSpec`), a registry of analysis stages
 wrapping the simulator / voltage engine / wavelet estimator /
-controllers, a ``multiprocessing`` executor with ordered result
-collection, streaming window iteration for arbitrarily long traces, and
-a content-addressed cache so re-running a figure only recomputes
-invalidated jobs.
+controllers, a fault-tolerant ``multiprocessing`` executor with
+ordered result collection (per-job timeouts, bounded retries with
+backoff, worker-crash recovery and checkpoint/resume — see
+``docs/ROBUSTNESS.md``), a deterministic fault-injection harness
+(:mod:`repro.pipeline.faults`), streaming window iteration for
+arbitrarily long traces, and a content-addressed cache so re-running a
+figure only recomputes invalidated jobs.
 
 Quickstart::
 
@@ -34,7 +37,14 @@ from .batch import (
     suite_names,
 )
 from .cache import CacheStats, ResultCache
-from .executor import BatchResult, JobOutcome, PipelineError, PipelineExecutor
+from .executor import (
+    BatchResult,
+    JobOutcome,
+    PipelineError,
+    PipelineExecutor,
+    RetryPolicy,
+)
+from .faults import FaultDirective, FaultPlan, active_plan, parse_plan
 from .spec import (
     CACHE_SALT,
     CACHE_SCHEMA_VERSION,
@@ -64,13 +74,17 @@ __all__ = [
     "CACHE_SCHEMA_VERSION",
     "CacheStats",
     "DEFAULT_STAGES",
+    "FaultDirective",
+    "FaultPlan",
     "JobOutcome",
     "JobSpec",
     "PipelineError",
     "PipelineExecutor",
     "ResultCache",
+    "RetryPolicy",
     "Stage",
     "StageContext",
+    "active_plan",
     "as_chunks",
     "available_stages",
     "build_characterization_jobs",
@@ -79,6 +93,7 @@ __all__ = [
     "deserialize_network",
     "get_stage",
     "iter_windows",
+    "parse_plan",
     "prediction_from_outcome",
     "predictions_from",
     "register_stage",

@@ -9,9 +9,10 @@ convert the artifacts back into :class:`~repro.core.TracePrediction` /
 from __future__ import annotations
 
 from ..core import TracePrediction
+from ..errors import SpecError
 from ..power import PowerSupplyNetwork
 from ..workloads import SPEC2000, SPEC_FP, SPEC_INT
-from .executor import BatchResult, JobOutcome, PipelineExecutor
+from .executor import BatchResult, JobOutcome, PipelineExecutor, RetryPolicy
 from .spec import DEFAULT_STAGES, JobSpec
 from .stages import control_result_from_artifact
 
@@ -37,8 +38,9 @@ def suite_names(suite: str) -> tuple[str, ...]:
     try:
         return _SUITES[suite]
     except KeyError:
-        raise ValueError(
-            f"unknown suite {suite!r}; available: {sorted(_SUITES)}"
+        raise SpecError(
+            f"unknown suite {suite!r}; available: {sorted(_SUITES)}",
+            suite=suite,
         ) from None
 
 
@@ -102,12 +104,24 @@ def run_batch(
     cache_dir: str | None = None,
     progress=None,
     raise_on_error: bool = True,
+    policy: RetryPolicy | None = None,
+    resume: bool = False,
 ) -> BatchResult:
-    """Execute a batch with ``jobs`` workers and an optional disk cache."""
+    """Execute a batch with ``jobs`` workers and an optional disk cache.
+
+    ``policy`` selects the fault-tolerance behavior (retries, backoff,
+    per-job timeout; see :class:`~repro.pipeline.RetryPolicy`) and
+    ``resume`` satisfies fully-cached jobs from disk without occupying
+    the pool — together they are the ``repro pipeline run --retries /
+    --timeout / --resume`` surface.
+    """
     executor = PipelineExecutor(
-        workers=jobs, cache_dir=cache_dir, raise_on_error=raise_on_error
+        workers=jobs,
+        cache_dir=cache_dir,
+        raise_on_error=raise_on_error,
+        policy=policy,
     )
-    return executor.run(specs, progress=progress)
+    return executor.run(specs, progress=progress, resume=resume)
 
 
 def prediction_from_outcome(outcome: JobOutcome) -> TracePrediction:
@@ -115,9 +129,10 @@ def prediction_from_outcome(outcome: JobOutcome) -> TracePrediction:
     characterize = outcome.artifacts.get("characterize")
     voltage = outcome.artifacts.get("voltage")
     if characterize is None or voltage is None:
-        raise ValueError(
+        raise SpecError(
             f"{outcome.spec.label}: prediction needs the 'voltage' and "
-            f"'characterize' stages (got {tuple(outcome.artifacts)})"
+            f"'characterize' stages (got {tuple(outcome.artifacts)})",
+            job=outcome.spec.label,
         )
     return TracePrediction(
         name=outcome.spec.benchmark,

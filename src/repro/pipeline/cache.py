@@ -56,6 +56,11 @@ class ResultCache:
 
     # -- access ---------------------------------------------------------------
 
+    def has(self, key: str, kind: str) -> bool:
+        """Whether an entry exists on disk (no read, no accounting) —
+        the ``--resume`` pre-scan primitive."""
+        return self.path_for(key, kind).is_file()
+
     def get(self, stage: str, key: str, kind: str):
         """``(hit, artifact)`` — a failed read of a present file is a miss."""
         path = self.path_for(key, kind)

@@ -1,17 +1,33 @@
-"""Multiprocessing executor: jobs in, ordered outcomes out.
+"""Fault-tolerant executor: jobs in, ordered outcomes out.
 
-Each job runs its stage chain in one worker process; the pool streams
-results back with ``imap`` so outcomes arrive **in submission order**
-(deterministic aggregation downstream) while still overlapping
-execution.  A worker consults the on-disk cache before computing each
-stage and persists what it computed, so a re-run after an interrupted
-batch only pays for the jobs that never finished.
+Each job runs its stage chain in one worker process, consulting the
+on-disk cache before computing each stage and persisting what it
+computed, so a re-run after an interrupted batch only pays for the jobs
+that never finished.  On top of that sits the fault-tolerance layer
+(see ``docs/ROBUSTNESS.md``):
 
-``workers <= 1`` executes inline — no processes, no pickling — which is
-both the test path and what the figure code uses by default.
+* a :class:`RetryPolicy` gives every job a bounded number of attempts
+  with exponential backoff and deterministic jitter, plus an optional
+  per-job wall-clock timeout;
+* failures are classified (``exception`` / ``timeout`` / ``crash``) and
+  retried up to the budget — a hung job is killed and requeued, a dead
+  worker is detected, its job requeued and the pool replenished (the
+  supervised pool lives in :mod:`repro.pipeline.supervisor`);
+* with ``raise_on_error=False`` a batch degrades gracefully: it returns
+  every successful outcome plus a structured per-job failure report
+  instead of raising;
+* ``resume=True`` pre-scans the cache and satisfies fully-cached jobs
+  without touching the pool, so an aborted batch picks up where it
+  stopped.
+
+``workers <= 1`` with no timeout and no hang/kill fault plan executes
+inline — no processes, no pickling — which is both the test path and
+what the figure code uses by default.  Every recovery path is exercised
+deterministically via :mod:`repro.pipeline.faults`.
 
 With observability on (:mod:`repro.obs`), every batch, job and stage is
-a tracing span, and each worker ships its metric delta plus captured
+a tracing span; retries, timeouts, requeues and worker crashes bump
+dedicated counters, and each worker ships its metric delta plus captured
 span records back on the :class:`JobOutcome`, where the parent folds
 them into the process-wide registry — so ``--obs`` totals cover the
 whole pool, not just the coordinating process.
@@ -21,20 +37,79 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import random
 import time
 import traceback
 from dataclasses import dataclass, field
 
+from ..errors import (
+    ArtifactNotFoundError,
+    PipelineError,
+    RetryExhaustedError,
+    SpecError,
+)
 from ..obs import trace as obs
+from . import faults
 from .cache import ResultCache
 from .spec import JobSpec
 from .stages import StageContext, get_stage, stage_cache_keys
 
-__all__ = ["JobOutcome", "BatchResult", "PipelineError", "PipelineExecutor"]
+__all__ = [
+    "JobOutcome",
+    "BatchResult",
+    "PipelineError",
+    "PipelineExecutor",
+    "RetryPolicy",
+]
 
 
-class PipelineError(RuntimeError):
-    """At least one job in a batch failed."""
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard a batch tries to finish every job.
+
+    ``max_attempts`` counts *total* attempts (1 = no retries).  The delay
+    before attempt *n* is ``backoff_s * backoff_factor**(n-2)``, capped
+    at ``max_backoff_s``, stretched by up to ``jitter`` of itself — the
+    jitter is a pure function of (job digest, attempt), so schedules are
+    reproducible run to run.  ``timeout_s`` is the per-job wall-clock
+    budget; exceeding it kills the worker and requeues the job (which
+    requires process isolation, so the executor promotes an inline run
+    to a one-worker supervised pool when a timeout is set).
+    """
+
+    max_attempts: int = 1
+    timeout_s: float | None = None
+    backoff_s: float = 0.1
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 30.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise SpecError("max_attempts must be at least 1")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise SpecError("timeout_s must be positive (or None)")
+        if self.backoff_s < 0 or self.max_backoff_s < 0:
+            raise SpecError("backoff durations must be non-negative")
+        if not 0 <= self.jitter <= 1:
+            raise SpecError("jitter must be within [0, 1]")
+
+    @property
+    def retries_enabled(self) -> bool:
+        return self.max_attempts > 1
+
+    def delay_before(self, attempt: int, key: str = "") -> float:
+        """Seconds to wait before ``attempt`` (1-based; 0 for the first)."""
+        if attempt <= 1:
+            return 0.0
+        base = min(
+            self.backoff_s * self.backoff_factor ** (attempt - 2),
+            self.max_backoff_s,
+        )
+        if not self.jitter:
+            return base
+        frac = random.Random(f"{key}:{attempt}").random()
+        return base * (1.0 + self.jitter * frac)
 
 
 @dataclass
@@ -47,7 +122,10 @@ class JobOutcome:
     cache_hits: dict[str, bool] = field(default_factory=dict)
     elapsed: float = 0.0
     error: str | None = None
+    error_kind: str | None = None  # "exception" | "timeout" | "crash"
     failed_stage: str | None = None
+    attempts: int = 1
+    resumed: bool = False  # satisfied by the --resume cache pre-scan
     # worker-side observability payloads, folded in by the parent
     metrics: dict | None = None
     obs_records: list = field(default_factory=list)
@@ -61,6 +139,20 @@ class JobOutcome:
     def hit_count(self) -> int:
         return sum(self.cache_hits.values())
 
+    def failure(self) -> dict | None:
+        """This job's entry in the batch failure report, or ``None``."""
+        if self.ok:
+            return None
+        lines = (self.error or "").strip().splitlines()
+        return {
+            "job": self.spec.label,
+            "benchmark": self.spec.benchmark,
+            "stage": self.failed_stage,
+            "kind": self.error_kind or "exception",
+            "attempts": self.attempts,
+            "error": lines[-1] if lines else "",
+        }
+
 
 @dataclass
 class BatchResult:
@@ -69,6 +161,10 @@ class BatchResult:
     outcomes: list[JobOutcome]
     elapsed: float
     workers: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
 
     @property
     def errors(self) -> list[JobOutcome]:
@@ -82,6 +178,14 @@ class BatchResult:
     def stage_runs(self) -> int:
         return sum(len(o.cache_hits) for o in self.outcomes)
 
+    @property
+    def retries(self) -> int:
+        return sum(max(0, o.attempts - 1) for o in self.outcomes)
+
+    @property
+    def resumed(self) -> int:
+        return sum(1 for o in self.outcomes if o.resumed)
+
     def summary(self) -> dict:
         """The batch's headline numbers as a plain dict."""
         return {
@@ -90,29 +194,61 @@ class BatchResult:
             "cache_hits": self.cache_hits,
             "cache_misses": self.stage_runs - self.cache_hits,
             "stage_runs": self.stage_runs,
+            "retries": self.retries,
+            "resumed": self.resumed,
             "wall_s": self.elapsed,
             "workers": self.workers,
         }
+
+    def failure_report(self) -> list[dict]:
+        """One structured entry per failed job (empty when all ok)."""
+        return [o.failure() for o in self.errors]
+
+    def describe_failures(self) -> str:
+        """The failure report as human-readable text for the CLI."""
+        if self.ok:
+            return ""
+        lines = [
+            f"{len(self.errors)} of {len(self.outcomes)} jobs failed:"
+        ]
+        for f in self.failure_report():
+            stage = f["stage"] or "?"
+            lines.append(
+                f"  {f['job']:<16} stage={stage:<12} kind={f['kind']:<9} "
+                f"attempts={f['attempts']}"
+            )
+            if f["error"]:
+                lines.append(f"    last error: {f['error']}")
+        return "\n".join(lines)
 
     def artifact(self, benchmark: str, stage: str):
         """The first matching artifact, for quick interactive poking."""
         for o in self.outcomes:
             if o.spec.benchmark == benchmark and stage in o.artifacts:
                 return o.artifacts[stage]
-        raise KeyError(f"no {stage!r} artifact for {benchmark!r}")
+        raise ArtifactNotFoundError(
+            f"no {stage!r} artifact for {benchmark!r}",
+            benchmark=benchmark,
+            stage=stage,
+        )
 
 
-def execute_job(spec: JobSpec, cache: ResultCache | None = None) -> JobOutcome:
+def execute_job(
+    spec: JobSpec, cache: ResultCache | None = None, attempt: int = 1
+) -> JobOutcome:
     """Run one job's stage chain, cache-aware, never raising.
 
     Per-stage wall time is recorded even for the stage that raises, so a
     failed job still reports every timing it accumulated (the partial
     telemetry matters most exactly when diagnosing the failure).
+    ``attempt`` is threaded through so the fault-injection harness can
+    fire on the Nth attempt and error messages carry the retry context.
     """
-    outcome = JobOutcome(spec=spec, pid=os.getpid())
+    outcome = JobOutcome(spec=spec, pid=os.getpid(), attempts=attempt)
+    plan = faults.active_plan()
     snap_before = obs.registry().snapshot() if obs.ENABLED else None
     t_job = time.perf_counter()
-    with obs.span("pipeline.job", **spec.obs_attrs()):
+    with obs.span("pipeline.job", attempt=attempt, **spec.obs_attrs()):
         try:
             keys = stage_cache_keys(spec)
             ctx = StageContext(spec)
@@ -125,6 +261,10 @@ def execute_job(spec: JobSpec, cache: ResultCache | None = None) -> JobOutcome:
                     if cache is not None:
                         hit, artifact = cache.get(name, keys[name], stage.kind)
                     if not hit:
+                        if plan is not None:
+                            faults.apply_fault(
+                                plan, name, spec.benchmark, attempt
+                            )
                         with obs.span(
                             f"stage.{name}", benchmark=spec.benchmark
                         ):
@@ -144,8 +284,7 @@ def execute_job(spec: JobSpec, cache: ResultCache | None = None) -> JobOutcome:
                         )
                 ctx.artifacts[name] = artifact
                 outcome.artifacts[name] = artifact
-        except Exception:
-            outcome.error = traceback.format_exc()
+        except Exception as exc:
             outcome.failed_stage = next(
                 (
                     name
@@ -154,12 +293,20 @@ def execute_job(spec: JobSpec, cache: ResultCache | None = None) -> JobOutcome:
                 ),
                 None,
             )
+            # Thread job identity into the chain: the traceback alone
+            # does not say which of a 26-job batch it belongs to.
+            outcome.error = (
+                f"job {spec.label}: stage {outcome.failed_stage!r} raised "
+                f"{type(exc).__name__} on attempt {attempt}\n"
+                + traceback.format_exc()
+            )
+            outcome.error_kind = "exception"
     outcome.elapsed = time.perf_counter() - t_job
     if obs.ENABLED:
         obs.counter_inc(
             "pipeline_jobs_total",
             1,
-            "jobs executed by outcome status",
+            "job attempts executed by outcome status",
             status="ok" if outcome.ok else "error",
         )
         outcome.metrics = obs.snapshot_delta(snap_before)
@@ -167,14 +314,22 @@ def execute_job(spec: JobSpec, cache: ResultCache | None = None) -> JobOutcome:
     return outcome
 
 
-def _execute_payload(
-    payload: tuple[JobSpec, str | None, bool],
-) -> JobOutcome:
-    """Pool entry point: rebuild the cache handle inside the worker."""
-    spec, cache_dir, obs_enabled = payload
-    obs.worker_mode(obs_enabled)
-    cache = ResultCache(cache_dir) if cache_dir else None
-    return execute_job(spec, cache)
+def note_retry(spec: JobSpec, attempt: int, kind: str, delay: float) -> None:
+    """Record one scheduled retry in the telemetry (shared by both the
+    inline path and the supervised pool)."""
+    obs.counter_inc(
+        "pipeline_retries_total",
+        1,
+        "job retries scheduled, by failure kind",
+        kind=kind,
+    )
+    obs.event(
+        "job_retry",
+        job=spec.label,
+        next_attempt=attempt,
+        kind=kind,
+        delay_s=round(delay, 4),
+    )
 
 
 def _pool_context():
@@ -193,49 +348,88 @@ class PipelineExecutor:
         workers: int = 1,
         cache_dir: str | None = None,
         raise_on_error: bool = True,
+        policy: RetryPolicy | None = None,
     ) -> None:
         if workers < 0:
             workers = multiprocessing.cpu_count()
         self.workers = workers
         self.cache_dir = str(cache_dir) if cache_dir else None
         self.raise_on_error = raise_on_error
+        self.policy = policy or RetryPolicy()
 
-    def run(self, specs, progress=None) -> BatchResult:
+    # -- resume ----------------------------------------------------------------
+
+    def _fully_cached(self, spec: JobSpec, cache: ResultCache) -> bool:
+        """True when every stage artifact of ``spec`` is already on disk."""
+        keys = stage_cache_keys(spec)
+        return all(
+            cache.has(keys[name], get_stage(name).kind)
+            for name in spec.stages
+        )
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, specs, progress=None, resume: bool = False) -> BatchResult:
         """Execute ``specs``; outcomes come back in submission order.
 
         ``progress``, if given, is called with each :class:`JobOutcome`
-        as it is collected (already ordered).
+        as it is collected (submission order inline, completion order
+        under the supervised pool).  ``resume`` pre-scans the cache and
+        loads fully-cached jobs without occupying the pool.
         """
         specs = list(specs)
         t0 = time.perf_counter()
-        outcomes: list[JobOutcome] = []
-        pool_size = min(self.workers, len(specs))
+        by_index: dict[int, JobOutcome] = {}
 
-        def collect(outcome: JobOutcome) -> None:
+        def collect(index: int, outcome: JobOutcome) -> None:
             # fold a pool worker's telemetry into this process exactly
             # once; inline outcomes already recorded here directly
             if outcome.pid != os.getpid():
                 obs.absorb(outcome.metrics, outcome.obs_records)
-            outcomes.append(outcome)
+            by_index[index] = outcome
             if progress is not None:
                 progress(outcome)
+
+        cache = ResultCache(self.cache_dir) if self.cache_dir else None
+        plan = faults.active_plan()
+        needs_isolation = self.policy.timeout_s is not None or (
+            plan is not None and plan.needs_isolation
+        )
+        pool_size = min(max(self.workers, 1), max(len(specs), 1))
 
         with obs.span(
             "pipeline.batch", jobs=len(specs), workers=pool_size
         ):
-            if pool_size <= 1:
-                cache = ResultCache(self.cache_dir) if self.cache_dir else None
-                for spec in specs:
-                    collect(execute_job(spec, cache))
-            else:
-                payloads = [
-                    (spec, self.cache_dir, obs.ENABLED) for spec in specs
-                ]
-                with _pool_context().Pool(pool_size) as pool:
-                    for outcome in pool.imap(_execute_payload, payloads):
-                        collect(outcome)
+            remaining = list(enumerate(specs))
+            if resume and cache is not None:
+                remaining = []
+                for index, spec in enumerate(specs):
+                    if self._fully_cached(spec, cache):
+                        outcome = execute_job(spec, cache)
+                        outcome.resumed = True
+                        obs.counter_inc(
+                            "pipeline_resumed_jobs_total",
+                            1,
+                            "jobs satisfied from cache by --resume",
+                        )
+                        collect(index, outcome)
+                    else:
+                        remaining.append((index, spec))
+            if remaining:
+                if pool_size <= 1 and not needs_isolation:
+                    self._run_inline(remaining, cache, collect)
+                else:
+                    from .supervisor import run_supervised
+
+                    run_supervised(
+                        remaining,
+                        workers=min(pool_size, len(remaining)),
+                        cache_dir=self.cache_dir,
+                        policy=self.policy,
+                        collect=collect,
+                    )
         result = BatchResult(
-            outcomes=outcomes,
+            outcomes=[by_index[i] for i in range(len(specs))],
             elapsed=time.perf_counter() - t0,
             workers=pool_size,
         )
@@ -243,6 +437,27 @@ class PipelineExecutor:
             bad = result.errors[0]
             raise PipelineError(
                 f"{len(result.errors)} of {len(specs)} jobs failed; first "
-                f"({bad.spec.label}):\n{bad.error}"
+                f"({bad.spec.label}):\n{bad.error}",
+                failures=result.failure_report(),
             )
         return result
+
+    def _run_inline(self, indexed_specs, cache, collect) -> None:
+        """Single-process execution with the same retry semantics."""
+        for index, spec in indexed_specs:
+            attempt = 1
+            while True:
+                outcome = execute_job(spec, cache, attempt=attempt)
+                if outcome.ok or attempt >= self.policy.max_attempts:
+                    break
+                attempt += 1
+                delay = self.policy.delay_before(attempt, spec.digest())
+                note_retry(spec, attempt, "exception", delay)
+                if delay:
+                    time.sleep(delay)
+            if not outcome.ok and self.policy.retries_enabled:
+                outcome.error = (
+                    f"{RetryExhaustedError.__name__}: job {spec.label} "
+                    f"failed on all {attempt} attempts\n{outcome.error}"
+                )
+            collect(index, outcome)

@@ -25,6 +25,7 @@ import json
 from dataclasses import dataclass, field, fields as dataclass_fields
 
 from .. import __version__
+from ..errors import SpecError
 from ..power import PowerSupplyNetwork
 
 __all__ = [
@@ -64,7 +65,7 @@ def deserialize_network(
 ) -> PowerSupplyNetwork:
     """Rebuild the exact network a spec was created with."""
     if data is None:
-        raise ValueError("job spec carries no supply network")
+        raise SpecError("job spec carries no supply network")
     return PowerSupplyNetwork(**dict(data))
 
 
@@ -109,16 +110,16 @@ class JobSpec:
 
     def __post_init__(self) -> None:
         if not self.benchmark:
-            raise ValueError("benchmark must be non-empty")
+            raise SpecError("benchmark must be non-empty")
         if self.cycles <= 0:
-            raise ValueError("cycles must be positive")
+            raise SpecError("cycles must be positive")
         if self.warmup_cycles < 0:
-            raise ValueError("warmup_cycles must be non-negative")
+            raise SpecError("warmup_cycles must be non-negative")
         if not self.stages:
-            raise ValueError("a job needs at least one stage")
+            raise SpecError("a job needs at least one stage")
         names = [name for name, _ in self.params]
         if len(set(names)) != len(names):
-            raise ValueError(f"duplicate params: {names}")
+            raise SpecError(f"duplicate params: {names}")
 
     # -- construction ---------------------------------------------------------
 

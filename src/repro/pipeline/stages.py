@@ -37,6 +37,7 @@ from ..core import (
 from ..obs import trace as obs
 from ..power import ConvolutionVoltageSimulator
 from ..uarch import simulate_benchmark
+from ..errors import SpecError
 from .spec import CACHE_SALT, JobSpec, hash_payload
 from .windows import streaming_characterize
 
@@ -69,9 +70,9 @@ def register_stage(name: str, *, fields: tuple[str, ...], kind: str = "json"):
 
     def wrap(func):
         if name in _REGISTRY:
-            raise ValueError(f"stage {name!r} already registered")
+            raise SpecError(f"stage {name!r} already registered")
         if kind not in ("json", "result"):
-            raise ValueError(f"unknown artifact kind {kind!r}")
+            raise SpecError(f"unknown artifact kind {kind!r}")
         _REGISTRY[name] = Stage(name=name, func=func, fields=fields, kind=kind)
         return func
 
@@ -83,8 +84,9 @@ def get_stage(name: str) -> Stage:
     try:
         return _REGISTRY[name]
     except KeyError:
-        raise ValueError(
-            f"unknown stage {name!r}; available: {sorted(_REGISTRY)}"
+        raise SpecError(
+            f"unknown stage {name!r}; available: {sorted(_REGISTRY)}",
+            stage=name,
         ) from None
 
 
@@ -152,7 +154,7 @@ class StageContext:
         try:
             return self.artifacts["simulate"]
         except KeyError:
-            raise ValueError(
+            raise SpecError(
                 f"stage chain {self.spec.stages} needs 'simulate' first"
             ) from None
 
@@ -242,7 +244,7 @@ def build_controller(scheme: str, network, spec: JobSpec):
         if window is not None:
             kwargs["window"] = int(window)
         return PipelineDampingController(network, **kwargs)
-    raise ValueError(f"unknown control scheme {scheme!r}")
+    raise SpecError(f"unknown control scheme {scheme!r}", scheme=scheme)
 
 
 @register_stage(

@@ -21,6 +21,7 @@ from typing import Iterator
 
 import numpy as np
 
+from ..errors import SpecError
 from ..obs import trace as obs
 
 __all__ = [
@@ -46,7 +47,7 @@ def as_chunks(source, chunk: int = CHUNK) -> Iterator[np.ndarray]:
     prefer ``.npy`` for traces that do not fit in memory.
     """
     if chunk < 1:
-        raise ValueError("chunk must be at least one sample")
+        raise SpecError("chunk must be at least one sample")
     if isinstance(source, (str, Path)):
         path = Path(source)
         if path.suffix == ".npy":
@@ -57,7 +58,7 @@ def as_chunks(source, chunk: int = CHUNK) -> Iterator[np.ndarray]:
             source = import_current_trace(path).current
     if isinstance(source, np.ndarray):
         if source.ndim != 1:
-            raise ValueError("current trace must be 1-D")
+            raise SpecError("current trace must be 1-D")
         for start in range(0, len(source), chunk):
             yield np.asarray(source[start : start + chunk], dtype=float)
         return
@@ -65,7 +66,7 @@ def as_chunks(source, chunk: int = CHUNK) -> Iterator[np.ndarray]:
     for piece in source:
         arr = np.atleast_1d(np.asarray(piece, dtype=float))
         if arr.ndim != 1:
-            raise ValueError("trace chunks must be scalars or 1-D arrays")
+            raise SpecError("trace chunks must be scalars or 1-D arrays")
         if len(buf) + arr.size >= chunk:
             yield np.concatenate([np.asarray(buf), arr]) if buf else arr
             buf = []
@@ -84,7 +85,7 @@ def iter_windows(
     dropped, matching the whole-trace estimators' tiling.
     """
     if window < 1:
-        raise ValueError("window must be at least one sample")
+        raise SpecError("window must be at least one sample")
     carry = np.empty(0)
     emitted = 0
     try:
@@ -117,7 +118,7 @@ def iter_window_blocks(
     memory stays O(chunk).
     """
     if window < 1:
-        raise ValueError("window must be at least one sample")
+        raise SpecError("window must be at least one sample")
     carry = np.empty(0)
     emitted = 0
     try:
@@ -154,7 +155,7 @@ def streaming_fraction_below(
         for block in iter_window_blocks(source, estimator.window)
     ]
     if not probs:
-        raise ValueError(
+        raise SpecError(
             f"trace shorter than one {estimator.window}-cycle window"
         )
     flat = np.concatenate(probs)
@@ -168,7 +169,7 @@ def streaming_level_contributions(estimator, source) -> dict[int, float]:
         for block in iter_window_blocks(source, estimator.window)
     ]
     if not blocks:
-        raise ValueError(
+        raise SpecError(
             f"trace shorter than one {estimator.window}-cycle window"
         )
     terms = np.concatenate(blocks, axis=1)
@@ -199,7 +200,7 @@ def streaming_characterize(
         prob_blocks.append(probs)
         term_blocks.append(terms)
     if not prob_blocks:
-        raise ValueError(
+        raise SpecError(
             f"trace shorter than one {estimator.window}-cycle window"
         )
     flat = np.concatenate(prob_blocks)

@@ -22,6 +22,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..errors import SpecError
 from .events import RunStatistics
 from .simulator import SimulationResult
 
@@ -80,12 +81,15 @@ def load_result(path: str | Path) -> SimulationResult:
     """Read a result previously written by :func:`save_result`."""
     with np.load(Path(path), allow_pickle=False) as data:
         if str(data.get("format", "")) != _FORMAT:
-            raise ValueError(f"{path} is not a {_FORMAT} archive")
+            raise SpecError(
+                f"{path} is not a {_FORMAT} archive", file=str(path)
+            )
         version = int(data["version"])
         if version > _VERSION:
-            raise ValueError(
+            raise SpecError(
                 f"{path} uses format version {version}; this library "
-                f"reads up to {_VERSION}"
+                f"reads up to {_VERSION}",
+                file=str(path),
             )
         stats = RunStatistics(
             **{f: int(v) for f, v in zip(_STAT_FIELDS, data["stats"])}
@@ -99,7 +103,10 @@ def load_result(path: str | Path) -> SimulationResult:
 
 
 def sanitize_current(
-    current: np.ndarray, origin: str, nan_policy: str = "error"
+    current: np.ndarray,
+    origin: str,
+    nan_policy: str = "error",
+    benchmark: str | None = None,
 ) -> np.ndarray:
     """Validate (or repair) the non-finite samples of a current trace.
 
@@ -107,16 +114,20 @@ def sanitize_current(
     wavelet transform propagates one NaN into every coefficient of the
     window, and the convolution engine smears it across the whole
     voltage trace — so they must be dealt with at the import boundary.
+    Errors name both the source file (``origin``) and, when given, the
+    ``benchmark`` the trace belongs to, so a failure deep inside a batch
+    points straight at the offending input.
 
     ``nan_policy`` decides how:
 
-    * ``"error"`` (default) — raise ``ValueError`` naming how many NaN /
-      infinite samples there are and where the first one sits;
+    * ``"error"`` (default) — raise :class:`~repro.errors.SpecError`
+      (a ``ValueError``) naming how many NaN / infinite samples there
+      are and where the first one sits;
     * ``"drop"`` — remove the offending samples (shortens the trace);
     * ``"zero"`` — replace them with 0.0 A (keeps cycle alignment).
     """
     if nan_policy not in ("error", "drop", "zero"):
-        raise ValueError(
+        raise SpecError(
             f"nan_policy must be 'error', 'drop' or 'zero', "
             f"got {nan_policy!r}"
         )
@@ -127,10 +138,15 @@ def sanitize_current(
     infs = int(np.isinf(current).sum())
     if nan_policy == "error":
         first = int(np.flatnonzero(~finite)[0])
-        raise ValueError(
-            f"{origin} contains {nans} NaN and {infs} infinite current "
+        where = f"benchmark {benchmark!r} ({origin})" if benchmark else origin
+        raise SpecError(
+            f"{where} contains {nans} NaN and {infs} infinite current "
             f"samples (first at index {first} of {current.size}); pass "
-            f"nan_policy='drop' or 'zero' to sanitize instead"
+            f"nan_policy='drop' or 'zero' to sanitize instead",
+            file=origin,
+            benchmark=benchmark,
+            nan_samples=nans,
+            inf_samples=infs,
         )
     if nan_policy == "drop":
         return current[finite]
@@ -169,7 +185,10 @@ def import_current_trace(
             if str(data.get("format", "")) == _FORMAT:
                 result = load_result(path)
                 current = sanitize_current(
-                    result.current, str(path), nan_policy
+                    result.current,
+                    str(path),
+                    nan_policy,
+                    benchmark=name or result.name,
                 )
                 if current is result.current:
                     return result
@@ -180,23 +199,38 @@ def import_current_trace(
                     stats=RunStatistics(cycles=current.size),
                 )
             if "current" not in data:
-                raise ValueError(f"{path} has no 'current' array")
+                raise SpecError(
+                    f"{path} has no 'current' array", file=str(path)
+                )
             current = np.asarray(data["current"])
     else:
         table = np.loadtxt(path, ndmin=2)
         if column >= table.shape[1]:
-            raise ValueError(
-                f"column {column} out of range for {table.shape[1]}-column file"
+            raise SpecError(
+                f"{column} out of range for {table.shape[1]}-column "
+                f"file {path}",
+                file=str(path),
             )
         current = table[:, column]
     current = np.asarray(current, dtype=float).ravel()
+    bench = name or path.stem
     if current.size == 0:
-        raise ValueError(f"{path} contains no samples")
-    current = sanitize_current(current, str(path), nan_policy)
+        raise SpecError(
+            f"{path} contains no samples", file=str(path), benchmark=bench
+        )
+    current = sanitize_current(current, str(path), nan_policy, benchmark=bench)
     if current.size == 0:
-        raise ValueError(f"{path} contains no finite samples")
+        raise SpecError(
+            f"{path} contains no finite samples",
+            file=str(path),
+            benchmark=bench,
+        )
     if np.any(current < 0):
-        raise ValueError(f"{path} contains negative current samples")
+        raise SpecError(
+            f"{path} contains negative current samples",
+            file=str(path),
+            benchmark=bench,
+        )
     return SimulationResult(
         name=name or path.stem,
         current=current,

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import (
+    EXIT_INTERNAL,
+    EXIT_OK,
+    EXIT_PARTIAL,
+    EXIT_USAGE,
+    build_parser,
+    main,
+)
 
 
 class TestParser:
@@ -188,3 +195,81 @@ class TestPipelineCommands:
         assert "2 benchmarks at 150% impedance" in out
         assert "est %" in out
         assert "stage runs" in out
+
+
+class TestExitCodes:
+    """The documented contract: 0 ok, 1 partial, 2 usage, 3 internal."""
+
+    def test_fault_flags_parse(self):
+        args = build_parser().parse_args([
+            "pipeline", "run", "--resume", "--retries", "3",
+            "--timeout", "20", "--backoff", "0.1",
+            "--inject-faults", "ci-plan",
+        ])
+        assert args.resume is True
+        assert args.retries == 3
+        assert args.timeout == 20.0
+        assert args.inject_faults == "ci-plan"
+
+    def test_success_is_zero(self, capsys):
+        assert main(["list"]) == EXIT_OK
+
+    def test_conflicting_flags_are_usage_errors(self, capsys):
+        code = main([
+            "pipeline", "run", "--suite", "int", "--benchmarks", "gzip",
+            "--no-cache",
+        ])
+        assert code == EXIT_USAGE
+        assert "usage error" in capsys.readouterr().err
+
+    def test_bad_fault_plan_is_usage_shaped(self, capsys):
+        # parse_plan raises SpecError, surfaced without a traceback
+        code = main([
+            "pipeline", "run", "--benchmarks", "gzip", "--no-cache",
+            "--inject-faults", "simulate:explode",
+        ])
+        assert code == EXIT_PARTIAL
+        err = capsys.readouterr().err
+        assert "SpecError" in err
+        assert "Traceback" not in err
+
+    def test_resume_without_cache_is_usage_error(self, capsys):
+        code = main([
+            "pipeline", "run", "--benchmarks", "gzip", "--no-cache",
+            "--resume",
+        ])
+        assert code == EXIT_USAGE
+
+    def test_failing_batch_is_partial_with_report(
+        self, capsys, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        code = main([
+            "pipeline", "run", "--benchmarks", "gzip", "--no-cache",
+            "--cycles", "2048", "--retries", "0", "--backoff", "0.02",
+            "--inject-faults", "simulate@gzip:raise:*",
+        ])
+        assert code == EXIT_PARTIAL
+        out = capsys.readouterr().out
+        assert "1 of 1 jobs failed" in out
+        assert "kind=exception" in out
+        assert "Traceback" not in out
+
+    def test_injected_fault_retried_to_success(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        code = main([
+            "pipeline", "run", "--benchmarks", "gzip", "--no-cache",
+            "--cycles", "2048", "--retries", "2", "--backoff", "0.02",
+            "--inject-faults", "simulate@gzip:raise:1",
+        ])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "1 retries" in out
+        assert "(attempt 2)" in out
+
+    def test_internal_errors_print_traceback(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "_cmd_list", lambda: 1 / 0)
+        assert main(["list"]) == EXIT_INTERNAL
+        assert "Traceback" in capsys.readouterr().err

@@ -1,0 +1,81 @@
+"""The unified error hierarchy: typing, aliases, serialization."""
+
+import pytest
+
+from repro import errors
+from repro.errors import (
+    ArtifactNotFoundError,
+    InjectedFaultError,
+    JobError,
+    PipelineError,
+    ReproError,
+    RetryExhaustedError,
+    SpecError,
+    StageTimeoutError,
+    UsageError,
+    WorkerCrashError,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, ReproError), name
+
+    def test_builtin_compat_bases(self):
+        # Dual inheritance keeps pre-repro.errors except-clauses working.
+        assert issubclass(UsageError, ValueError)
+        assert issubclass(SpecError, ValueError)
+        assert issubclass(ArtifactNotFoundError, KeyError)
+        assert issubclass(StageTimeoutError, TimeoutError)
+        assert issubclass(PipelineError, RuntimeError)
+
+    def test_job_errors_group_under_job_error(self):
+        for cls in (
+            StageTimeoutError,
+            WorkerCrashError,
+            RetryExhaustedError,
+            InjectedFaultError,
+        ):
+            assert issubclass(cls, JobError)
+
+    def test_one_boundary_catches_all(self):
+        for cls in (SpecError, StageTimeoutError, PipelineError):
+            with pytest.raises(ReproError):
+                raise cls("boom")
+
+
+class TestBehavior:
+    def test_str_is_the_message_even_for_keyerror(self):
+        # bare KeyError would repr() its message and print the quotes
+        err = ArtifactNotFoundError("no 'voltage' artifact for 'gzip'")
+        assert str(err) == "no 'voltage' artifact for 'gzip'"
+
+    def test_details_filter_none(self):
+        err = JobError("failed", job="gzip@150%", stage=None, attempt=2)
+        assert err.details == {"job": "gzip@150%", "attempt": 2}
+
+    def test_to_dict_shape(self):
+        err = StageTimeoutError(
+            "over budget", job="mcf@150%", attempt=1, timeout_s=5.0
+        )
+        assert err.to_dict() == {
+            "error": "StageTimeoutError",
+            "message": "over budget",
+            "job": "mcf@150%",
+            "attempt": 1,
+            "timeout_s": 5.0,
+        }
+
+
+class TestRehoming:
+    def test_executor_reexports_pipeline_error(self):
+        from repro.pipeline import executor
+
+        assert executor.PipelineError is PipelineError
+
+    def test_pipeline_package_reexports_pipeline_error(self):
+        import repro.pipeline
+
+        assert repro.pipeline.PipelineError is PipelineError

@@ -1,0 +1,129 @@
+"""The ExperimentResult protocol: one serialization surface per figure."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import TracePrediction
+from repro.experiments import (
+    ExperimentResult,
+    ExperimentResultBase,
+    Figure6Result,
+    Figure9Result,
+    Table2Row,
+)
+
+
+def fig9():
+    return Figure9Result(
+        threshold=0.97,
+        predictions={
+            "gzip": TracePrediction(
+                name="gzip", threshold=0.97, estimated=0.02, observed=0.025
+            ),
+            "mcf": TracePrediction(
+                name="mcf", threshold=0.97, estimated=0.11, observed=0.10
+            ),
+        },
+    )
+
+
+def table2_row():
+    return Table2Row(
+        scheme="wavelet",
+        mean_slowdown=0.012,
+        max_slowdown=0.03,
+        false_positive_rate=0.2,
+        fault_reduction=1.0,
+        ops_per_cycle=26,
+    )
+
+
+class TestProtocol:
+    def test_runtime_checkable(self):
+        assert isinstance(fig9(), ExperimentResult)
+        assert isinstance(table2_row(), ExperimentResult)
+
+    def test_every_result_class_conforms(self):
+        import repro.experiments as exp
+
+        classes = [
+            getattr(exp, name)
+            for name in exp.__all__
+            if name.startswith(("Figure", "Table"))
+        ]
+        assert len(classes) >= 8
+        for cls in classes:
+            assert issubclass(cls, ExperimentResultBase), cls
+            assert issubclass(cls, ExperimentResult), cls
+
+
+class TestToDict:
+    def test_json_round_trip(self):
+        payload = fig9().to_dict()
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["experiment"] == "Figure9Result"
+        assert decoded["threshold"] == 0.97
+        # nested dataclasses flattened to plain dicts
+        assert decoded["predictions"]["gzip"]["estimated"] == 0.02
+
+    def test_numpy_values_become_native(self):
+        r = Figure9Result(
+            threshold=np.float64(0.97),
+            predictions={
+                "gzip": TracePrediction(
+                    name="gzip",
+                    threshold=0.97,
+                    estimated=np.float64(0.02),
+                    observed=np.float64(0.03),
+                )
+            },
+        )
+        decoded = json.loads(json.dumps(r.to_dict()))
+        assert decoded["predictions"]["gzip"]["estimated"] == 0.02
+
+    def test_tuple_keys_join_with_colon(self):
+        # Figure6's rates dict is keyed by suite then window size (ints)
+        r = Figure6Result(
+            windows=(32,), rates={"all": {32: 0.9}, "int": {32: 0.85}}
+        )
+        decoded = json.loads(json.dumps(r.to_dict()))
+        assert decoded["rates"]["all"]["32"] == 0.9
+
+
+class TestSummary:
+    def test_fig9_summary_headlines(self):
+        s = fig9().summary()
+        assert s["experiment"] == "figure9"
+        assert s["benchmarks"] == 2
+        assert s["rms_error"] == pytest.approx(
+            float(np.sqrt((0.005**2 + 0.01**2) / 2))
+        )
+        assert s["rank_correlation"] == pytest.approx(1.0)
+
+    def test_fig9_single_benchmark_skips_rank(self):
+        r = Figure9Result(
+            threshold=0.97,
+            predictions={
+                "gzip": TracePrediction(
+                    name="gzip", threshold=0.97, estimated=0.02, observed=0.03
+                )
+            },
+        )
+        assert "rank_correlation" not in r.summary()
+
+    def test_table2_summary(self):
+        s = table2_row().summary()
+        assert s == {
+            "experiment": "table2",
+            "scheme": "wavelet",
+            "mean_slowdown": 0.012,
+            "fault_reduction": 1.0,
+            "ops_per_cycle": 26,
+        }
+
+    def test_summaries_are_json_scalars(self):
+        for result in (fig9(), table2_row()):
+            for key, value in result.summary().items():
+                assert isinstance(value, (str, int, float)), (key, value)
