@@ -19,7 +19,12 @@ Four commands cover the repo's main flows:
 * ``sizing`` — the largest target impedance a workload set tolerates.
 * ``report`` — the whole evaluation as one text report.
 * ``bench`` — time every reference/vectorized kernel pair and write
-  ``BENCH_kernels.json`` (see ``docs/KERNELS.md``).
+  ``BENCH_kernels.json`` (see ``docs/KERNELS.md``); ``bench --store``
+  times the trace store instead (``BENCH_store.json``).
+* ``store`` — the zero-copy trace store (``docs/STORE.md``): ``ingest``
+  benchmarks or external files into a corpus, ``ls`` it, ``verify``
+  integrity, ``gc`` reclaimable bytes; ``pipeline run --store DIR``
+  characterizes the stored corpus without re-simulating.
 * ``obs`` — observability utilities (``obs report`` renders a JSONL log).
 
 Every command accepts the global ``--obs {off,summary,jsonl,prom}`` flag
@@ -216,6 +221,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--output", default=None,
                        help="result JSON path (default BENCH_kernels.json; "
                             "'-' to skip writing)")
+    bench.add_argument("--store", action="store_true",
+                       help="bench the trace store instead of the kernels: "
+                            "ingest/scan GB/s and characterize-from-store "
+                            "vs regenerate (writes BENCH_store.json)")
 
     pipe = sub.add_parser(
         "pipeline", help="parallel batch characterization with result cache"
@@ -255,10 +264,54 @@ def build_parser() -> argparse.ArgumentParser:
     prun.add_argument("--inject-faults", default=None, metavar="PLAN",
                       help="deterministic fault plan (or a named plan like "
                            "'ci-plan'); see docs/ROBUSTNESS.md")
+    prun.add_argument("--store", default=None, metavar="DIR",
+                      help="characterize stored traces from this trace-store "
+                           "directory (zero-copy attach) instead of "
+                           "re-simulating; --benchmarks filters the corpus")
     pstat = psub.add_parser("status", help="show result-cache contents")
     pstat.add_argument("--cache-dir", default=".repro-cache")
     pclear = psub.add_parser("clear", help="delete every cache entry")
     pclear.add_argument("--cache-dir", default=".repro-cache")
+
+    storep = sub.add_parser(
+        "store", help="zero-copy trace store (see docs/STORE.md)"
+    )
+    ssub = storep.add_subparsers(dest="store_command", required=True)
+    sing = ssub.add_parser(
+        "ingest", help="simulate benchmarks (or import a file) into a store",
+        parents=[obs_opts],
+    )
+    # no argparse choices= here: nargs="*" rejects the empty list against
+    # them (the --from-file form passes no benchmarks); validated in the
+    # handler instead
+    sing.add_argument("benchmarks", nargs="*", metavar="benchmark",
+                      help="benchmarks to simulate and store")
+    sing.add_argument("--store", default=".trace-store", metavar="DIR",
+                      help="store directory (default .trace-store)")
+    sing.add_argument("--cycles", type=int, default=32768)
+    sing.add_argument("--seed", type=int, default=None)
+    sing.add_argument("--warmup-cycles", type=int, default=4096)
+    sing.add_argument("--dtype", choices=("float32", "float64"),
+                      default=None,
+                      help="stored sample dtype (default: the trace's own)")
+    sing.add_argument("--from-file", default=None, metavar="PATH",
+                      help="ingest an external trace file (.npy/.npz/.csv/"
+                           ".txt) instead of simulating; requires a "
+                           "benchmark label via --label")
+    sing.add_argument("--label", default=None,
+                      help="benchmark label for --from-file traces")
+    sls = ssub.add_parser("ls", help="list stored traces", parents=[obs_opts])
+    sls.add_argument("--store", default=".trace-store", metavar="DIR")
+    sver = ssub.add_parser(
+        "verify", help="check index/chunk integrity and content hashes",
+        parents=[obs_opts],
+    )
+    sver.add_argument("--store", default=".trace-store", metavar="DIR")
+    sgc = ssub.add_parser(
+        "gc", help="compact chunks: reclaim removed/orphaned bytes",
+        parents=[obs_opts],
+    )
+    sgc.add_argument("--store", default=".trace-store", metavar="DIR")
 
     obsp = sub.add_parser("obs", help="observability utilities")
     osub = obsp.add_subparsers(dest="obs_command", required=True)
@@ -381,6 +434,7 @@ def _cmd_pipeline_run(args) -> int:
     from .pipeline import (
         RetryPolicy,
         build_characterization_jobs,
+        build_store_jobs,
         faults,
         predictions_from,
         run_batch,
@@ -389,6 +443,11 @@ def _cmd_pipeline_run(args) -> int:
 
     if args.suite and args.benchmarks:
         raise UsageError("give either --suite or --benchmarks, not both")
+    if args.suite and args.store:
+        raise UsageError(
+            "--store runs the stored corpus; --suite selects simulations "
+            "— give one or the other (--benchmarks filters either)"
+        )
     if args.retries < 0:
         raise UsageError("--retries must be non-negative")
     if args.inject_faults:
@@ -405,15 +464,27 @@ def _cmd_pipeline_run(args) -> int:
         backoff_s=args.backoff,
     )
     net = calibrated_supply(args.impedance)
-    specs = build_characterization_jobs(
-        names,
-        net,
-        cycles=args.cycles,
-        threshold=args.threshold,
-        window=args.window,
-        seed=args.seed,
-        impedance=args.impedance,
-    )
+    if args.store:
+        from .store import TraceStore
+
+        specs = build_store_jobs(
+            TraceStore(args.store),
+            net,
+            benchmarks=tuple(args.benchmarks) if args.benchmarks else None,
+            threshold=args.threshold,
+            window=args.window,
+            impedance=args.impedance,
+        )
+    else:
+        specs = build_characterization_jobs(
+            names,
+            net,
+            cycles=args.cycles,
+            threshold=args.threshold,
+            window=args.window,
+            seed=args.seed,
+            impedance=args.impedance,
+        )
 
     def progress(outcome):
         if not outcome.ok:
@@ -603,6 +674,21 @@ def _cmd_sizing(args) -> str:
 
 
 def _cmd_bench(args) -> str:
+    if args.store:
+        from .store.bench import (
+            DEFAULT_STORE_OUTPUT,
+            format_store_results,
+            run_store_bench,
+        )
+
+        output = args.output or DEFAULT_STORE_OUTPUT
+        results = run_store_bench(
+            quick=args.quick, output=None if output == "-" else output
+        )
+        text = format_store_results(results)
+        if output != "-":
+            text += f"\nwrote {output}"
+        return text
     from .kernels.bench import DEFAULT_OUTPUT, format_results, run_bench
 
     output = args.output or DEFAULT_OUTPUT
@@ -613,6 +699,119 @@ def _cmd_bench(args) -> str:
     if output != "-":
         text += f"\nwrote {output}"
     return text
+
+
+def _cmd_store_ingest(args) -> str:
+    from .store import TraceStore
+
+    if args.from_file and args.benchmarks:
+        raise UsageError(
+            "give benchmarks to simulate or --from-file, not both"
+        )
+    if not args.from_file and not args.benchmarks:
+        raise UsageError("give benchmarks to simulate, or --from-file")
+    unknown = sorted(set(args.benchmarks) - set(SPEC2000))
+    if unknown:
+        raise UsageError(
+            f"unknown benchmark(s) {', '.join(unknown)}; "
+            "see `repro list`"
+        )
+    store = TraceStore(args.store, mode="a")
+    lines = []
+    if args.from_file:
+        from .uarch.traceio import import_current_trace
+
+        result = import_current_trace(args.from_file, name=args.label)
+        record = store.ingest(
+            result.current, args.label or result.name, dtype=args.dtype
+        )
+        lines.append(
+            f"  {record.trace_id}  {record.benchmark:<12} "
+            f"{record.cycles:>9} samples  {record.dtype}"
+        )
+    else:
+        for name in args.benchmarks:
+            result = simulate_benchmark(
+                name,
+                cycles=args.cycles,
+                seed=args.seed,
+                warmup_cycles=args.warmup_cycles,
+            )
+            record = store.ingest(
+                result.current,
+                name,
+                dtype=args.dtype,
+                generator={
+                    "benchmark": name,
+                    "cycles": args.cycles,
+                    "seed": args.seed,
+                    "warmup_cycles": args.warmup_cycles,
+                },
+            )
+            lines.append(
+                f"  {record.trace_id}  {record.benchmark:<12} "
+                f"{record.cycles:>9} samples  {record.dtype}"
+            )
+    s = store.stats()
+    lines.append(
+        f"store {s['root']}: {s['traces']} traces, "
+        f"{s['live_bytes'] / 1e6:.1f} MB live"
+    )
+    return "\n".join(lines)
+
+
+def _cmd_store_ls(args) -> str:
+    from .store import TraceStore
+
+    store = TraceStore(args.store)
+    records = store.records()
+    if not records:
+        return f"store {store.root}: empty"
+    lines = [
+        f"{'trace id':<18} {'benchmark':<12} {'samples':>9} "
+        f"{'dtype':<8} {'src':<9} sha256"
+    ]
+    for r in records:
+        lines.append(
+            f"{r.trace_id:<18} {r.benchmark:<12} {r.cycles:>9} "
+            f"{r.dtype:<8} {'simulate' if r.generator else 'external':<9} "
+            f"{r.sha256[:12]}"
+        )
+    s = store.stats()
+    lines.append(
+        f"{s['traces']} traces, {s['cycles']} samples, "
+        f"{s['live_bytes'] / 1e6:.1f} MB live in {s['chunk_files']} "
+        f"chunk(s) ({s['reclaimable_bytes'] / 1e6:.1f} MB reclaimable)"
+    )
+    return "\n".join(lines)
+
+
+def _cmd_store_verify(args) -> int:
+    from .store import TraceStore
+
+    store = TraceStore(args.store)
+    problems = store.verify()
+    count = len(store.records())
+    if not problems:
+        print(f"store {store.root}: {count} traces intact")
+        return EXIT_OK
+    print(f"store {store.root}: {len(problems)} problem(s):")
+    for p in problems:
+        detail = ", ".join(
+            f"{k}={v}" for k, v in p.items() if k != "problem"
+        )
+        print(f"  {p['problem']:<16} {detail}")
+    return EXIT_PARTIAL
+
+
+def _cmd_store_gc(args) -> str:
+    from .store import TraceStore
+
+    result = TraceStore(args.store, mode="a").gc()
+    return (
+        f"store {args.store}: {result['live']} live traces, "
+        f"reclaimed {result['reclaimed_bytes'] / 1e6:.1f} MB"
+    )
 
 
 def _cmd_obs_report(args) -> str:
@@ -687,6 +886,15 @@ def _dispatch(args) -> int:
             print(_cmd_pipeline_status(args))
         elif args.pipeline_command == "clear":
             print(_cmd_pipeline_clear(args))
+    elif args.command == "store":
+        if args.store_command == "ingest":
+            print(_cmd_store_ingest(args))
+        elif args.store_command == "ls":
+            print(_cmd_store_ls(args))
+        elif args.store_command == "verify":
+            return _cmd_store_verify(args)
+        elif args.store_command == "gc":
+            print(_cmd_store_gc(args))
     elif args.command == "obs":
         if args.obs_command == "report":
             print(_cmd_obs_report(args))

@@ -30,6 +30,7 @@ tuning guidance.
 from .batch import (
     build_characterization_jobs,
     build_control_jobs,
+    build_store_jobs,
     control_results_from,
     prediction_from_outcome,
     predictions_from,
@@ -49,9 +50,11 @@ from .spec import (
     CACHE_SALT,
     CACHE_SCHEMA_VERSION,
     DEFAULT_STAGES,
+    STORE_STAGES,
     JobSpec,
     deserialize_network,
     serialize_network,
+    trace_identity,
 )
 from .stages import (
     Stage,
@@ -82,6 +85,7 @@ __all__ = [
     "PipelineExecutor",
     "ResultCache",
     "RetryPolicy",
+    "STORE_STAGES",
     "Stage",
     "StageContext",
     "active_plan",
@@ -89,6 +93,7 @@ __all__ = [
     "available_stages",
     "build_characterization_jobs",
     "build_control_jobs",
+    "build_store_jobs",
     "control_results_from",
     "deserialize_network",
     "get_stage",
@@ -103,4 +108,5 @@ __all__ = [
     "streaming_fraction_below",
     "streaming_level_contributions",
     "suite_names",
+    "trace_identity",
 ]

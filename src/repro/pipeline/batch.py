@@ -13,13 +13,14 @@ from ..errors import SpecError
 from ..power import PowerSupplyNetwork
 from ..workloads import SPEC2000, SPEC_FP, SPEC_INT
 from .executor import BatchResult, JobOutcome, PipelineExecutor, RetryPolicy
-from .spec import DEFAULT_STAGES, JobSpec
+from .spec import DEFAULT_STAGES, STORE_STAGES, JobSpec
 from .stages import control_result_from_artifact
 
 __all__ = [
     "suite_names",
     "build_characterization_jobs",
     "build_control_jobs",
+    "build_store_jobs",
     "run_batch",
     "prediction_from_outcome",
     "predictions_from",
@@ -71,6 +72,62 @@ def build_characterization_jobs(
         )
         for name in names
     ]
+
+
+def build_store_jobs(
+    store,
+    network: PowerSupplyNetwork,
+    *,
+    trace_ids=None,
+    benchmarks=None,
+    threshold: float = 0.97,
+    window: int = 256,
+    impedance: float | None = None,
+    stages: tuple[str, ...] = STORE_STAGES,
+) -> list[JobSpec]:
+    """The §4 chain fed from a :class:`~repro.store.TraceStore`.
+
+    One job per stored trace (filtered by ``trace_ids`` and/or
+    ``benchmarks``), each carrying a :class:`~repro.store.TraceRef`
+    instead of re-simulating — workers attach the samples zero-copy.
+    Traces ingested with their generator params recorded produce the
+    same cache keys as the equivalent ``simulate`` jobs, so a stored
+    corpus and a regenerated sweep share downstream artifacts.
+    """
+    wanted_ids = set(trace_ids) if trace_ids is not None else None
+    wanted_benchmarks = set(benchmarks) if benchmarks is not None else None
+    specs = []
+    for record in store.records():
+        if wanted_ids is not None and record.trace_id not in wanted_ids:
+            continue
+        if (
+            wanted_benchmarks is not None
+            and record.benchmark not in wanted_benchmarks
+        ):
+            continue
+        if record.cycles == 0:
+            continue  # nothing to characterize in an empty trace
+        generator = record.generator or {}
+        specs.append(
+            JobSpec.make(
+                record.benchmark,
+                network=network,
+                cycles=record.cycles,
+                threshold=threshold,
+                window=window,
+                seed=generator.get("seed"),
+                warmup_cycles=int(generator.get("warmup_cycles", 0)),
+                impedance=impedance,
+                stages=stages,
+                trace=store.ref(record),
+            )
+        )
+    if not specs:
+        raise SpecError(
+            f"no matching traces in store {store.root}",
+            store=str(store.root),
+        )
+    return specs
 
 
 def build_control_jobs(

@@ -42,6 +42,8 @@ import time
 import traceback
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..errors import (
     ArtifactNotFoundError,
     PipelineError,
@@ -61,6 +63,27 @@ __all__ = [
     "PipelineExecutor",
     "RetryPolicy",
 ]
+
+
+#: Set by the supervised pool inside worker processes.  When true, every
+#: trace byte in a job's artifacts is about to be pickled back to the
+#: parent — the ``pipeline_trace_pickle_bytes_total`` counter measures
+#: exactly that, and store-backed batches assert it stays at zero.
+_IN_POOL_WORKER = False
+
+
+def _trace_channel_bytes(artifacts: dict) -> int:
+    """Trace-array bytes that would cross the result pickle channel."""
+    total = 0
+    for artifact in artifacts.values():
+        if isinstance(artifact, np.ndarray):
+            total += artifact.nbytes
+            continue
+        for name in ("current", "l2_outstanding"):
+            value = getattr(artifact, name, None)
+            if isinstance(value, np.ndarray):
+                total += value.nbytes
+    return total
 
 
 @dataclass(frozen=True)
@@ -309,6 +332,14 @@ def execute_job(
             "job attempts executed by outcome status",
             status="ok" if outcome.ok else "error",
         )
+        if _IN_POOL_WORKER:
+            # before snapshot_delta, so the worker's delta ships it back
+            obs.counter_inc(
+                "pipeline_trace_pickle_bytes_total",
+                _trace_channel_bytes(outcome.artifacts),
+                "trace-array bytes pickled through the worker result "
+                "channel (zero on the store path)",
+            )
         outcome.metrics = obs.snapshot_delta(snap_before)
         outcome.obs_records = obs.drain_records()
     return outcome

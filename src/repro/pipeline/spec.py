@@ -27,20 +27,26 @@ from dataclasses import dataclass, field, fields as dataclass_fields
 from .. import __version__
 from ..errors import SpecError
 from ..power import PowerSupplyNetwork
+from ..store.ref import TraceRef
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "CACHE_SALT",
     "DEFAULT_STAGES",
+    "STORE_STAGES",
     "JobSpec",
     "serialize_network",
     "deserialize_network",
+    "trace_identity",
 ]
 
 #: Bump when artifact layouts change; invalidates every cache entry.
 #: v2: characterize artifacts come from the vectorized kernel backend,
 #: whose floats can differ from v1's sequential loop in the last ulp.
-CACHE_SCHEMA_VERSION = 2
+#: v3: trace-producing stages key on a dtype-explicit trace identity, so
+#: a float32 store trace and a float64 regenerated trace never collide
+#: (and equivalent ones dedupe across ``simulate``/``load_trace``).
+CACHE_SCHEMA_VERSION = 3
 
 #: Code-version salt folded into every cache key, so results computed by
 #: a different release or schema never alias.
@@ -48,6 +54,9 @@ CACHE_SALT = f"repro/{__version__}/pipeline-schema-{CACHE_SCHEMA_VERSION}"
 
 #: The §4 characterization chain (Figure 9's estimate vs. truth).
 DEFAULT_STAGES = ("simulate", "voltage", "characterize")
+
+#: The same chain fed from the trace store instead of the simulator.
+STORE_STAGES = ("load_trace", "voltage", "characterize")
 
 
 def serialize_network(network: PowerSupplyNetwork) -> tuple[tuple[str, float], ...]:
@@ -95,6 +104,12 @@ class JobSpec:
     params:
         Sorted (name, value) pairs of stage-specific knobs (control
         scheme, monitor terms, margin, ...), JSON-scalar values only.
+    trace:
+        Serialized :class:`~repro.store.TraceRef` (see
+        :meth:`~repro.store.TraceRef.to_spec`), or ``None``.  When set,
+        the ``load_trace`` stage resolves the referenced trace by mmap /
+        shared-memory attach instead of re-simulating — the zero-copy
+        store path (``docs/STORE.md``).
     """
 
     benchmark: str
@@ -107,6 +122,7 @@ class JobSpec:
     impedance: float | None = None
     stages: tuple[str, ...] = DEFAULT_STAGES
     params: tuple[tuple[str, object], ...] = field(default_factory=tuple)
+    trace: tuple[tuple[str, object], ...] | None = None
 
     def __post_init__(self) -> None:
         if not self.benchmark:
@@ -130,13 +146,17 @@ class JobSpec:
         *,
         network: PowerSupplyNetwork | None = None,
         params: dict[str, object] | None = None,
+        trace: "TraceRef | tuple | None" = None,
         **kwargs,
     ) -> "JobSpec":
-        """Build a spec from live objects (network, params dict)."""
+        """Build a spec from live objects (network, params, TraceRef)."""
+        if isinstance(trace, TraceRef):
+            trace = trace.to_spec()
         return cls(
             benchmark=benchmark,
             network=serialize_network(network) if network is not None else None,
             params=tuple(sorted((params or {}).items())),
+            trace=trace,
             **kwargs,
         )
 
@@ -150,9 +170,14 @@ class JobSpec:
         return default
 
     def field_value(self, name: str):
-        """A hashable field by name — spec attribute, else param."""
+        """A hashable field by name — spec attribute, derived identity,
+        else param."""
         if name == "params":
             return list(list(p) for p in self.params)
+        if name == "trace":
+            return _jsonable(self.trace)
+        if name == "trace_identity":
+            return trace_identity(self)
         if hasattr(self, name):
             value = getattr(self, name)
             return list(list(p) for p in value) if name == "network" and value else value
@@ -161,6 +186,14 @@ class JobSpec:
     def resolve_network(self) -> PowerSupplyNetwork:
         """The live supply network this spec was built against."""
         return deserialize_network(self.network)
+
+    def resolve_trace_ref(self) -> TraceRef:
+        """The live :class:`~repro.store.TraceRef` this spec carries."""
+        if self.trace is None:
+            raise SpecError(
+                f"job {self.label} carries no trace ref", job=self.label
+            )
+        return TraceRef.from_spec(self.trace)
 
     # -- identity -------------------------------------------------------------
 
@@ -176,6 +209,7 @@ class JobSpec:
             "network": self.field_value("network"),
             "stages": list(self.stages),
             "params": self.field_value("params"),
+            "trace": self.field_value("trace"),
         }
 
     def digest(self) -> str:
@@ -196,6 +230,42 @@ class JobSpec:
             "cycles": self.cycles,
             "stages": ",".join(self.stages),
         }
+
+
+def _jsonable(value):
+    """Nested tuples as nested lists, for stable canonical JSON."""
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def trace_identity(spec: "JobSpec") -> dict:
+    """The content identity of the trace a job consumes (dtype-explicit).
+
+    This is the payload the trace-producing stages (``simulate`` and
+    ``load_trace``) hash into their shared cache-key namespace:
+
+    * a spec with no :class:`~repro.store.TraceRef` identifies its trace
+      by the full simulator invocation, at the simulator's native
+      ``float64``;
+    * a ref ingested from that same invocation (full trace, generator
+      params recorded, ``float64``) produces the *identical* payload —
+      so the stored and the regenerated trace address the same
+      downstream cache entries;
+    * any other ref (external trace, slice, ``float32``) identifies by
+      its dtype-explicit content hash and slice, which can never collide
+      with a different dtype of the same samples.
+    """
+    if spec.trace is not None:
+        return spec.resolve_trace_ref().identity()
+    return {
+        "kind": "simulate",
+        "dtype": "float64",
+        "benchmark": spec.benchmark,
+        "cycles": spec.cycles,
+        "seed": spec.seed,
+        "warmup_cycles": spec.warmup_cycles,
+    }
 
 
 def hash_payload(payload: dict) -> str:

@@ -54,18 +54,33 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Stage:
-    """One registered pipeline stage."""
+    """One registered pipeline stage.
+
+    ``key_name`` is the stage's cache-key namespace (default: its own
+    name).  Stages that can *substitute* for one another — ``simulate``
+    and ``load_trace`` both produce the job's current trace — share one
+    namespace, so jobs whose trace identity matches chain to the same
+    downstream cache entries regardless of which stage supplied the
+    trace.
+    """
 
     name: str
     func: Callable[["StageContext"], object]
     fields: tuple[str, ...]  # spec fields hashed into this stage's key
     kind: str = "json"  # artifact serialization: "json" | "result"
+    key_name: str | None = None
 
 
 _REGISTRY: dict[str, Stage] = {}
 
 
-def register_stage(name: str, *, fields: tuple[str, ...], kind: str = "json"):
+def register_stage(
+    name: str,
+    *,
+    fields: tuple[str, ...],
+    kind: str = "json",
+    key_name: str | None = None,
+):
     """Decorator registering a stage function under ``name``."""
 
     def wrap(func):
@@ -73,7 +88,9 @@ def register_stage(name: str, *, fields: tuple[str, ...], kind: str = "json"):
             raise SpecError(f"stage {name!r} already registered")
         if kind not in ("json", "result"):
             raise SpecError(f"unknown artifact kind {kind!r}")
-        _REGISTRY[name] = Stage(name=name, func=func, fields=fields, kind=kind)
+        _REGISTRY[name] = Stage(
+            name=name, func=func, fields=fields, kind=kind, key_name=key_name
+        )
         return func
 
     return wrap
@@ -103,7 +120,7 @@ def stage_cache_keys(spec: JobSpec) -> dict[str, str]:
         stage = get_stage(name)
         payload = {
             "salt": CACHE_SALT,
-            "stage": name,
+            "stage": stage.key_name or name,
             "prev": prev,
             "fields": {f: spec.field_value(f) for f in stage.fields},
         }
@@ -129,6 +146,7 @@ class StageContext:
     def __init__(self, spec: JobSpec) -> None:
         self.spec = spec
         self.artifacts: dict[str, object] = {}
+        self._current: np.ndarray | None = None
 
     @property
     def network(self):
@@ -158,14 +176,33 @@ class StageContext:
                 f"stage chain {self.spec.stages} needs 'simulate' first"
             ) from None
 
+    def current_trace(self) -> np.ndarray:
+        """The job's per-cycle current trace, however it is sourced.
+
+        Specs carrying a :class:`~repro.store.TraceRef` resolve it here
+        (zero-copy mmap / shared-memory attach, memoized per job — also
+        when ``load_trace`` itself was a cache hit); plain specs read
+        the upstream simulation artifact.
+        """
+        if self._current is None:
+            if self.spec.trace is not None:
+                with obs.span(
+                    "store.attach", benchmark=self.spec.benchmark
+                ):
+                    self._current = self.spec.resolve_trace_ref().resolve()
+            else:
+                self._current = self.simulation().current
+        return self._current
+
 
 # -- built-in stages ----------------------------------------------------------
 
 
 @register_stage(
     "simulate",
-    fields=("benchmark", "cycles", "seed", "warmup_cycles"),
+    fields=("trace_identity",),
     kind="result",
+    key_name="trace",
 )
 def _stage_simulate(ctx: StageContext):
     """Run the Table-1 machine over the workload model (§3.2)."""
@@ -177,12 +214,39 @@ def _stage_simulate(ctx: StageContext):
     )
 
 
+@register_stage("load_trace", fields=("trace_identity",), key_name="trace")
+def _stage_load_trace(ctx: StageContext):
+    """Resolve the spec's :class:`~repro.store.TraceRef` in place.
+
+    The zero-copy replacement for ``simulate``: the worker attaches the
+    stored trace read-only (mmap or shared memory) and downstream stages
+    run kernels directly on the view.  The artifact is a small JSON
+    descriptor — the samples themselves never enter the cache or the
+    job result channel.
+    """
+    ref = ctx.spec.resolve_trace_ref()
+    current = ctx.current_trace()
+    if current.size != ref.samples:
+        raise SpecError(
+            f"trace {ref.trace_id} resolved to {current.size} samples, "
+            f"ref promises {ref.samples}",
+            trace_id=ref.trace_id,
+            store=ref.store,
+        )
+    return {
+        "trace_id": ref.trace_id,
+        "store": ref.store,
+        "dtype": ref.dtype,
+        "samples": int(current.size),
+        "sha256": ref.sha256,
+    }
+
+
 @register_stage("voltage", fields=("network", "threshold"))
 def _stage_voltage(ctx: StageContext):
     """Convolution-simulated supply voltage: the §4 ground truth."""
-    result = ctx.simulation()
     sim = ConvolutionVoltageSimulator(ctx.network)
-    current = result.current
+    current = ctx.current_trace()
     voltage = sim.voltage(current)[min(sim.taps, len(current) // 4) :]
     return {
         "observed": float(np.mean(voltage < ctx.spec.threshold)),
@@ -199,10 +263,9 @@ def _stage_characterize(ctx: StageContext):
     One pass through the kernel-dispatched batch path yields both the
     below-threshold estimate and the per-level contributions.
     """
-    result = ctx.simulation()
     estimator = ctx.estimator
     estimated, count, levels = streaming_characterize(
-        estimator, result.current, ctx.spec.threshold
+        estimator, ctx.current_trace(), ctx.spec.threshold
     )
     if obs.ENABLED:
         for lvl, contribution in levels.items():

@@ -42,6 +42,9 @@ TICK_S = 0.05
 
 def _worker_main(inbox, results, cache_dir, obs_enabled) -> None:
     """Worker loop: take ``(index, spec, attempt)`` until ``None``."""
+    from . import executor
+
+    executor._IN_POOL_WORKER = True
     obs.worker_mode(obs_enabled)
     cache = ResultCache(cache_dir) if cache_dir else None
     while True:

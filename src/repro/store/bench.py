@@ -1,0 +1,227 @@
+"""Store throughput benchmarks: ``repro bench --store``.
+
+Three numbers, written to ``BENCH_store.json``:
+
+* **ingest** — GB/s appending synthetic float32 traces to a fresh store
+  (chunk write + hash + index append);
+* **scan** — GB/s reading every stored trace back through the zero-copy
+  mmap attach (one full reduction per trace forces the page reads);
+* **end_to_end** — characterize-from-store vs. the regenerate baseline,
+  in traces/sec: the same benchmarks through the same pipeline stages,
+  once resolving :class:`~repro.store.TraceRef`\\ s against the store
+  (``load_trace > voltage > characterize``) and once re-simulating
+  (``simulate > voltage > characterize``, the pickle-era hot path, with
+  the in-process simulation memo cleared between repeats so the baseline
+  pays what it always paid).
+
+``--quick`` shrinks sizes to CI-smoke scale.  The acceptance gate is
+``end_to_end.speedup >= 1``: reading the corpus must never be slower
+than regenerating it.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..obs import trace as obs
+from .store import TraceStore
+
+__all__ = ["run_store_bench", "format_store_results", "DEFAULT_STORE_OUTPUT"]
+
+DEFAULT_STORE_OUTPUT = "BENCH_store.json"
+
+#: Input sizing per mode: (full, quick).
+_SIZES = {
+    "ingest_traces": (16, 4),
+    "ingest_samples": (1 << 22, 1 << 18),  # per trace, float32
+    "e2e_benchmarks": (8, 3),
+    "e2e_cycles": (1 << 15, 1 << 13),
+    "repeats": (3, 2),
+}
+
+
+def _size(key: str, quick: bool) -> int:
+    full, small = _SIZES[key]
+    return small if quick else full
+
+
+def _synthetic_trace(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    base = 40.0 + 8.0 * np.sin(2 * np.pi * t / 4096.0)
+    return (base + rng.normal(0.0, 5.0, n)).astype(np.float32)
+
+
+def _bench_ingest(root: Path, quick: bool) -> dict:
+    traces = [
+        _synthetic_trace(_size("ingest_samples", quick), seed)
+        for seed in range(_size("ingest_traces", quick))
+    ]
+    total = sum(t.nbytes for t in traces)
+    store = TraceStore(root, mode="a")
+    with obs.span("store.bench.ingest", nbytes=total):
+        t0 = time.perf_counter()
+        for i, trace in enumerate(traces):
+            store.ingest(trace, f"synthetic-{i}")
+        elapsed = time.perf_counter() - t0
+    return {
+        "traces": len(traces),
+        "bytes": total,
+        "seconds": elapsed,
+        "gb_per_s": total / elapsed / 1e9 if elapsed > 0 else float("inf"),
+    }
+
+
+def _bench_scan(root: Path, repeats: int) -> dict:
+    store = TraceStore(root, mode="r")
+    records = store.records()
+    total = sum(r.nbytes for r in records)
+
+    def scan() -> float:
+        acc = 0.0
+        for record in records:
+            acc += float(np.add.reduce(store.attach(record)))
+        return acc
+
+    with obs.span("store.bench.scan", nbytes=total):
+        scan()  # warm the page cache: steady-state scan is what sweeps see
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            scan()
+            best = min(best, time.perf_counter() - t0)
+    return {
+        "traces": len(records),
+        "bytes": total,
+        "seconds": best,
+        "gb_per_s": total / best / 1e9 if best > 0 else float("inf"),
+    }
+
+
+def _bench_end_to_end(root: Path, quick: bool, repeats: int) -> dict:
+    from ..core import calibrated_supply
+    from ..pipeline import build_characterization_jobs, build_store_jobs, run_batch
+    from ..uarch import simulate_benchmark, simulator
+    from ..workloads import SPEC2000
+
+    count = _size("e2e_benchmarks", quick)
+    cycles = _size("e2e_cycles", quick)
+    names = tuple(sorted(SPEC2000))[:count]
+    network = calibrated_supply(150)
+
+    store = TraceStore(root, mode="a")
+    for name in names:
+        result = simulate_benchmark(name, cycles=cycles)
+        store.ingest(
+            result.current,
+            name,
+            generator={
+                "benchmark": name,
+                "cycles": cycles,
+                "seed": None,
+                "warmup_cycles": 4096,
+            },
+        )
+
+    store_jobs = build_store_jobs(store, network, benchmarks=names)
+    baseline_jobs = build_characterization_jobs(
+        names, network, cycles=cycles
+    )
+
+    def run_store() -> None:
+        run_batch(store_jobs, jobs=1)
+
+    def run_baseline() -> None:
+        # The memo would hand the baseline its traces for free after the
+        # warm-up above; clear it so every repeat re-simulates, exactly
+        # like a fresh sweep does.
+        simulator._CACHE.clear()
+        run_batch(baseline_jobs, jobs=1)
+
+    with obs.span(
+        "store.bench.end_to_end", benchmarks=count, cycles=cycles
+    ):
+        store_s, baseline_s = float("inf"), float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            run_store()
+            store_s = min(store_s, time.perf_counter() - t0)
+        for _ in range(max(repeats - 1, 1)):
+            t0 = time.perf_counter()
+            run_baseline()
+            baseline_s = min(baseline_s, time.perf_counter() - t0)
+    return {
+        "benchmarks": count,
+        "cycles": cycles,
+        "store_s": store_s,
+        "baseline_s": baseline_s,
+        "store_traces_per_s": count / store_s if store_s > 0 else float("inf"),
+        "baseline_traces_per_s": (
+            count / baseline_s if baseline_s > 0 else float("inf")
+        ),
+        "speedup": baseline_s / store_s if store_s > 0 else float("inf"),
+    }
+
+
+def run_store_bench(
+    quick: bool = False,
+    output: str | Path | None = DEFAULT_STORE_OUTPUT,
+    store_dir: str | Path | None = None,
+) -> dict:
+    """Run the three store benchmarks; returns (and writes) the results.
+
+    ``store_dir`` reuses an existing directory for the bench stores
+    (useful to bench a specific disk); by default everything happens in
+    a temp directory that is removed afterwards.
+    """
+    tmp = None
+    if store_dir is None:
+        tmp = tempfile.mkdtemp(prefix="repro-store-bench-")
+        base = Path(tmp)
+    else:
+        base = Path(store_dir)
+        base.mkdir(parents=True, exist_ok=True)
+    repeats = _size("repeats", quick)
+    try:
+        results = {
+            "quick": quick,
+            "ingest": _bench_ingest(base / "ingest", quick),
+            "scan": _bench_scan(base / "ingest", repeats),
+            "end_to_end": _bench_end_to_end(
+                base / "e2e", quick, repeats
+            ),
+        }
+    finally:
+        if tmp is not None:
+            shutil.rmtree(tmp, ignore_errors=True)
+    if output is not None:
+        Path(output).write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def format_store_results(results: dict) -> str:
+    """Human-readable summary of one :func:`run_store_bench` dict."""
+    ing, scan, e2e = results["ingest"], results["scan"], results["end_to_end"]
+    return "\n".join(
+        [
+            f"store benchmarks ({'quick' if results['quick'] else 'full'} "
+            "mode):",
+            f"  ingest : {ing['bytes'] / 1e6:8.1f} MB in "
+            f"{ing['seconds'] * 1e3:8.1f}ms  "
+            f"({ing['gb_per_s']:.2f} GB/s, {ing['traces']} traces)",
+            f"  scan   : {scan['bytes'] / 1e6:8.1f} MB in "
+            f"{scan['seconds'] * 1e3:8.1f}ms  "
+            f"({scan['gb_per_s']:.2f} GB/s, mmap attach)",
+            f"  end-to-end characterize ({e2e['benchmarks']} benchmarks x "
+            f"{e2e['cycles']} cycles):",
+            f"    from store : {e2e['store_traces_per_s']:8.2f} traces/s",
+            f"    regenerate : {e2e['baseline_traces_per_s']:8.2f} traces/s",
+            f"    speedup    : {e2e['speedup']:8.1f}x",
+        ]
+    )

@@ -1,0 +1,182 @@
+"""On-disk format of the trace store: manifest, chunks, index records.
+
+A store is a directory::
+
+    <root>/
+      manifest.json            {"format": ..., "version": 1, "chunk_bytes": N}
+      index.jsonl              one JSON record (or tombstone) per line
+      chunks/chunk-000000.bin  raw little-endian sample bytes, append-only
+
+Sample data lives in *chunk files*: flat, uncompressed, concatenated
+float32/float64 columns.  A trace is a contiguous ``(chunk, offset,
+nbytes)`` byte range, so readers memory-map a chunk once and slice —
+no parsing, no decompression, no copies.  The metadata index is JSON
+lines (append one line per ingest), so a crashed writer loses at most
+the record it was appending and ``repro store verify``/``gc`` can always
+re-derive a consistent view from what is on disk.
+
+The index is append-only: a deletion is a *tombstone* line
+(``{"op": "remove", ...}``) applied in file order, and ``gc`` compacts
+chunks and index together.  Everything here is layout and (de)serial-
+ization; behavior lives in :mod:`repro.store.store`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import SpecError
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "DEFAULT_CHUNK_BYTES",
+    "DTYPES",
+    "TraceRecord",
+    "canonical_hash",
+    "content_hash",
+    "read_index",
+    "chunk_filename",
+]
+
+FORMAT_NAME = "repro-trace-store"
+FORMAT_VERSION = 1
+
+#: Roll to a new chunk file once the current one exceeds this many bytes
+#: (per-store override via the manifest).  Large enough that a multi-
+#: million-cycle sweep shares mappings; small enough that ``gc`` never
+#: rewrites more than one file per live region.
+DEFAULT_CHUNK_BYTES = 256 * 1024 * 1024
+
+#: Storable sample dtypes.  Everything is little-endian on disk; the
+#: dtype string in the index is authoritative.
+DTYPES = {"float32": np.dtype("<f4"), "float64": np.dtype("<f8")}
+
+
+def canonical_hash(payload: dict) -> str:
+    """SHA-256 of a canonical-JSON payload (same recipe as the pipeline
+    cache keys, duplicated here so the store stays pipeline-free)."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def content_hash(current: np.ndarray) -> str:
+    """Dtype-explicit content hash of a trace's samples.
+
+    The dtype tag is folded into the digest so a float32 trace and its
+    float64 widening can never hash alike — the property the pipeline
+    cache keys rely on (see ISSUE 6 / ``CACHE_SCHEMA_VERSION`` 3).
+    """
+    arr = np.ascontiguousarray(current)
+    h = hashlib.sha256()
+    h.update(arr.dtype.str.encode() + b"\0")
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def chunk_filename(chunk: int) -> str:
+    """The chunk file name for chunk number ``chunk``."""
+    return f"chunk-{chunk:06d}.bin"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace's index entry: where its bytes live and what they are.
+
+    ``generator``, when present, names the exact simulator invocation
+    that produced the trace (``benchmark``/``cycles``/``seed``/
+    ``warmup_cycles``) — the key to deduping a stored trace against a
+    regenerated one in the pipeline cache.  ``meta`` is free-form
+    provenance (source file, probe id, ...), never hashed.
+    """
+
+    trace_id: str
+    benchmark: str
+    dtype: str
+    cycles: int  # sample count
+    chunk: int
+    offset: int  # byte offset within the chunk file
+    nbytes: int
+    sha256: str  # dtype-explicit content hash (see content_hash)
+    generator: dict | None = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.dtype not in DTYPES:
+            raise SpecError(
+                f"unsupported trace dtype {self.dtype!r}; "
+                f"supported: {sorted(DTYPES)}",
+                dtype=self.dtype,
+            )
+        if self.cycles < 0 or self.offset < 0 or self.chunk < 0:
+            raise SpecError("trace record fields must be non-negative")
+        if self.nbytes != self.cycles * DTYPES[self.dtype].itemsize:
+            raise SpecError(
+                f"trace {self.trace_id}: {self.nbytes} bytes is not "
+                f"{self.cycles} x {self.dtype} samples",
+                trace_id=self.trace_id,
+            )
+
+    @property
+    def itemsize(self) -> int:
+        return DTYPES[self.dtype].itemsize
+
+    def to_json(self) -> str:
+        """The record as one index line."""
+        d = asdict(self)
+        if d["generator"] is None:
+            del d["generator"]
+        if not d["meta"]:
+            del d["meta"]
+        return json.dumps(d, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceRecord":
+        return cls(**json.loads(line))
+
+
+def make_trace_id(
+    sha256: str, benchmark: str, dtype: str, generator: dict | None
+) -> str:
+    """Deterministic trace id: identical (content, metadata) ingests
+    collapse to the same id, which is what makes ingest idempotent."""
+    return canonical_hash(
+        {
+            "sha256": sha256,
+            "benchmark": benchmark,
+            "dtype": dtype,
+            "generator": generator,
+        }
+    )[:16]
+
+
+def read_index(path: str | Path) -> dict[str, TraceRecord]:
+    """Read an index file, applying tombstones in order.
+
+    A trailing partially-written line (a crashed appender) is ignored
+    rather than failing the whole store; ``verify`` reports it.
+    """
+    records: dict[str, TraceRecord] = {}
+    path = Path(path)
+    if not path.is_file():
+        return records
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except ValueError:
+                continue  # torn tail line; verify() surfaces it
+            if data.get("op") == "remove":
+                records.pop(data.get("trace_id"), None)
+                continue
+            record = TraceRecord(**data)
+            records[record.trace_id] = record
+    return records

@@ -1,0 +1,187 @@
+"""`TraceRef`: the lightweight handle that travels instead of the trace.
+
+A :class:`TraceRef` names a (slice of a) stored trace — store locator,
+trace id, slice bounds — plus everything the pipeline needs to compute
+cache keys *without* opening the store: the dtype-explicit content hash
+and, when the trace came from our simulator, the exact generator
+parameters.  A ref pickles in a few hundred bytes, so putting one in a
+:class:`~repro.pipeline.JobSpec` (its ``trace`` field) eliminates trace
+serialization from the job channel entirely; the worker resolves the ref
+by memory-mapping the chunk in place.
+
+Two locator schemes:
+
+* a filesystem path — resolved through the memoized
+  :func:`~repro.store.store.open_store` mmap attach;
+* ``shm://<name>`` — a ``multiprocessing.shared_memory`` segment
+  published by :func:`repro.store.shm.publish_shared`, for sharing a
+  trace that was never written to disk.
+
+``identity()`` is the cache-key payload: generator-backed full-trace
+refs hash exactly like the equivalent ``simulate`` stage invocation
+(same dtype, same parameters), which is what makes a stored trace and a
+regenerated trace dedupe to the same downstream cache entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SpecError
+from .format import DTYPES
+
+__all__ = ["TraceRef", "SHM_SCHEME"]
+
+SHM_SCHEME = "shm://"
+
+#: Fields of a generator dict, mirroring the ``simulate`` stage's spec
+#: fields — identity dedup requires exactly this vocabulary.
+GENERATOR_FIELDS = ("benchmark", "cycles", "seed", "warmup_cycles")
+
+
+@dataclass(frozen=True)
+class TraceRef:
+    """A pickling-cheap reference to (a slice of) a stored trace."""
+
+    store: str  # store directory path, or "shm://<segment-name>"
+    trace_id: str
+    dtype: str
+    cycles: int  # full stored length (samples), before slicing
+    sha256: str
+    start: int = 0
+    stop: int | None = None
+    generator: tuple[tuple[str, object], ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.dtype not in DTYPES:
+            raise SpecError(
+                f"unsupported trace dtype {self.dtype!r}", dtype=self.dtype
+            )
+        if self.generator is not None:
+            names = tuple(name for name, _ in self.generator)
+            if sorted(names) != sorted(GENERATOR_FIELDS):
+                raise SpecError(
+                    f"generator params must be exactly {GENERATOR_FIELDS}, "
+                    f"got {names}"
+                )
+
+    # -- slicing / identity ----------------------------------------------------
+
+    @property
+    def bounds(self) -> tuple[int, int]:
+        """Concrete (start, stop) after normalizing against ``cycles``."""
+        lo, hi, _ = slice(self.start, self.stop).indices(self.cycles)
+        return lo, max(hi, lo)
+
+    @property
+    def samples(self) -> int:
+        lo, hi = self.bounds
+        return hi - lo
+
+    @property
+    def whole(self) -> bool:
+        return self.bounds == (0, self.cycles)
+
+    def identity(self) -> dict:
+        """The trace's content identity for pipeline cache keys.
+
+        A full-length ref with generator params is *the same trace* a
+        ``simulate`` stage with those params would produce, so it hashes
+        identically (dedupe); anything else hashes by dtype-explicit
+        content hash plus slice bounds.
+        """
+        if self.generator is not None and self.whole:
+            return {
+                "kind": "simulate",
+                "dtype": self.dtype,
+                **dict(self.generator),
+            }
+        return {
+            "kind": "content",
+            "dtype": self.dtype,
+            "sha256": self.sha256,
+            "slice": list(self.bounds),
+        }
+
+    # -- spec embedding --------------------------------------------------------
+
+    def to_spec(self) -> tuple[tuple[str, object], ...]:
+        """The ref as the sorted, hashable pair-tuple a JobSpec carries."""
+        return tuple(
+            sorted(
+                {
+                    "store": self.store,
+                    "trace_id": self.trace_id,
+                    "dtype": self.dtype,
+                    "cycles": self.cycles,
+                    "sha256": self.sha256,
+                    "start": self.start,
+                    "stop": self.stop,
+                    "generator": self.generator,
+                }.items()
+            )
+        )
+
+    @classmethod
+    def from_spec(cls, data) -> "TraceRef":
+        """Rebuild a ref from a spec's ``trace`` field (tuples or the
+        nested lists a JSON round-trip produces)."""
+        fields = {str(k): v for k, v in data}
+        generator = fields.get("generator")
+        if generator is not None:
+            fields["generator"] = tuple(
+                (str(k), v) for k, v in generator
+            )
+        return cls(**fields)
+
+    # -- resolution ------------------------------------------------------------
+
+    def resolve(self) -> np.ndarray:
+        """The referenced samples as a zero-copy read-only view.
+
+        Filesystem refs attach through the per-process store/mmap memo;
+        ``shm://`` refs attach the shared-memory segment.  Either way no
+        sample bytes are copied.
+        """
+        lo, hi = self.bounds
+        if self.store.startswith(SHM_SCHEME):
+            from .shm import attach_shared
+
+            return attach_shared(
+                self.store[len(SHM_SCHEME):], self.dtype, self.cycles
+            )[lo:hi]
+        from .store import open_store
+
+        store = open_store(self.store)
+        record = store.get(self.trace_id)
+        if record.sha256 != self.sha256:
+            raise SpecError(
+                f"trace {self.trace_id} in {self.store} has hash "
+                f"{record.sha256[:12]}..., ref expects "
+                f"{self.sha256[:12]}... (store rewritten since the ref "
+                "was built?)",
+                trace_id=self.trace_id,
+                store=self.store,
+            )
+        return store.attach(record, lo, hi)
+
+
+def ref_for(
+    store_root: str, record, start: int = 0, stop: int | None = None
+) -> TraceRef:
+    """Build a ref to ``record`` in the store at ``store_root``."""
+    generator = None
+    if record.generator:
+        generator = tuple(sorted(record.generator.items()))
+    return TraceRef(
+        store=str(store_root),
+        trace_id=record.trace_id,
+        dtype=record.dtype,
+        cycles=record.cycles,
+        sha256=record.sha256,
+        start=start,
+        stop=stop,
+        generator=generator,
+    )

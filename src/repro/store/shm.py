@@ -1,0 +1,160 @@
+"""Shared-memory trace publication: RAM-only zero-copy sharing.
+
+The mmap store covers traces that live on disk; this module covers the
+other half of the ISSUE-6 data path — a trace that exists only in the
+producing process's memory (a just-finished simulation, an in-flight
+service request) shared with pool workers without writing a file and
+without pickling the array:
+
+* :func:`publish_shared` copies the samples once into a
+  ``multiprocessing.shared_memory`` segment and returns a
+  :class:`SharedTrace` handle plus a ``shm://``-schemed
+  :class:`~repro.store.TraceRef` that travels through a JobSpec;
+* workers resolve the ref via :func:`attach_shared`, which maps the
+  segment read-only — every process sees the same physical pages.
+
+The publisher owns the segment's lifetime: ``close()`` detaches,
+``unlink()`` frees the backing memory (a context manager does both).
+"""
+
+from __future__ import annotations
+
+import secrets
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..errors import SpecError
+from ..obs import trace as obs
+from .format import DTYPES, content_hash
+from .ref import SHM_SCHEME, TraceRef
+
+__all__ = ["SharedTrace", "publish_shared", "attach_shared"]
+
+#: Attached segments by name: keeps the buffer alive for the views
+#: handed out, and makes repeated attaches in one process free.
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+#: Segments this process (or, via fork, an ancestor) published.  Their
+#: resource-tracker registration belongs to the publisher and must not
+#: be clobbered by the attach-side workaround below.
+_PUBLISHED: set[str] = set()
+
+
+def attach_shared(name: str, dtype: str, cycles: int) -> np.ndarray:
+    """A read-only zero-copy view of a published segment's samples."""
+    if dtype not in DTYPES:
+        raise SpecError(f"unsupported trace dtype {dtype!r}", dtype=dtype)
+    shm = _ATTACHED.get(name)
+    if shm is None:
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            raise SpecError(
+                f"shared trace segment {name!r} does not exist "
+                "(publisher gone or already unlinked)",
+                segment=name,
+            ) from None
+        # Attaching registers with the resource tracker on POSIX
+        # (python/cpython#82300), so a spawn-started worker's tracker
+        # would unlink the segment when the worker exits — out from
+        # under the publisher.  Unregister the attach-side entry, except
+        # when this process tree published the segment itself: then the
+        # registration is the publisher's own and must survive until
+        # ``unlink``.
+        if name not in _PUBLISHED:
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+        _ATTACHED[name] = shm
+    view = np.frombuffer(shm.buf, dtype=DTYPES[dtype], count=cycles)
+    view.setflags(write=False)
+    obs.counter_inc(
+        "store_shm_attaches_total", 1, "shared-memory trace attaches"
+    )
+    obs.counter_inc(
+        "store_attached_bytes_total",
+        view.nbytes,
+        "trace bytes exposed through mmap views (never copied)",
+    )
+    return view
+
+
+class SharedTrace:
+    """Publisher-side handle of one shared-memory trace segment."""
+
+    def __init__(self, benchmark: str, current: np.ndarray,
+                 dtype: str | None = None) -> None:
+        current = np.asarray(current)
+        if current.ndim != 1:
+            raise SpecError("a trace must be a 1-D sample array")
+        if dtype is None:
+            dtype = (
+                str(current.dtype)
+                if str(current.dtype) in DTYPES
+                else "float64"
+            )
+        data = np.ascontiguousarray(current, dtype=DTYPES[dtype])
+        name = f"repro-trace-{secrets.token_hex(6)}"
+        nbytes = max(data.nbytes, 1)  # zero-byte segments are invalid
+        self._shm = shared_memory.SharedMemory(
+            name=name, create=True, size=nbytes
+        )
+        _PUBLISHED.add(self._shm.name)
+        self._shm.buf[: data.nbytes] = data.tobytes()
+        self.benchmark = benchmark
+        self.dtype = dtype
+        self.cycles = int(data.size)
+        self.sha256 = content_hash(data)
+        obs.counter_inc(
+            "store_shm_published_bytes_total",
+            data.nbytes,
+            "trace bytes published to shared-memory segments",
+        )
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def ref(self, start: int = 0, stop: int | None = None) -> TraceRef:
+        """A ``shm://`` ref to this segment, spec-embeddable."""
+        return TraceRef(
+            store=f"{SHM_SCHEME}{self.name}",
+            trace_id=self.sha256[:16],
+            dtype=self.dtype,
+            cycles=self.cycles,
+            sha256=self.sha256,
+            start=start,
+            stop=stop,
+        )
+
+    def close(self) -> None:
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Free the backing memory (call exactly once, publisher-side)."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+        _PUBLISHED.discard(self._shm.name)
+        # Any attach-side memo entry stays: views handed out may still
+        # reference the buffer, and POSIX keeps unlinked mapped pages
+        # alive until the process exits.
+
+    def __enter__(self) -> "SharedTrace":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        self.unlink()
+
+
+def publish_shared(
+    benchmark: str, current: np.ndarray, dtype: str | None = None
+) -> SharedTrace:
+    """Publish ``current`` as a shared-memory trace segment."""
+    return SharedTrace(benchmark, current, dtype=dtype)

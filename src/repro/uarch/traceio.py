@@ -18,6 +18,8 @@ library.
 
 from __future__ import annotations
 
+import io
+import itertools
 from pathlib import Path
 
 import numpy as np
@@ -102,6 +104,73 @@ def load_result(path: str | Path) -> SimulationResult:
         )
 
 
+#: Text-import block size: lines parsed (and NaN-guarded) per batch, so
+#: a multi-GB probe dump never materializes twice in memory.
+_TEXT_BLOCK_LINES = 65536
+
+
+def _validate_policy(nan_policy: str) -> None:
+    if nan_policy not in ("error", "drop", "zero"):
+        raise SpecError(
+            f"nan_policy must be 'error', 'drop' or 'zero', "
+            f"got {nan_policy!r}"
+        )
+
+
+def _load_text_trace(
+    path: Path, column: int, nan_policy: str
+) -> np.ndarray:
+    """Stream a whitespace-separated text trace, block by block.
+
+    Each block of :data:`_TEXT_BLOCK_LINES` data lines is parsed,
+    column-selected and NaN/inf-guarded before the next is read, so the
+    peak footprint is one block plus the accumulated amperes column —
+    not the whole multi-column table.  With ``nan_policy="error"`` the
+    raised :class:`~repro.errors.SpecError` carries the offending data
+    row index (``row`` detail), which the whole-file path could only
+    report after loading everything.
+    """
+    _validate_policy(nan_policy)
+    pieces: list[np.ndarray] = []
+    row_base = 0
+    with open(path) as fh:
+        while True:
+            lines = list(itertools.islice(fh, _TEXT_BLOCK_LINES))
+            if not lines:
+                break
+            block = np.loadtxt(io.StringIO("".join(lines)), ndmin=2)
+            if block.size == 0:
+                continue
+            if column >= block.shape[1]:
+                raise SpecError(
+                    f"{column} out of range for {block.shape[1]}-column "
+                    f"file {path}",
+                    file=str(path),
+                )
+            col = block[:, column]
+            finite = np.isfinite(col)
+            if not finite.all():
+                if nan_policy == "error":
+                    first = row_base + int(np.flatnonzero(~finite)[0])
+                    raise SpecError(
+                        f"{path} contains non-finite current samples "
+                        f"(first at data row {first}); pass "
+                        f"nan_policy='drop' or 'zero' to sanitize instead",
+                        file=str(path),
+                        row=first,
+                    )
+                col = (
+                    col[finite]
+                    if nan_policy == "drop"
+                    else np.where(finite, col, 0.0)
+                )
+            row_base += block.shape[0]
+            pieces.append(np.asarray(col, dtype=float))
+    if not pieces:
+        return np.empty(0, dtype=float)
+    return np.concatenate(pieces)
+
+
 def sanitize_current(
     current: np.ndarray,
     origin: str,
@@ -126,11 +195,7 @@ def sanitize_current(
     * ``"drop"`` — remove the offending samples (shortens the trace);
     * ``"zero"`` — replace them with 0.0 A (keeps cycle alignment).
     """
-    if nan_policy not in ("error", "drop", "zero"):
-        raise SpecError(
-            f"nan_policy must be 'error', 'drop' or 'zero', "
-            f"got {nan_policy!r}"
-        )
+    _validate_policy(nan_policy)
     finite = np.isfinite(current)
     if finite.all():
         return current
@@ -172,7 +237,10 @@ def import_current_trace(
     Every import path — including our own ``.npz`` archives — passes
     through :func:`sanitize_current`, so NaN and infinite samples are
     rejected with a clear error (or repaired, per ``nan_policy``) rather
-    than silently propagating into the wavelet transform.
+    than silently propagating into the wavelet transform.  Text files
+    are streamed in bounded blocks rather than loaded whole, so a
+    multi-GB probe dump imports at constant memory and a non-finite
+    sample is rejected naming its data row (``row`` error detail).
 
     The returned :class:`SimulationResult` carries empty run statistics
     and no event log; the characterization pipeline needs neither.
@@ -204,14 +272,7 @@ def import_current_trace(
                 )
             current = np.asarray(data["current"])
     else:
-        table = np.loadtxt(path, ndmin=2)
-        if column >= table.shape[1]:
-            raise SpecError(
-                f"{column} out of range for {table.shape[1]}-column "
-                f"file {path}",
-                file=str(path),
-            )
-        current = table[:, column]
+        current = _load_text_trace(path, column, nan_policy)
     current = np.asarray(current, dtype=float).ravel()
     bench = name or path.stem
     if current.size == 0:

@@ -1,0 +1,29 @@
+"""`repro bench --store` output structure (quick mode)."""
+
+import json
+
+import pytest
+
+from repro.store.bench import format_store_results, run_store_bench
+
+
+@pytest.mark.slow
+def test_quick_bench_structure(tmp_path):
+    output = tmp_path / "BENCH_store.json"
+    results = run_store_bench(
+        quick=True, output=output, store_dir=tmp_path / "benches"
+    )
+    on_disk = json.loads(output.read_text())
+    assert on_disk == results
+    assert results["quick"] is True
+    for section in ("ingest", "scan"):
+        assert results[section]["bytes"] > 0
+        assert results[section]["gb_per_s"] > 0
+    e2e = results["end_to_end"]
+    assert e2e["store_traces_per_s"] > 0
+    assert e2e["baseline_traces_per_s"] > 0
+    # the acceptance gate: reading the corpus must never lose to
+    # regenerating it
+    assert e2e["speedup"] >= 1.0
+    text = format_store_results(results)
+    assert "GB/s" in text and "speedup" in text

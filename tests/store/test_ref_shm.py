@@ -1,0 +1,146 @@
+"""TraceRef identity/round-trips and shared-memory publication."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecError
+from repro.store import TraceRef, TraceStore, publish_shared
+
+
+def trace(n: int, dtype="float64", seed=0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return (40.0 + rng.normal(0.0, 5.0, n)).astype(dtype)
+
+
+GEN = (
+    ("benchmark", "gzip"),
+    ("cycles", 64),
+    ("seed", None),
+    ("warmup_cycles", 0),
+)
+
+
+def make_ref(**overrides) -> TraceRef:
+    fields = {
+        "store": "/nowhere",
+        "trace_id": "ab" * 8,
+        "dtype": "float64",
+        "cycles": 64,
+        "sha256": "cd" * 32,
+        "generator": GEN,
+    }
+    fields.update(overrides)
+    return TraceRef(**fields)
+
+
+class TestRefIdentity:
+    def test_generator_full_ref_hashes_like_simulate(self):
+        identity = make_ref().identity()
+        assert identity["kind"] == "simulate"
+        assert identity["dtype"] == "float64"
+        assert identity["benchmark"] == "gzip"
+
+    def test_sliced_ref_falls_back_to_content(self):
+        identity = make_ref(start=8).identity()
+        assert identity["kind"] == "content"
+        assert identity["slice"] == [8, 64]
+
+    def test_no_generator_is_content(self):
+        assert make_ref(generator=None).identity()["kind"] == "content"
+
+    def test_dtype_changes_content_identity(self):
+        a = make_ref(generator=None).identity()
+        b = make_ref(generator=None, dtype="float32").identity()
+        assert a != b
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(SpecError, match="dtype"):
+            make_ref(dtype="float16")
+
+    def test_partial_generator_rejected(self):
+        with pytest.raises(SpecError, match="generator"):
+            make_ref(generator=(("benchmark", "gzip"),))
+
+
+class TestRefSpecRoundTrip:
+    def test_to_spec_from_spec(self):
+        ref = make_ref(start=4, stop=32)
+        assert TraceRef.from_spec(ref.to_spec()) == ref
+
+    def test_survives_json_canonicalization(self):
+        # canonical specs serialize tuples as lists; refs must rebuild
+        ref = make_ref()
+        as_json = json.loads(json.dumps([list(p) for p in ref.to_spec()]))
+        rebuilt = TraceRef.from_spec(
+            tuple((k, tuple(tuple(g) for g in v) if k == "generator" and v
+                   else v) for k, v in as_json)
+        )
+        assert rebuilt.identity() == ref.identity()
+
+    def test_bounds_normalize(self):
+        assert make_ref(start=-8).bounds == (56, 64)
+        assert make_ref(stop=1000).bounds == (0, 64)
+        assert make_ref(start=50, stop=10).samples == 0
+
+
+class TestStoreRefResolution:
+    def test_resolve_round_trips(self, tmp_path):
+        store = TraceStore(tmp_path / "s", mode="a")
+        data = trace(128)
+        record = store.ingest(data, "gzip")
+        ref = store.ref(record, 16, 48)
+        np.testing.assert_array_equal(ref.resolve(), data[16:48])
+
+    def test_resolve_detects_rewritten_store(self, tmp_path):
+        store = TraceStore(tmp_path / "s", mode="a")
+        record = store.ingest(trace(64), "gzip")
+        ref = store.ref(record)
+        stale = TraceRef(
+            store=ref.store,
+            trace_id=ref.trace_id,
+            dtype=ref.dtype,
+            cycles=ref.cycles,
+            sha256="00" * 32,
+            generator=ref.generator,
+        )
+        with pytest.raises(SpecError, match="rewritten"):
+            stale.resolve()
+
+    def test_missing_trace_is_spec_error(self, tmp_path):
+        TraceStore(tmp_path / "s", mode="a").ingest(trace(8), "gzip")
+        ref = make_ref(store=str(tmp_path / "s"), generator=None)
+        with pytest.raises(SpecError, match="no trace"):
+            ref.resolve()
+
+
+class TestSharedMemory:
+    def test_publish_attach_round_trip(self):
+        data = trace(512, "float32")
+        with publish_shared("gzip", data) as shared:
+            ref = shared.ref()
+            assert ref.store.startswith("shm://")
+            got = ref.resolve()
+            assert got.dtype == np.float32
+            np.testing.assert_array_equal(got, data)
+            np.testing.assert_array_equal(
+                shared.ref(100, 200).resolve(), data[100:200]
+            )
+
+    def test_attached_view_is_read_only(self):
+        with publish_shared("gzip", trace(32)) as shared:
+            view = shared.ref().resolve()
+            with pytest.raises((ValueError, TypeError)):
+                view[0] = 0.0
+
+    def test_unlinked_segment_is_spec_error(self):
+        shared = publish_shared("gzip", trace(16))
+        ref_fields = dict(shared.ref().to_spec())
+        shared.close()
+        shared.unlink()
+        missing = TraceRef(
+            **{**ref_fields, "store": "shm://repro-trace-gone-gone"}
+        )
+        with pytest.raises(SpecError, match="does not exist"):
+            missing.resolve()

@@ -1,0 +1,185 @@
+"""TraceStore round-trips, integrity checking and compaction."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecError, UsageError
+from repro.store import DTYPES, TraceStore, content_hash
+
+
+def trace(n: int, dtype="float64", seed=0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return (40.0 + rng.normal(0.0, 5.0, n)).astype(dtype)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("dtype", sorted(DTYPES))
+    @pytest.mark.parametrize("n", [0, 1, 7, 256, 10_001])
+    def test_ingest_attach_identity(self, tmp_path, dtype, n):
+        store = TraceStore(tmp_path / "s", mode="a")
+        data = trace(n, dtype)
+        record = store.ingest(data, "gzip")
+        got = store.attach(record)
+        assert got.dtype == np.dtype(dtype)
+        np.testing.assert_array_equal(got, data)
+
+    def test_attach_is_read_only(self, tmp_path):
+        store = TraceStore(tmp_path / "s", mode="a")
+        record = store.ingest(trace(64), "gzip")
+        view = store.attach(record)
+        with pytest.raises((ValueError, TypeError)):
+            view[0] = 1.0
+
+    def test_attach_slices(self, tmp_path):
+        store = TraceStore(tmp_path / "s", mode="a")
+        data = trace(100)
+        record = store.ingest(data, "gzip")
+        np.testing.assert_array_equal(store.attach(record, 10, 20), data[10:20])
+        np.testing.assert_array_equal(store.attach(record, 90), data[90:])
+        assert store.attach(record, 50, 50).size == 0
+
+    def test_dtype_conversion_on_ingest(self, tmp_path):
+        store = TraceStore(tmp_path / "s", mode="a")
+        data = trace(32, "float64")
+        record = store.ingest(data, "gzip", dtype="float32")
+        assert record.dtype == "float32"
+        np.testing.assert_allclose(
+            store.attach(record), data.astype(np.float32)
+        )
+
+    def test_reader_sees_traces_ingested_after_open(self, tmp_path):
+        writer = TraceStore(tmp_path / "s", mode="a")
+        writer.ingest(trace(16, seed=1), "gzip")
+        reader = TraceStore(tmp_path / "s")
+        record = writer.ingest(trace(16, seed=2), "mcf")
+        got = reader.get(record.trace_id)  # re-reads the index on miss
+        np.testing.assert_array_equal(
+            reader.attach(got), trace(16, seed=2)
+        )
+
+
+class TestIngestRules:
+    def test_idempotent(self, tmp_path):
+        store = TraceStore(tmp_path / "s", mode="a")
+        a = store.ingest(trace(64), "gzip")
+        b = store.ingest(trace(64), "gzip")
+        assert a.trace_id == b.trace_id
+        assert len(store.records()) == 1
+
+    def test_same_samples_different_dtype_are_distinct(self, tmp_path):
+        store = TraceStore(tmp_path / "s", mode="a")
+        a = store.ingest(trace(64), "gzip", dtype="float64")
+        b = store.ingest(trace(64), "gzip", dtype="float32")
+        assert a.trace_id != b.trace_id
+        assert a.sha256 != b.sha256  # the hash is dtype-tagged
+
+    def test_rejects_non_finite(self, tmp_path):
+        store = TraceStore(tmp_path / "s", mode="a")
+        bad = trace(16)
+        bad[3] = np.nan
+        with pytest.raises(SpecError, match="finite"):
+            store.ingest(bad, "gzip")
+
+    def test_rejects_2d(self, tmp_path):
+        store = TraceStore(tmp_path / "s", mode="a")
+        with pytest.raises(SpecError, match="1-D"):
+            store.ingest(np.ones((4, 4)), "gzip")
+
+    def test_read_only_mode_rejects_ingest(self, tmp_path):
+        TraceStore(tmp_path / "s", mode="a").ingest(trace(8), "gzip")
+        reader = TraceStore(tmp_path / "s")
+        with pytest.raises(UsageError, match="read-only"):
+            reader.ingest(trace(8), "mcf")
+
+    def test_opening_non_store_directory_fails(self, tmp_path):
+        (tmp_path / "junk").mkdir()
+        with pytest.raises(SpecError, match="manifest"):
+            TraceStore(tmp_path / "junk")
+
+    def test_chunks_roll_at_chunk_bytes(self, tmp_path):
+        store = TraceStore(tmp_path / "s", mode="a", chunk_bytes=1024)
+        records = [
+            store.ingest(trace(64, seed=i), f"b{i}") for i in range(5)
+        ]
+        assert len({r.chunk for r in records}) > 1
+        for i, r in enumerate(records):
+            np.testing.assert_array_equal(
+                store.attach(r), trace(64, seed=i)
+            )
+
+
+class TestVerify:
+    def test_intact_store_has_no_problems(self, tmp_path):
+        store = TraceStore(tmp_path / "s", mode="a")
+        store.ingest(trace(128), "gzip")
+        assert store.verify() == []
+
+    def test_flipped_chunk_byte_is_reported_corrupt(self, tmp_path):
+        store = TraceStore(tmp_path / "s", mode="a")
+        record = store.ingest(trace(128), "gzip")
+        path = store.chunk_path(record.chunk)
+        blob = bytearray(path.read_bytes())
+        blob[record.offset + 5] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        fresh = TraceStore(tmp_path / "s")  # un-memoized mappings
+        problems = fresh.verify()
+        assert [p["problem"] for p in problems] == ["corrupt"]
+        assert problems[0]["trace_id"] == record.trace_id
+
+    def test_truncated_chunk_is_reported(self, tmp_path):
+        store = TraceStore(tmp_path / "s", mode="a")
+        record = store.ingest(trace(128), "gzip")
+        path = store.chunk_path(record.chunk)
+        path.write_bytes(path.read_bytes()[: record.nbytes // 2])
+        problems = TraceStore(tmp_path / "s").verify()
+        assert any(p["problem"] == "truncated" for p in problems)
+
+    def test_torn_index_tail_is_tolerated_and_reported(self, tmp_path):
+        store = TraceStore(tmp_path / "s", mode="a")
+        record = store.ingest(trace(64), "gzip")
+        with open(store.index_path, "a") as fh:
+            fh.write('{"trace_id": "half-written')  # crashed mid-append
+        fresh = TraceStore(tmp_path / "s")
+        assert [r.trace_id for r in fresh.records()] == [record.trace_id]
+        assert any(
+            p["problem"] == "torn-index-line" for p in fresh.verify()
+        )
+
+
+class TestRemoveAndGc:
+    def test_remove_hides_then_gc_reclaims(self, tmp_path):
+        store = TraceStore(tmp_path / "s", mode="a")
+        keep = store.ingest(trace(4096, seed=1), "gzip")
+        drop = store.ingest(trace(4096, seed=2), "mcf")
+        store.remove(drop.trace_id)
+        assert [r.trace_id for r in store.records()] == [keep.trace_id]
+        stats = store.stats()
+        assert stats["reclaimable_bytes"] >= drop.nbytes
+        result = store.gc()
+        assert result["live"] == 1
+        assert result["reclaimed_bytes"] >= drop.nbytes
+        fresh = TraceStore(tmp_path / "s")
+        np.testing.assert_array_equal(
+            fresh.attach(keep.trace_id), trace(4096, seed=1)
+        )
+        assert fresh.verify() == []
+        assert fresh.stats()["reclaimable_bytes"] == 0
+
+    def test_gc_of_clean_store_is_a_noop(self, tmp_path):
+        store = TraceStore(tmp_path / "s", mode="a")
+        store.ingest(trace(256), "gzip")
+        assert store.gc()["reclaimed_bytes"] == 0
+
+
+class TestRecordFormat:
+    def test_index_is_json_lines(self, tmp_path):
+        store = TraceStore(tmp_path / "s", mode="a")
+        store.ingest(trace(16), "gzip")
+        lines = store.index_path.read_text().strip().splitlines()
+        assert all(json.loads(line) for line in lines)
+
+    def test_content_hash_is_dtype_tagged(self):
+        data = trace(32)
+        assert content_hash(data) != content_hash(data.astype(np.float32))

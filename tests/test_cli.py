@@ -273,3 +273,115 @@ class TestExitCodes:
         monkeypatch.setattr(cli, "_cmd_list", lambda: 1 / 0)
         assert main(["list"]) == EXIT_INTERNAL
         assert "Traceback" in capsys.readouterr().err
+
+
+class TestStoreCommands:
+    """The `repro store` group and the store-fed pipeline/bench paths."""
+
+    def test_store_parser_defaults(self):
+        args = build_parser().parse_args(["store", "ingest", "gzip"])
+        assert args.store_command == "ingest"
+        assert args.store == ".trace-store"
+        assert args.cycles == 32768
+        args = build_parser().parse_args(["store", "gc", "--store", "x"])
+        assert args.store == "x"
+
+    def test_store_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store"])
+
+    def test_bench_store_flag(self):
+        args = build_parser().parse_args(["bench", "--store", "--quick"])
+        assert args.store is True and args.quick is True
+
+    def test_pipeline_run_store_flag(self):
+        args = build_parser().parse_args(
+            ["pipeline", "run", "--store", "corpus"]
+        )
+        assert args.store == "corpus"
+
+    def test_ingest_ls_verify_gc_round_trip(self, capsys, tmp_path):
+        store = str(tmp_path / "corpus")
+        code = main([
+            "store", "ingest", "gzip", "mcf",
+            "--store", store, "--cycles", "2048",
+        ])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "gzip" in out and "2 traces" in out
+
+        assert main(["store", "ls", "--store", store]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "simulate" in out and "mcf" in out
+
+        assert main(["store", "verify", "--store", store]) == EXIT_OK
+        assert "intact" in capsys.readouterr().out
+
+        assert main(["store", "gc", "--store", store]) == EXIT_OK
+        assert "reclaimed" in capsys.readouterr().out
+
+    def test_ingest_from_file(self, capsys, tmp_path):
+        import numpy as np
+
+        trace_path = tmp_path / "probe.txt"
+        trace_path.write_text(
+            "".join(f"{v}\n" for v in np.linspace(10, 20, 256))
+        )
+        code = main([
+            "store", "ingest", "--from-file", str(trace_path),
+            "--label", "probe", "--store", str(tmp_path / "corpus"),
+        ])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "probe" in out and "256 samples" in out
+
+    def test_ingest_without_input_is_usage_error(self, capsys, tmp_path):
+        code = main(["store", "ingest", "--store", str(tmp_path / "c")])
+        assert code == EXIT_USAGE
+
+    def test_verify_reports_corruption_as_partial(self, capsys, tmp_path):
+        from repro.store import TraceStore
+
+        store_dir = tmp_path / "corpus"
+        store = TraceStore(store_dir, mode="a")
+        record = store.ingest(
+            40.0 + 0.0 * __import__("numpy").arange(64.0), "gzip"
+        )
+        path = store.chunk_path(record.chunk)
+        blob = bytearray(path.read_bytes())
+        blob[record.offset] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        code = main(["store", "verify", "--store", str(store_dir)])
+        assert code == EXIT_PARTIAL
+        assert "corrupt" in capsys.readouterr().out
+
+    def test_pipeline_run_from_store(self, capsys, tmp_path):
+        store = str(tmp_path / "corpus")
+        assert main([
+            "store", "ingest", "gzip",
+            "--store", store, "--cycles", "4096",
+        ]) == EXIT_OK
+        capsys.readouterr()
+        code = main([
+            "pipeline", "run", "--store", store, "--no-cache",
+        ])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "load_trace" in out
+        assert "figure9 rms error" in out
+
+    def test_store_with_suite_is_usage_error(self, capsys):
+        code = main([
+            "pipeline", "run", "--store", "x", "--suite", "int",
+            "--no-cache",
+        ])
+        assert code == EXIT_USAGE
+
+    def test_missing_store_is_partial_not_traceback(self, capsys, tmp_path):
+        code = main([
+            "pipeline", "run", "--store", str(tmp_path / "nope"),
+            "--no-cache",
+        ])
+        assert code == EXIT_PARTIAL
+        err = capsys.readouterr().err
+        assert "SpecError" in err and "Traceback" not in err

@@ -147,3 +147,72 @@ class TestSanitizeNonFinite:
         np.save(p, np.array([1.0, 2.0]))
         with pytest.raises(ValueError, match="nan_policy"):
             import_current_trace(p, nan_policy="ignore")
+
+
+class TestStreamingTextImport:
+    """Text traces parse block by block: constant memory, row-accurate
+    errors (the whole-file load never sees more than one block)."""
+
+    def test_blocks_concatenate_seamlessly(self, tmp_path, monkeypatch):
+        from repro.uarch import traceio
+
+        monkeypatch.setattr(traceio, "_TEXT_BLOCK_LINES", 16)
+        values = np.linspace(1.0, 50.0, 50)
+        p = tmp_path / "long.txt"
+        p.write_text("".join(f"{v}\n" for v in values))
+        r = import_current_trace(p)
+        np.testing.assert_allclose(r.current, values)
+
+    def test_nan_error_names_the_data_row(self, tmp_path, monkeypatch):
+        from repro.uarch import traceio
+
+        monkeypatch.setattr(traceio, "_TEXT_BLOCK_LINES", 8)
+        lines = ["1.0"] * 20
+        lines[13] = "nan"
+        p = tmp_path / "dirty.txt"
+        p.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError) as err:
+            import_current_trace(p)
+        assert "data row 13" in str(err.value)
+        assert err.value.details["row"] == 13
+
+    def test_drop_policy_spans_blocks(self, tmp_path, monkeypatch):
+        from repro.uarch import traceio
+
+        monkeypatch.setattr(traceio, "_TEXT_BLOCK_LINES", 4)
+        lines = ["1.0", "nan", "2.0", "3.0", "inf", "4.0"]
+        p = tmp_path / "dirty.txt"
+        p.write_text("\n".join(lines) + "\n")
+        r = import_current_trace(p, nan_policy="drop")
+        np.testing.assert_allclose(r.current, [1.0, 2.0, 3.0, 4.0])
+
+    def test_zero_policy_spans_blocks(self, tmp_path, monkeypatch):
+        from repro.uarch import traceio
+
+        monkeypatch.setattr(traceio, "_TEXT_BLOCK_LINES", 4)
+        lines = ["1.0", "nan", "2.0", "3.0", "inf", "4.0"]
+        p = tmp_path / "dirty.txt"
+        p.write_text("\n".join(lines) + "\n")
+        r = import_current_trace(p, nan_policy="zero")
+        np.testing.assert_allclose(
+            r.current, [1.0, 0.0, 2.0, 3.0, 0.0, 4.0]
+        )
+
+    def test_column_error_message_preserved(self, tmp_path):
+        p = tmp_path / "cols.txt"
+        p.write_text("1 2\n3 4\n")
+        with pytest.raises(ValueError, match="out of range for 2-column"):
+            import_current_trace(p, column=5)
+
+    def test_comments_and_blanks_do_not_shift_rows(self, tmp_path):
+        p = tmp_path / "sparse.txt"
+        p.write_text("# header\n1.0\n\n2.0\nnan\n")
+        with pytest.raises(ValueError) as err:
+            import_current_trace(p)
+        assert err.value.details["row"] == 2  # data rows, not file lines
+
+    def test_empty_text_file_rejected(self, tmp_path):
+        p = tmp_path / "empty.txt"
+        p.write_text("")
+        with pytest.raises(ValueError, match="no samples"):
+            import_current_trace(p)
