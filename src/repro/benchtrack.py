@@ -1,0 +1,285 @@
+"""Perf-regression tracking for the repo's committed benchmark numbers.
+
+The hard-won speedups in ``BENCH_kernels.json`` (1279× convolver, 42×
+end-to-end characterize) and ``BENCH_store.json`` (5.9 GB/s mmap scans,
+274× characterize-from-store) are claims the codebase makes about
+itself; without a gate they rot silently.  This module diffs a freshly
+measured bench document against a committed baseline with *noise-aware*
+thresholds and keeps an append-only ``BENCH_history.jsonl`` trajectory:
+
+* every numeric leaf both documents share is compared;
+* metric direction is inferred from its name — ``speedup``, ``gb_per_s``
+  and ``*_per_s`` are higher-is-better, ``*_s``/``seconds`` timings are
+  lower-is-better; everything else (repeats, sizes, max_abs_diff) is
+  informational and never gates;
+* a metric regresses when it moves against its direction by more than
+  ``threshold`` (default 25% — timing under CI is noisy and the guarded
+  speedups are order-of-magnitude, not percent-level);
+* *noise floor*: absolute timings below ``noise_floor_s`` (default 5 ms)
+  get a widened threshold, because a 1 ms kernel jittering to 1.4 ms is
+  scheduler noise, not a regression;
+* quick-mode documents (``"quick": true``) never gate against full-mode
+  baselines unless explicitly allowed — the sizes differ, so the numbers
+  are incomparable.
+
+``repro bench --compare BASELINE`` and ``tools/bench_compare.py`` both
+drive :func:`compare_files`; CI fails when any gating metric regresses
+(exit 1 from the tool).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "BenchComparison",
+    "MetricDelta",
+    "append_history",
+    "compare_benchmarks",
+    "compare_files",
+    "flatten_metrics",
+    "metric_direction",
+    "render_comparison",
+]
+
+#: Relative move against a metric's direction that counts as a regression.
+DEFAULT_THRESHOLD = 0.25
+
+#: Timings at or below this are dominated by scheduler jitter; their
+#: threshold is widened by NOISE_MULTIPLIER.
+DEFAULT_NOISE_FLOOR_S = 0.005
+NOISE_MULTIPLIER = 4.0
+
+#: Name suffixes/exact names that carry a gating direction.  Anything
+#: not matched is informational only.
+_HIGHER_SUFFIXES = ("_per_s", "speedup", "gb_per_s")
+_LOWER_SUFFIXES = ("_s", "seconds")
+_NEVER_GATE = ("max_abs_diff", "repeats", "benchmarks", "cycles", "traces", "bytes")
+
+
+def metric_direction(name: str) -> str:
+    """``"higher"`` / ``"lower"`` / ``"info"`` for one metric leaf name.
+
+    ``name`` is the dotted flattened path; only the leaf decides.
+    """
+    leaf = name.rsplit(".", 1)[-1]
+    if leaf in _NEVER_GATE:
+        return "info"
+    for suffix in _HIGHER_SUFFIXES:
+        if leaf == suffix or leaf.endswith(suffix):
+            return "higher"
+    for suffix in _LOWER_SUFFIXES:
+        if leaf == suffix or leaf.endswith(suffix):
+            return "lower"
+    return "info"
+
+
+def flatten_metrics(doc: dict, prefix: str = "") -> dict[str, float]:
+    """Every numeric leaf of a bench document as ``{"a.b.c": value}``.
+
+    Booleans (e.g. the ``quick`` flag) and non-numeric leaves are
+    skipped; nesting flattens with dots.
+    """
+    out: dict[str, float] = {}
+    for key, value in doc.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[path] = float(value)
+        elif isinstance(value, dict):
+            out.update(flatten_metrics(value, path))
+    return out
+
+
+@dataclass
+class MetricDelta:
+    """One metric's baseline→current move and its verdict."""
+
+    name: str
+    direction: str  # "higher" | "lower" | "info"
+    baseline: float
+    current: float
+    change: float  # signed relative move, positive = value went up
+    threshold: float  # the effective (possibly noise-widened) threshold
+    regressed: bool
+    improved: bool
+    noisy: bool  # True when the noise-floor widening applied
+
+
+@dataclass
+class BenchComparison:
+    """The full verdict of one baseline↔current diff."""
+
+    baseline_path: str
+    current_path: str
+    deltas: list[MetricDelta] = field(default_factory=list)
+    missing: list[str] = field(default_factory=list)  # in baseline only
+    added: list[str] = field(default_factory=list)  # in current only
+    skipped_quick_mismatch: bool = False
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def improvements(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.improved]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.skipped_quick_mismatch
+
+    def to_dict(self) -> dict:
+        return {
+            "baseline": self.baseline_path,
+            "current": self.current_path,
+            "ok": self.ok,
+            "regressions": [d.name for d in self.regressions],
+            "improvements": [d.name for d in self.improvements],
+            "missing": self.missing,
+            "added": self.added,
+            "quick_mismatch": self.skipped_quick_mismatch,
+            "metrics": {
+                d.name: {
+                    "baseline": d.baseline,
+                    "current": d.current,
+                    "change": d.change,
+                }
+                for d in self.deltas
+            },
+        }
+
+
+def compare_benchmarks(
+    baseline: dict,
+    current: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+    noise_floor_s: float = DEFAULT_NOISE_FLOOR_S,
+    allow_quick_mismatch: bool = False,
+    baseline_path: str = "<baseline>",
+    current_path: str = "<current>",
+) -> BenchComparison:
+    """Diff two bench documents; see the module docstring for semantics."""
+    result = BenchComparison(
+        baseline_path=baseline_path, current_path=current_path
+    )
+    if bool(baseline.get("quick")) != bool(current.get("quick")):
+        result.skipped_quick_mismatch = not allow_quick_mismatch
+        if result.skipped_quick_mismatch:
+            return result
+    base_metrics = flatten_metrics(baseline)
+    cur_metrics = flatten_metrics(current)
+    result.missing = sorted(set(base_metrics) - set(cur_metrics))
+    result.added = sorted(set(cur_metrics) - set(base_metrics))
+    for name in sorted(set(base_metrics) & set(cur_metrics)):
+        direction = metric_direction(name)
+        base, cur = base_metrics[name], cur_metrics[name]
+        change = (cur - base) / base if base else 0.0
+        effective = threshold
+        noisy = False
+        # timings beneath the noise floor jitter by multiples of
+        # themselves; widen rather than gate on scheduler luck
+        if direction == "lower" and base <= noise_floor_s:
+            effective = threshold * NOISE_MULTIPLIER
+            noisy = True
+        regressed = improved = False
+        if direction == "higher":
+            regressed = change < -effective
+            improved = change > effective
+        elif direction == "lower":
+            regressed = change > effective
+            improved = change < -effective
+        result.deltas.append(
+            MetricDelta(
+                name=name,
+                direction=direction,
+                baseline=base,
+                current=cur,
+                change=change,
+                threshold=effective,
+                regressed=regressed,
+                improved=improved,
+                noisy=noisy,
+            )
+        )
+    return result
+
+
+def compare_files(
+    baseline_path: str | Path,
+    current_path: str | Path,
+    threshold: float = DEFAULT_THRESHOLD,
+    noise_floor_s: float = DEFAULT_NOISE_FLOOR_S,
+    allow_quick_mismatch: bool = False,
+) -> BenchComparison:
+    """:func:`compare_benchmarks` over two JSON files."""
+    with open(baseline_path, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    with open(current_path, encoding="utf-8") as fh:
+        current = json.load(fh)
+    return compare_benchmarks(
+        baseline,
+        current,
+        threshold=threshold,
+        noise_floor_s=noise_floor_s,
+        allow_quick_mismatch=allow_quick_mismatch,
+        baseline_path=str(baseline_path),
+        current_path=str(current_path),
+    )
+
+
+def render_comparison(result: BenchComparison) -> str:
+    """Human-readable verdict for the CLI / CI log."""
+    lines = [f"bench compare: {result.current_path} vs {result.baseline_path}"]
+    if result.skipped_quick_mismatch:
+        lines.append(
+            "  REFUSED: quick-mode and full-mode numbers are incomparable "
+            "(pass --allow-quick-mismatch to force)"
+        )
+        return "\n".join(lines)
+    gated = [d for d in result.deltas if d.direction != "info"]
+    for d in gated:
+        arrow = "▲" if d.change > 0 else ("▼" if d.change < 0 else "·")
+        verdict = (
+            "REGRESSED"
+            if d.regressed
+            else ("improved" if d.improved else "ok")
+        )
+        noise = " (noise-widened)" if d.noisy else ""
+        lines.append(
+            f"  {verdict:<9} {d.name:<42} {d.baseline:.6g} → {d.current:.6g}"
+            f"  {arrow}{abs(d.change) * 100:.1f}%"
+            f" [±{d.threshold * 100:.0f}%{noise}]"
+        )
+    if result.missing:
+        lines.append(f"  missing from current: {', '.join(result.missing)}")
+    if result.added:
+        lines.append(f"  new metrics: {', '.join(result.added)}")
+    count = len(result.regressions)
+    lines.append(
+        f"  verdict: {'OK' if result.ok else 'FAIL'} "
+        f"({count} regression(s), {len(result.improvements)} improvement(s), "
+        f"{len(gated)} gated metric(s))"
+    )
+    return "\n".join(lines)
+
+
+def append_history(
+    history_path: str | Path,
+    result: BenchComparison,
+    extra: dict | None = None,
+) -> None:
+    """Append one comparison verdict to the ``BENCH_history.jsonl``
+    trajectory (created on first use)."""
+    entry = {"t": time.time(), **result.to_dict()}
+    if extra:
+        entry.update(extra)
+    path = Path(history_path)
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")

@@ -25,11 +25,17 @@ Four commands cover the repo's main flows:
   benchmarks or external files into a corpus, ``ls`` it, ``verify``
   integrity, ``gc`` reclaimable bytes; ``pipeline run --store DIR``
   characterizes the stored corpus without re-simulating.
-* ``obs`` — observability utilities (``obs report`` renders a JSONL log).
+* ``obs`` — observability utilities: ``obs report`` renders a JSONL
+  log, ``obs chrome`` converts one to a Perfetto-viewable Chrome trace,
+  ``obs serve`` exposes a recorded log over the live HTTP endpoint.
 
-Every command accepts the global ``--obs {off,summary,jsonl,prom}`` flag
-(before or after the subcommand) selecting the telemetry exporter, plus
-``--obs-path`` for the JSONL log location; see ``docs/OBSERVABILITY.md``.
+Every command accepts the global ``--obs {off,summary,jsonl,prom,chrome}``
+flag (before or after the subcommand) selecting the telemetry exporter,
+plus ``--obs-path`` for the log location, ``--obs-listen HOST:PORT`` to
+serve live ``/metrics``, ``/healthz`` and ``/events`` endpoints while
+the command runs, and ``--obs-profile SECONDS`` to start the continuous
+resource profiler at that sampling period (supervisor and every pool
+worker); see ``docs/OBSERVABILITY.md``.
 ``--kernel-backend {vectorized,reference}`` (again before or after the
 subcommand) pins the numerical kernel backend for the whole run,
 including pipeline worker processes.
@@ -76,7 +82,7 @@ __all__ = [
 ]
 
 
-OBS_MODES = ("off", "summary", "jsonl", "prom")
+OBS_MODES = ("off", "summary", "jsonl", "prom", "chrome")
 
 #: Uniform CLI exit codes (see the module docstring).
 EXIT_OK = 0
@@ -99,12 +105,28 @@ def _obs_options() -> argparse.ArgumentParser:
         choices=OBS_MODES,
         default=argparse.SUPPRESS,
         help="telemetry exporter: console summary, JSONL log, "
-             "Prometheus dump (default off)",
+             "Prometheus dump, Chrome trace (default off)",
     )
     parent.add_argument(
         "--obs-path",
         default=argparse.SUPPRESS,
-        help="JSONL log path for --obs jsonl (default repro-obs.jsonl)",
+        help="log path for --obs jsonl/chrome (defaults "
+             "repro-obs.jsonl / repro-trace.json)",
+    )
+    parent.add_argument(
+        "--obs-listen",
+        default=argparse.SUPPRESS,
+        metavar="HOST:PORT",
+        help="serve live /metrics, /healthz and /events while running "
+             "(implies --obs summary when --obs is off)",
+    )
+    parent.add_argument(
+        "--obs-profile",
+        type=float,
+        default=argparse.SUPPRESS,
+        metavar="SECONDS",
+        help="continuous resource-profiler sampling period for the "
+             "supervisor and every pool worker (default off)",
     )
     parent.add_argument(
         "--kernel-backend",
@@ -129,6 +151,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="telemetry exporter (see docs/OBSERVABILITY.md)",
     )
     parser.add_argument("--obs-path", default=None, help=argparse.SUPPRESS)
+    parser.add_argument(
+        "--obs-listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="serve live /metrics, /healthz and /events while running",
+    )
+    parser.add_argument(
+        "--obs-profile",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="resource-profiler sampling period (default off)",
+    )
     parser.add_argument(
         "--kernel-backend",
         choices=("vectorized", "reference"),
@@ -225,6 +260,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bench the trace store instead of the kernels: "
                             "ingest/scan GB/s and characterize-from-store "
                             "vs regenerate (writes BENCH_store.json)")
+    bench.add_argument("--compare", default=None, metavar="BASELINE",
+                       help="diff the fresh results against this committed "
+                            "baseline JSON; exit 1 on regression (see "
+                            "tools/bench_compare.py)")
+    bench.add_argument("--compare-threshold", type=float, default=None,
+                       metavar="FRACTION",
+                       help="relative regression threshold for --compare "
+                            "(default 0.25)")
 
     pipe = sub.add_parser(
         "pipeline", help="parallel batch characterization with result cache"
@@ -319,6 +362,33 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="render a JSONL observability log"
     )
     orep.add_argument("log", help="path to a run's JSONL log")
+    ochrome = osub.add_parser(
+        "chrome",
+        help="convert a JSONL log to a Chrome trace-event file "
+             "(view in Perfetto or chrome://tracing)",
+    )
+    ochrome.add_argument("log", help="path to a run's JSONL log")
+    ochrome.add_argument(
+        "--output", default=None,
+        help="trace-event JSON path (default repro-trace.json)",
+    )
+    oserve = osub.add_parser(
+        "serve",
+        help="serve /metrics, /healthz and /events over HTTP "
+             "(from a recorded log, or empty-live for smoke tests)",
+    )
+    oserve.add_argument(
+        "--listen", default="127.0.0.1:9100", metavar="HOST:PORT",
+        help="bind address (default %(default)s; port 0 = ephemeral)",
+    )
+    oserve.add_argument(
+        "--log", default=None,
+        help="serve this recorded JSONL log's metrics and events",
+    )
+    oserve.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="stop after this long (default: run until interrupted)",
+    )
     return parser
 
 
@@ -673,7 +743,7 @@ def _cmd_sizing(args) -> str:
     return "\n".join(lines)
 
 
-def _cmd_bench(args) -> str:
+def _cmd_bench(args) -> int:
     if args.store:
         from .store.bench import (
             DEFAULT_STORE_OUTPUT,
@@ -686,19 +756,44 @@ def _cmd_bench(args) -> str:
             quick=args.quick, output=None if output == "-" else output
         )
         text = format_store_results(results)
-        if output != "-":
-            text += f"\nwrote {output}"
-        return text
-    from .kernels.bench import DEFAULT_OUTPUT, format_results, run_bench
+    else:
+        from .kernels.bench import DEFAULT_OUTPUT, format_results, run_bench
 
-    output = args.output or DEFAULT_OUTPUT
-    results = run_bench(
-        quick=args.quick, output=None if output == "-" else output
-    )
-    text = format_results(results)
+        output = args.output or DEFAULT_OUTPUT
+        results = run_bench(
+            quick=args.quick, output=None if output == "-" else output
+        )
+        text = format_results(results)
     if output != "-":
         text += f"\nwrote {output}"
-    return text
+    print(text)
+    if not args.compare:
+        return EXIT_OK
+
+    import json
+
+    from .benchtrack import (
+        DEFAULT_THRESHOLD,
+        append_history,
+        compare_benchmarks,
+        render_comparison,
+    )
+
+    try:
+        with open(args.compare, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except OSError as exc:
+        raise UsageError(f"cannot read --compare baseline: {exc}") from None
+    comparison = compare_benchmarks(
+        baseline,
+        results,
+        threshold=args.compare_threshold or DEFAULT_THRESHOLD,
+        baseline_path=args.compare,
+        current_path=output if output != "-" else "<fresh run>",
+    )
+    print(render_comparison(comparison))
+    append_history("BENCH_history.jsonl", comparison)
+    return EXIT_OK if comparison.ok else EXIT_PARTIAL
 
 
 def _cmd_store_ingest(args) -> str:
@@ -818,6 +913,62 @@ def _cmd_obs_report(args) -> str:
     return obs.render_report(args.log)
 
 
+def _cmd_obs_chrome(args) -> str:
+    from .obs.trace import DEFAULT_CHROME_PATH
+
+    records, skipped = obs.scan_records(args.log)
+    output = args.output or DEFAULT_CHROME_PATH
+    count = obs.write_chrome_trace(records, output)
+    line = (
+        f"chrome trace: {output} ({count} events from "
+        f"{len(records)} records) — open in Perfetto "
+        f"(https://ui.perfetto.dev) or chrome://tracing"
+    )
+    if skipped:
+        line += f"\nskipped {skipped} malformed line(s) in {args.log}"
+    return line
+
+
+def _cmd_obs_serve(args) -> int:
+    import time as _time
+
+    try:
+        host, port = obs.parse_listen(args.listen)
+    except ValueError as exc:
+        raise UsageError(str(exc)) from None
+    registry = None
+    records: list = []
+    skipped = 0
+    if args.log:
+        records, skipped = obs.scan_records(args.log)
+        registry = obs.registry_from_records(records)
+    server = obs.ObsServer(
+        host, port, registry=registry, subscribe=args.log is None
+    )
+    if records:
+        server.feed(records)
+    server.start()
+    source = f"log {args.log}" if args.log else "live process registry"
+    print(
+        f"obs endpoint {server.url} — /metrics /healthz /events "
+        f"(serving {source}"
+        + (f", {skipped} malformed line(s) skipped" if skipped else "")
+        + ")",
+        flush=True,
+    )
+    try:
+        if args.duration is not None:
+            _time.sleep(args.duration)
+        else:
+            while True:
+                _time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return EXIT_OK
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -829,8 +980,31 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_KERNEL_BACKEND"] = backend
         set_backend(backend)
     obs_mode = getattr(args, "obs", "off")
+    obs_listen = getattr(args, "obs_listen", None)
+    obs_profile = float(getattr(args, "obs_profile", 0.0) or 0.0)
+    if obs_mode == "off" and (obs_listen or obs_profile > 0):
+        # a live endpoint or profiler without an exporter still needs
+        # the telemetry plane on; summary is the cheapest exporter
+        obs_mode = "summary"
+    server = None
     if obs_mode != "off":
-        obs.enable(obs_mode, getattr(args, "obs_path", None))
+        obs.enable(
+            obs_mode,
+            getattr(args, "obs_path", None),
+            profile_interval=obs_profile,
+        )
+        if obs_listen:
+            try:
+                host, port = obs.parse_listen(obs_listen)
+            except ValueError as exc:
+                print(f"repro: usage error: {exc}", file=sys.stderr)
+                obs.disable()
+                return EXIT_USAGE
+            server = obs.ObsServer(host, port).start()
+            print(
+                f"obs endpoint {server.url} — /metrics /healthz /events",
+                flush=True,
+            )
     try:
         return _dispatch(args)
     except UsageError as exc:
@@ -855,6 +1029,8 @@ def main(argv: list[str] | None = None) -> int:
         traceback.print_exc()
         return EXIT_INTERNAL
     finally:
+        if server is not None:
+            server.stop()
         if obs_mode != "off":
             tail = obs.finish()
             if tail:
@@ -878,7 +1054,7 @@ def _dispatch(args) -> int:
     elif args.command == "sizing":
         print(_cmd_sizing(args))
     elif args.command == "bench":
-        print(_cmd_bench(args))
+        return _cmd_bench(args)
     elif args.command == "pipeline":
         if args.pipeline_command == "run":
             return _cmd_pipeline_run(args)
@@ -898,6 +1074,10 @@ def _dispatch(args) -> int:
     elif args.command == "obs":
         if args.obs_command == "report":
             print(_cmd_obs_report(args))
+        elif args.obs_command == "chrome":
+            print(_cmd_obs_chrome(args))
+        elif args.obs_command == "serve":
+            return _cmd_obs_serve(args)
     elif args.command == "report":
         from .report import QUICK_SUBSET, generate_report
 

@@ -41,8 +41,15 @@ _SIZES = {
     "monitor_n": (1 << 16, 1 << 13),
     "batch_benchmarks": (26, 4),
     "batch_cycles": (1 << 15, 1 << 13),
+    "obs_benchmarks": (4, 2),
+    "obs_cycles": (1 << 14, 1 << 12),
     "repeats": (5, 2),
 }
+
+#: The obs off-path overhead budget: instrumented code with
+#: observability disabled must stay within this of fully stripped
+#: instrumentation (see ``_bench_obs_overhead``).
+OBS_OVERHEAD_BUDGET_PCT = 5.0
 
 
 def _size(key: str, quick: bool) -> int:
@@ -184,6 +191,79 @@ def _bench_characterize_batch(quick: bool, network, repeats: int) -> dict:
     }
 
 
+def _bench_obs_overhead(quick: bool, network, repeats: int) -> dict:
+    """Cost of the disabled-observability fast path on a characterize run.
+
+    Every instrumentation site pays one module-attribute load plus an
+    ``ENABLED`` branch when observability is off.  This measures a small
+    characterization batch twice — once on the normal off path, once
+    with every obs helper monkeypatched to a bare no-op (the closest
+    runnable stand-in for "no instrumentation at all") — and reports the
+    relative overhead.  The budget is :data:`OBS_OVERHEAD_BUDGET_PCT`;
+    the slow bench test and CI gate on the recorded number.
+    """
+    from ..core import WaveletVoltageEstimator
+    from ..uarch import simulate_benchmark
+    from ..workloads import SPEC2000
+
+    count = _size("obs_benchmarks", quick)
+    cycles = _size("obs_cycles", quick)
+    names = tuple(sorted(SPEC2000))[:count]
+    traces = [
+        simulate_benchmark(name, cycles=cycles).current for name in names
+    ]
+    estimator = WaveletVoltageEstimator(network)
+
+    def run_all():
+        for trace in traces:
+            estimator.estimate_fraction_below(trace, 0.97)
+
+    # the off path: real helpers, ENABLED False
+    was_enabled = obs.ENABLED
+    obs.ENABLED = False
+    try:
+        off_s = _best_of(run_all, repeats)
+        # the stripped baseline: helpers replaced by bare no-ops (call
+        # sites resolve them via module attribute access, so this works
+        # without touching any instrumented code)
+        null_span = obs._NULL_SPAN
+        names_to_stub = (
+            "span",
+            "event",
+            "counter_inc",
+            "gauge_set",
+            "histogram_observe",
+        )
+        saved = {name: getattr(obs, name) for name in names_to_stub}
+        try:
+            obs.span = lambda *a, **k: null_span
+            noop = lambda *a, **k: None  # noqa: E731
+            obs.event = noop
+            obs.counter_inc = noop
+            obs.gauge_set = noop
+            obs.histogram_observe = noop
+            stripped_s = _best_of(run_all, repeats)
+        finally:
+            for name, fn in saved.items():
+                setattr(obs, name, fn)
+    finally:
+        obs.ENABLED = was_enabled
+    overhead_pct = (
+        max((off_s - stripped_s) / stripped_s * 100.0, 0.0)
+        if stripped_s > 0
+        else 0.0
+    )
+    return {
+        "off_s": off_s,
+        "stripped_s": stripped_s,
+        "overhead_pct": overhead_pct,
+        "budget_pct": OBS_OVERHEAD_BUDGET_PCT,
+        "benchmarks": count,
+        "cycles": cycles,
+        "repeats": repeats,
+    }
+
+
 def run_bench(
     quick: bool = False, output: str | Path | None = DEFAULT_OUTPUT
 ) -> dict:
@@ -213,6 +293,7 @@ def run_bench(
     results["end_to_end"]["characterize_batch"] = _bench_characterize_batch(
         quick, network, repeats
     )
+    results["obs_overhead"] = _bench_obs_overhead(quick, network, repeats)
     if output is not None:
         Path(output).write_text(json.dumps(results, indent=2) + "\n")
     return results
@@ -232,5 +313,13 @@ def format_results(results: dict) -> str:
             f"  {name:<24} {row['reference_s'] * 1e3:>9.2f}ms "
             f"{row['vectorized_s'] * 1e3:>9.2f}ms "
             f"{row['speedup']:>7.1f}x  {row['max_abs_diff']:>9.2e}"
+        )
+    overhead = results.get("obs_overhead")
+    if overhead:
+        lines.append(
+            f"  obs off-path overhead: {overhead['overhead_pct']:.2f}% "
+            f"(budget {overhead['budget_pct']:.0f}%; off "
+            f"{overhead['off_s'] * 1e3:.2f}ms vs stripped "
+            f"{overhead['stripped_s'] * 1e3:.2f}ms)"
         )
     return "\n".join(lines)

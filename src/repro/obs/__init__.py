@@ -1,4 +1,4 @@
-"""Zero-dependency observability: metrics, tracing spans, event log.
+"""Zero-dependency observability: metrics, traces, profiling, live serving.
 
 The paper's methodology is *watching* a running system — per-cycle
 current, voltage-emergency counts, actuation rates, per-scale wavelet
@@ -9,20 +9,38 @@ energy — and this package makes the repro observable the same way:
   merges worker-process contributions back through the pipeline
   executor's result channel;
 * **tracing spans** (``with span("stage.simulate", benchmark="gzip"):``)
-  with wall/CPU time and nesting, wired through the pipeline, the
-  microarchitectural simulator and the closed-loop controllers;
+  with wall/CPU time, nesting and cross-process **trace context** — every
+  batch gets a ``trace_id``, every span a ``span_id``/``parent_id`` that
+  survive the supervisor→worker boundary, so a merged record stream
+  rebuilds one causal tree per batch (:mod:`repro.obs.context`);
 * an **event log** for discrete occurrences — voltage-emergency onsets,
-  controller actuations;
-* **exporters**: a JSONL record stream, a Prometheus text dump and an
-  end-of-run console summary, selected by the ``repro --obs`` flag and
-  rendered offline by ``repro obs report``.
+  controller actuations, retries;
+* a **continuous resource profiler**
+  (:class:`~repro.obs.profiler.ResourceProfiler`) sampling /proc RSS,
+  CPU and IO in the supervisor and each worker, attributing peaks to the
+  open spans;
+* **exporters**: a JSONL record stream, a Prometheus text dump, a Chrome
+  trace-event file (Perfetto-viewable) and an end-of-run console
+  summary, selected by the ``repro --obs`` flag and rendered offline by
+  ``repro obs report`` / ``repro obs chrome``;
+* a **live HTTP endpoint** (:class:`~repro.obs.serve.ObsServer`,
+  ``--obs-listen HOST:PORT``) exposing ``/metrics``, ``/healthz`` and a
+  streaming ``/events`` feed while a batch runs.
 
 Everything is gated on one module-level flag
 (:data:`repro.obs.trace.ENABLED`), so instrumented code is no-op-cheap
 when observability is off.  See ``docs/OBSERVABILITY.md``.
 """
 
-from .export import JsonlWriter, SpanCollector, summary_table
+from .context import TraceContext, new_span_id, new_trace_id, span_tree
+from .export import (
+    JsonlWriter,
+    SpanCollector,
+    chrome_trace,
+    summary_table,
+    write_chrome_trace,
+)
+from .profiler import ResourceProfiler, read_resources
 from .registry import (
     Counter,
     Gauge,
@@ -31,12 +49,20 @@ from .registry import (
     diff_snapshots,
     exponential_buckets,
 )
-from .report import load_records, render_report
+from .report import (
+    load_records,
+    registry_from_records,
+    render_report,
+    scan_records,
+)
+from .serve import ObsServer, parse_listen
 from .trace import (
     Span,
     absorb,
+    add_subscriber,
     counter_inc,
     current_span,
+    current_trace_id,
     disable,
     drain_records,
     enable,
@@ -45,7 +71,12 @@ from .trace import (
     gauge_set,
     histogram_observe,
     mode,
+    open_spans,
+    profile_interval,
+    propagation_context,
     registry,
+    remove_subscriber,
+    set_trace_context,
     span,
     span_collector,
     worker_mode,
@@ -57,11 +88,17 @@ __all__ = [
     "Histogram",
     "JsonlWriter",
     "MetricsRegistry",
+    "ObsServer",
+    "ResourceProfiler",
     "Span",
     "SpanCollector",
+    "TraceContext",
     "absorb",
+    "add_subscriber",
+    "chrome_trace",
     "counter_inc",
     "current_span",
+    "current_trace_id",
     "diff_snapshots",
     "disable",
     "drain_records",
@@ -74,12 +111,25 @@ __all__ = [
     "histogram_observe",
     "load_records",
     "mode",
+    "new_span_id",
+    "new_trace_id",
+    "open_spans",
+    "parse_listen",
+    "profile_interval",
+    "propagation_context",
+    "read_resources",
     "registry",
+    "registry_from_records",
+    "remove_subscriber",
     "render_report",
+    "scan_records",
+    "set_trace_context",
     "span",
     "span_collector",
+    "span_tree",
     "summary_table",
     "worker_mode",
+    "write_chrome_trace",
 ]
 
 

@@ -1,0 +1,99 @@
+"""Trace-context propagation: one causal tree per batch, across processes.
+
+Observability v1 recorded spans per process — a worker's ``pipeline.job``
+span and the supervisor's ``pipeline.batch`` span shared nothing but a
+name, so a merged record stream could not be stitched back into one
+timeline.  v2 gives every batch a **trace id** and every span a
+**span id** plus a **parent span id**:
+
+* spans opened in the same thread parent on the enclosing span, exactly
+  as the v1 name-based nesting did;
+* a *root* span (empty thread stack) parents on the process's
+  **boundary context** — the ``(trace_id, parent_span_id)`` pair the
+  supervisor ships to a worker alongside each dispatched job — so a
+  worker's ``pipeline.job`` span hangs off the supervisor's
+  ``pipeline.batch`` span and the merged stream reconstructs one tree
+  rooted at the batch, no matter how many processes contributed.
+
+Ids are cheap random hex (``os.urandom``), never sequence numbers, so
+two workers can never collide.  The propagation payload is a plain
+picklable :class:`TraceContext`, which crosses the supervisor→worker
+inbox with the job itself.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = [
+    "TraceContext",
+    "new_span_id",
+    "new_trace_id",
+    "span_tree",
+]
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id as 32 hex chars (one per batch/run)."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id as 16 hex chars (one per span)."""
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The cross-process propagation payload: where new root spans hang.
+
+    ``trace_id`` names the whole batch; ``parent_span_id`` is the
+    supervisor-side span a worker's root spans should parent on (the
+    ``pipeline.batch`` span).  ``None`` fields mean "no active trace" —
+    the worker starts its own, exactly like v1.
+    """
+
+    trace_id: str | None = None
+    parent_span_id: str | None = None
+
+    def to_wire(self) -> tuple[str | None, str | None]:
+        """The context as a plain picklable tuple."""
+        return (self.trace_id, self.parent_span_id)
+
+    @classmethod
+    def from_wire(cls, wire) -> "TraceContext":
+        if wire is None:
+            return cls()
+        return cls(trace_id=wire[0], parent_span_id=wire[1])
+
+
+def span_tree(records: list[dict]) -> dict:
+    """Index span records into a causal tree by span id.
+
+    Returns ``{"roots": [...], "children": {span_id: [records]},
+    "by_id": {span_id: record}, "orphans": [...]}``.  A record whose
+    ``parent_id`` names no recorded span is an *orphan* (e.g. the parent
+    span had not closed when the log was cut); the batch root itself has
+    ``parent_id is None`` and lands in ``roots``.
+    """
+    by_id: dict[str, dict] = {}
+    for r in records:
+        if r.get("type") == "span" and r.get("span_id"):
+            by_id[r["span_id"]] = r
+    roots, orphans = [], []
+    children: dict[str, list[dict]] = {}
+    for r in by_id.values():
+        parent = r.get("parent_id")
+        if parent is None:
+            roots.append(r)
+        elif parent in by_id:
+            children.setdefault(parent, []).append(r)
+        else:
+            orphans.append(r)
+    return {
+        "roots": roots,
+        "children": children,
+        "by_id": by_id,
+        "orphans": orphans,
+    }

@@ -1,0 +1,190 @@
+"""Continuous resource profiler: a /proc sampler attributing to open spans.
+
+A :class:`ResourceProfiler` is a daemon thread that wakes every
+``interval_s`` seconds and reads this process's resource counters:
+
+* RSS from ``/proc/self/statm`` (page count × page size),
+* cumulative user+system CPU seconds from ``/proc/self/stat``,
+* cumulative read/write bytes from ``/proc/self/io``;
+
+falling back to :func:`resource.getrusage` where /proc is absent (the
+IO counters then read 0).  Each tick it
+
+* updates ``rss_peak`` on every currently-open span (via
+  :func:`repro.obs.trace.open_spans`), so per-span records and the
+  per-stage summary carry the peak RSS observed *while that span ran*;
+* maintains the ``process_rss_bytes`` / ``process_rss_peak_bytes`` /
+  ``process_cpu_seconds_total`` / ``process_io_read_bytes_total`` /
+  ``process_io_write_bytes_total`` metrics, and a per-job
+  ``job_peak_rss_bytes{job=...}`` gauge keyed on the open
+  ``pipeline.job`` span's benchmark;
+* emits a ``sample`` record into the normal record stream (JSONL log,
+  worker capture buffer, chrome counter track, live subscribers).
+
+The supervisor runs one profiler; every pool worker runs its own
+(:func:`repro.obs.trace.worker_mode` starts it), and the worker's
+samples and gauge peaks merge back through the existing metric-delta /
+record-capture channel — ``job_peak_rss_bytes`` merges max-wise, so the
+supervisor's live ``/metrics`` shows each job's true peak across
+processes.
+
+Sampling is wait-free for the traced code: the profiler only *reads*
+the span stacks (safe under the GIL) and writes span attributes and
+registry series the traced thread never iterates.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+__all__ = ["ResourceProfiler", "read_resources"]
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def _clock_ticks() -> float:
+    try:
+        return float(os.sysconf("SC_CLK_TCK"))
+    except (AttributeError, ValueError, OSError):
+        return 100.0
+
+
+def read_resources() -> dict:
+    """One sample of this process's resource counters.
+
+    Returns ``{"rss_bytes", "cpu_s", "read_bytes", "write_bytes"}`` —
+    cumulative since process start except ``rss_bytes`` (instantaneous).
+    Works from /proc; degrades to ``resource.getrusage`` (no IO counters)
+    elsewhere.
+    """
+    sample = {"rss_bytes": 0, "cpu_s": 0.0, "read_bytes": 0, "write_bytes": 0}
+    try:
+        with open("/proc/self/statm", "rb") as fh:
+            sample["rss_bytes"] = int(fh.read().split()[1]) * _PAGE_SIZE
+        with open("/proc/self/stat", "rb") as fh:
+            # fields 14/15 (utime/stime) counted after the parenthesised
+            # comm field, which may itself contain spaces
+            after_comm = fh.read().rsplit(b")", 1)[1].split()
+            utime, stime = int(after_comm[11]), int(after_comm[12])
+            sample["cpu_s"] = (utime + stime) / _clock_ticks()
+    except (OSError, IndexError, ValueError):
+        try:
+            import resource
+
+            usage = resource.getrusage(resource.RUSAGE_SELF)
+            # ru_maxrss is KiB on Linux, bytes on macOS; Linux-first here
+            sample["rss_bytes"] = int(usage.ru_maxrss) * 1024
+            sample["cpu_s"] = usage.ru_utime + usage.ru_stime
+        except Exception:
+            pass
+    try:
+        with open("/proc/self/io", "rb") as fh:
+            for line in fh:
+                if line.startswith(b"read_bytes:"):
+                    sample["read_bytes"] = int(line.split()[1])
+                elif line.startswith(b"write_bytes:"):
+                    sample["write_bytes"] = int(line.split()[1])
+    except (OSError, IndexError, ValueError):
+        pass
+    return sample
+
+
+class ResourceProfiler:
+    """Background /proc sampler bound to this process's obs state."""
+
+    def __init__(self, interval_s: float) -> None:
+        self.interval_s = max(float(interval_s), 0.001)
+        self.samples = 0
+        self.rss_peak = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-profiler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the sampler; takes one final sample so short spans see
+        at least one attribution."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=max(self.interval_s * 4, 1.0))
+        self._thread = None
+        self.sample_once(emit=False)
+
+    def _run(self) -> None:
+        # one immediate sample, then the periodic loop
+        self.sample_once()
+        while not self._stop.wait(self.interval_s):
+            self.sample_once()
+
+    def sample_once(self, emit: bool = True) -> dict:
+        """Take and record one sample (also callable synchronously)."""
+        from . import trace
+
+        sample = read_resources()
+        rss = sample["rss_bytes"]
+        self.samples += 1
+        self.rss_peak = max(self.rss_peak, rss)
+        if not trace.ENABLED:
+            return sample
+
+        job_names = []
+        for open_span in trace.open_spans():
+            if rss > open_span.rss_peak:
+                open_span.rss_peak = rss
+            if open_span.name == "pipeline.job":
+                job = open_span.attrs.get("benchmark")
+                if job is not None:
+                    job_names.append(str(job))
+
+        registry = trace.registry()
+        registry.gauge(
+            "process_rss_bytes", "sampled resident set size"
+        ).set(rss)
+        registry.gauge(
+            "process_rss_peak_bytes", "peak sampled resident set size"
+        ).set(self.rss_peak)
+        registry.gauge(
+            "process_cpu_seconds_total", "sampled cumulative CPU seconds"
+        ).set(sample["cpu_s"])
+        registry.gauge(
+            "process_io_read_bytes_total", "sampled cumulative read bytes"
+        ).set(sample["read_bytes"])
+        registry.gauge(
+            "process_io_write_bytes_total", "sampled cumulative write bytes"
+        ).set(sample["write_bytes"])
+        registry.counter(
+            "profiler_samples_total", "resource-profiler ticks"
+        ).inc()
+        peak_gauge = registry.gauge(
+            "job_peak_rss_bytes", "peak sampled RSS per job benchmark"
+        )
+        for job in job_names:
+            # max-tracking: a gauge only remembers its last set, so keep
+            # the running peak explicit
+            if rss > (peak_gauge.value(job=job) or 0):
+                peak_gauge.set(rss, job=job)
+
+        if emit:
+            trace._emit(
+                {
+                    "type": "sample",
+                    "t": time.time(),
+                    "rss_bytes": rss,
+                    "cpu_s": sample["cpu_s"],
+                    "read_bytes": sample["read_bytes"],
+                    "write_bytes": sample["write_bytes"],
+                    "open_spans": [s.name for s in trace.open_spans()],
+                    "trace_id": trace.current_trace_id(),
+                    "pid": os.getpid(),
+                }
+            )
+        return sample

@@ -4,6 +4,12 @@
 the same per-stage latency / cache breakdown the live ``--obs summary``
 exporter prints, so a run's telemetry can be inspected (or diffed
 against another run's) long after the process exited.
+
+A log cut short by a crash or SIGKILL can end in a torn line — half a
+JSON object with no newline.  :func:`scan_records` (used by the CLI)
+skips and counts such lines, mirroring the trace store's torn-tail
+tolerance; :func:`load_records` stays strict for callers that want
+corruption to be loud.
 """
 
 from __future__ import annotations
@@ -14,7 +20,17 @@ from pathlib import Path
 from .export import SpanCollector
 from .registry import MetricsRegistry
 
-__all__ = ["load_records", "render_report"]
+__all__ = ["load_records", "registry_from_records", "render_report", "scan_records"]
+
+
+def _parse_line(line: str) -> dict | None:
+    line = line.strip()
+    if not line:
+        return None
+    record = json.loads(line)  # raises JSONDecodeError on torn tail
+    if not isinstance(record, dict) or "type" not in record:
+        raise json.JSONDecodeError("not an obs record", line, 0)
+    return record
 
 
 def load_records(path: str | Path) -> list[dict]:
@@ -22,20 +38,38 @@ def load_records(path: str | Path) -> list[dict]:
     records = []
     with open(path, encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, 1):
-            line = line.strip()
-            if not line:
-                continue
             try:
-                record = json.loads(line)
+                record = _parse_line(line)
             except json.JSONDecodeError as exc:
                 raise ValueError(f"{path}:{lineno}: bad JSON: {exc}") from None
-            if not isinstance(record, dict) or "type" not in record:
-                raise ValueError(f"{path}:{lineno}: not an obs record")
-            records.append(record)
+            if record is not None:
+                records.append(record)
     return records
 
 
-def _registry_from(records: list[dict]) -> MetricsRegistry:
+def scan_records(path: str | Path) -> tuple[list[dict], int]:
+    """Lenient load: ``(records, skipped)`` — malformed lines are counted.
+
+    A worker killed mid-write (the supervisor SIGKILLs hung workers)
+    leaves at most a torn trailing line; every intact record before it is
+    still valuable, so the report should render what it can and say what
+    it skipped instead of refusing the whole file.
+    """
+    records: list[dict] = []
+    skipped = 0
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            try:
+                record = _parse_line(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if record is not None:
+                records.append(record)
+    return records, skipped
+
+
+def registry_from_records(records: list[dict]) -> MetricsRegistry:
     """Rebuild final metric totals from the log's ``metric`` records."""
     registry = MetricsRegistry()
     for record in records:
@@ -59,26 +93,35 @@ def _registry_from(records: list[dict]) -> MetricsRegistry:
     return registry
 
 
+# back-compat alias (pre-v2 name)
+_registry_from = registry_from_records
+
+
 def render_report(path: str | Path) -> str:
     """The per-stage latency and cache breakdown of one JSONL log."""
     from .export import summary_table
 
-    records = load_records(path)
+    records, skipped = scan_records(path)
     collector = SpanCollector()
-    spans = events = 0
+    spans = events = samples = 0
     for record in records:
         if record["type"] == "span":
             collector.add(
                 record["name"],
                 record.get("wall_s", 0.0),
                 record.get("cpu_s", 0.0),
+                record.get("rss_peak_bytes", 0),
             )
             spans += 1
         elif record["type"] == "event":
             events += 1
-    registry = _registry_from(records)
-    header = (
-        f"{path}: {len(records)} records "
-        f"({spans} spans, {events} events)"
-    )
+        elif record["type"] == "sample":
+            samples += 1
+    registry = registry_from_records(records)
+    parts = [f"{spans} spans", f"{events} events"]
+    if samples:
+        parts.append(f"{samples} samples")
+    header = f"{path}: {len(records)} records ({', '.join(parts)})"
+    if skipped:
+        header += f" — skipped {skipped} malformed line(s)"
     return header + "\n" + summary_table(collector, registry)

@@ -1,0 +1,276 @@
+"""Live observability endpoint: /metrics, /healthz and /events over HTTP.
+
+Zero dependencies — :class:`ObsServer` wraps a stdlib
+``ThreadingHTTPServer`` running in a daemon thread next to the workload,
+so a batch started with ``--obs-listen 127.0.0.1:9100`` can be watched
+while it runs:
+
+* ``GET /metrics`` — the live process registry in Prometheus text
+  exposition format (point a Prometheus scrape job at it, or just
+  ``curl`` it);
+* ``GET /healthz`` — ``{"status": "ok", ...}`` liveness JSON with
+  uptime, PID and the active trace id;
+* ``GET /events`` — recent span/event/sample records as JSONL, newest
+  last.  ``?follow=1`` holds the connection open and streams records as
+  they happen (chunked transfer), ``?n=100`` bounds the backlog replay,
+  ``?type=event`` filters by record type.  Emergency onsets, actuations
+  and retry/requeue events all flow through here live.
+
+The server subscribes to the record stream via
+:func:`repro.obs.trace.add_subscriber`; worker records arrive through
+the normal absorb path, so one endpoint in the supervisor shows the
+whole batch.  ``repro obs serve`` runs a standalone instance over a
+recorded JSONL log (serving its reconstructed metrics), which is also
+what the future ``repro serve`` front-end will mount.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from . import trace
+
+__all__ = ["ObsServer", "parse_listen"]
+
+#: Ring-buffer capacity for /events backlog replay.
+EVENT_BACKLOG = 2048
+
+
+def parse_listen(value: str) -> tuple[str, int]:
+    """``"HOST:PORT"`` or ``"PORT"`` → ``(host, port)``.
+
+    A bare port binds localhost; port 0 asks the OS for a free one
+    (handy in tests — read the bound port off ``server.port``).
+    """
+    value = value.strip()
+    if ":" in value:
+        host, _, port_s = value.rpartition(":")
+        host = host or "127.0.0.1"
+    else:
+        host, port_s = "127.0.0.1", value
+    try:
+        port = int(port_s)
+    except ValueError:
+        raise ValueError(
+            f"bad --obs-listen value {value!r}: want HOST:PORT"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"bad --obs-listen port {port}")
+    return host, port
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-obs"
+
+    # the outer ObsServer, injected by make_handler
+    obs: "ObsServer"
+
+    def log_message(self, fmt, *args):  # default impl spams stderr
+        pass
+
+    def _send(self, code: int, content_type: str, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        url = urlsplit(self.path)
+        query = parse_qs(url.query)
+        try:
+            if url.path == "/metrics":
+                self._send(
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    self.obs.metrics_text().encode("utf-8"),
+                )
+            elif url.path == "/healthz":
+                self._send(
+                    200,
+                    "application/json",
+                    (json.dumps(self.obs.health()) + "\n").encode("utf-8"),
+                )
+            elif url.path == "/events":
+                self._do_events(query)
+            elif url.path == "/":
+                self._send(
+                    200,
+                    "text/plain; charset=utf-8",
+                    b"repro obs endpoints: /metrics /healthz /events\n",
+                )
+            else:
+                self._send(404, "text/plain", b"not found\n")
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to clean up
+
+    def _do_events(self, query: dict) -> None:
+        follow = query.get("follow", ["0"])[0] not in ("0", "", "false")
+        type_filter = query.get("type", [None])[0]
+        try:
+            backlog_n = int(query.get("n", [str(EVENT_BACKLOG)])[0])
+        except ValueError:
+            backlog_n = EVENT_BACKLOG
+
+        def matches(record: dict) -> bool:
+            return type_filter is None or record.get("type") == type_filter
+
+        backlog = [r for r in self.obs.backlog() if matches(r)][-backlog_n:]
+        if not follow:
+            body = "".join(
+                json.dumps(r, default=str) + "\n" for r in backlog
+            ).encode("utf-8")
+            self._send(200, "application/x-ndjson", body)
+            return
+
+        # follow mode: chunked stream until the client disconnects or the
+        # server shuts down
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        feed: deque = deque(backlog, maxlen=EVENT_BACKLOG)
+        ready = threading.Event()
+        ready.set()
+
+        def push(record: dict) -> None:
+            if matches(record):
+                feed.append(record)
+                ready.set()
+
+        self.obs.add_listener(push)
+        try:
+            while not self.obs.stopping.is_set():
+                while feed:
+                    line = json.dumps(feed.popleft(), default=str) + "\n"
+                    self._write_chunk(line.encode("utf-8"))
+                ready.clear()
+                ready.wait(timeout=0.5)
+            self._write_chunk(b"")
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+        finally:
+            self.obs.remove_listener(push)
+
+    def _write_chunk(self, data: bytes) -> None:
+        self.wfile.write(f"{len(data):x}\r\n".encode("ascii"))
+        self.wfile.write(data + b"\r\n")
+        self.wfile.flush()
+
+
+class ObsServer:
+    """The in-process observability HTTP server.
+
+    ``registry`` defaults to the live :func:`repro.obs.trace.registry`;
+    pass a rebuilt one (see
+    :func:`repro.obs.report.registry_from_records`) to serve a recorded
+    log instead.  ``subscribe=True`` (default) taps the live record
+    stream for ``/events``.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry=None,
+        subscribe: bool = True,
+    ) -> None:
+        self._registry_override = registry
+        self._subscribe = subscribe
+        self._backlog: deque = deque(maxlen=EVENT_BACKLOG)
+        self._listeners: list = []
+        self._lock = threading.Lock()
+        self.stopping = threading.Event()
+        self.t_start = time.time()
+
+        handler = type("BoundHandler", (_Handler,), {"obs": self})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: threading.Thread | None = None
+
+    # -- data feeds ------------------------------------------------------------
+
+    def metrics_text(self) -> str:
+        registry = self._registry_override or trace.registry()
+        return registry.to_prometheus()
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "pid": os.getpid(),
+            "uptime_s": round(time.time() - self.t_start, 3),
+            "trace_id": trace.current_trace_id(),
+            "obs_mode": trace.mode(),
+            "events_buffered": len(self._backlog),
+        }
+
+    def backlog(self) -> list[dict]:
+        with self._lock:
+            return list(self._backlog)
+
+    def _on_record(self, record: dict) -> None:
+        with self._lock:
+            self._backlog.append(record)
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(record)
+
+    def add_listener(self, fn) -> None:
+        with self._lock:
+            self._listeners.append(fn)
+
+    def remove_listener(self, fn) -> None:
+        with self._lock:
+            if fn in self._listeners:
+                self._listeners.remove(fn)
+
+    def feed(self, records) -> None:
+        """Preload records into the /events backlog (log-serving mode)."""
+        with self._lock:
+            self._backlog.extend(records)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        host = "127.0.0.1" if self.host in ("0.0.0.0", "") else self.host
+        return f"http://{host}:{self.port}"
+
+    def start(self) -> "ObsServer":
+        if self._thread is not None:
+            return self
+        if self._subscribe:
+            trace.add_subscriber(self._on_record)
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-obs-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self.stopping.set()
+        if self._subscribe:
+            trace.remove_subscriber(self._on_record)
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

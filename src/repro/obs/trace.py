@@ -11,10 +11,18 @@ With observability on:
 * ``span("stage.simulate", benchmark="gzip")`` times a block (wall and
   CPU), nests via a per-thread stack into a per-run trace tree, and on
   exit feeds a span record to the active exporter;
+* every span carries a ``span_id`` / ``parent_id`` under the run's
+  ``trace_id`` (see :mod:`repro.obs.context`), so records from many
+  processes merge into one causal tree;
 * ``event("emergency_onset", cycle=812)`` logs one discrete occurrence
   and bumps the ``events_total`` counter;
 * ``counter_inc`` / ``gauge_set`` / ``histogram_observe`` record into
-  the process :class:`~repro.obs.registry.MetricsRegistry`.
+  the process :class:`~repro.obs.registry.MetricsRegistry`;
+* an optional background :class:`~repro.obs.profiler.ResourceProfiler`
+  samples /proc and attributes RSS/CPU/IO to the open spans;
+* live consumers (the ``/metrics`` HTTP endpoint in
+  :mod:`repro.obs.serve`) subscribe to the record stream via
+  :func:`add_subscriber`.
 
 Worker processes run in *capture* mode (:func:`worker_mode`): span and
 event records buffer in memory instead of hitting the parent's log file,
@@ -28,6 +36,7 @@ import os
 import threading
 import time
 
+from .context import TraceContext, new_span_id, new_trace_id
 from .export import JsonlWriter, SpanCollector
 from .registry import DEFAULT_BUCKETS, MetricsRegistry, diff_snapshots
 
@@ -35,8 +44,10 @@ __all__ = [
     "ENABLED",
     "Span",
     "absorb",
+    "add_subscriber",
     "counter_inc",
     "current_span",
+    "current_trace_id",
     "disable",
     "drain_records",
     "enable",
@@ -45,7 +56,12 @@ __all__ = [
     "gauge_set",
     "histogram_observe",
     "mode",
+    "open_spans",
+    "profile_interval",
+    "propagation_context",
     "registry",
+    "remove_subscriber",
+    "set_trace_context",
     "span",
     "span_collector",
     "worker_mode",
@@ -57,8 +73,11 @@ ENABLED = False
 #: Default JSONL log location when ``--obs jsonl`` gives no path.
 DEFAULT_JSONL_PATH = "repro-obs.jsonl"
 
-#: Cap on buffered records in worker-capture mode (overflow is counted,
-#: not silently dropped).
+#: Default Chrome trace-event file for ``--obs chrome``.
+DEFAULT_CHROME_PATH = "repro-trace.json"
+
+#: Cap on buffered records in worker-capture mode and in the chrome
+#: buffer (overflow is counted, not silently dropped).
 CAPTURE_LIMIT = 100_000
 
 _MODE = "off"
@@ -67,7 +86,19 @@ _COLLECTOR = SpanCollector()
 _WRITER: JsonlWriter | None = None
 _CAPTURE = False
 _CAPTURED: list[dict] = []
+_CHROME: list[dict] | None = None  # record buffer for the chrome exporter
+_CHROME_PATH = DEFAULT_CHROME_PATH
 _LOCAL = threading.local()
+#: Every thread's live span stack, readable by the profiler thread.
+_STACKS: dict[int, list] = {}
+#: This process's trace id and the cross-process parent for root spans.
+_TRACE_ID: str | None = None
+_BOUNDARY_PARENT: str | None = None
+#: Live record subscribers (the HTTP /events stream).
+_SUBSCRIBERS: list = []
+#: Resource-profiler state (interval 0 = off).
+_PROFILE_INTERVAL = 0.0
+_PROFILER = None
 
 
 def registry() -> MetricsRegistry:
@@ -85,50 +116,102 @@ def mode() -> str:
     return _MODE
 
 
-def enable(mode: str = "summary", path: str | None = None) -> None:
+def profile_interval() -> float:
+    """The live resource-profiler sampling interval (0 when off)."""
+    return _PROFILE_INTERVAL
+
+
+def enable(
+    mode: str = "summary",
+    path: str | None = None,
+    profile_interval: float = 0.0,
+) -> None:
     """Turn observability on, resetting any previous run's state.
 
     ``mode`` selects the exporter: ``summary`` (console table at
-    :func:`finish`), ``jsonl`` (stream records to ``path``) or ``prom``
-    (Prometheus text dump at :func:`finish`).
+    :func:`finish`), ``jsonl`` (stream records to ``path``), ``prom``
+    (Prometheus text dump at :func:`finish`) or ``chrome`` (a Chrome
+    trace-event JSON file at ``path``, viewable in Perfetto).
+    ``profile_interval`` > 0 starts the background resource profiler at
+    that sampling period (seconds).
     """
-    global ENABLED, _MODE, _WRITER, _CAPTURE
-    if mode not in ("summary", "jsonl", "prom"):
+    global ENABLED, _MODE, _WRITER, _CAPTURE, _CHROME, _CHROME_PATH
+    global _TRACE_ID, _PROFILE_INTERVAL
+    if mode not in ("summary", "jsonl", "prom", "chrome"):
         raise ValueError(f"unknown obs mode {mode!r}")
     disable()
     _MODE = mode
     _CAPTURE = False
     if mode == "jsonl":
         _WRITER = JsonlWriter(path or DEFAULT_JSONL_PATH)
+    elif mode == "chrome":
+        _CHROME = []
+        _CHROME_PATH = path or DEFAULT_CHROME_PATH
+    _TRACE_ID = new_trace_id()
     ENABLED = True
+    _PROFILE_INTERVAL = max(float(profile_interval or 0.0), 0.0)
+    if _PROFILE_INTERVAL > 0:
+        _start_profiler(_PROFILE_INTERVAL)
 
 
-def worker_mode(enabled: bool) -> None:
+def worker_mode(enabled: bool, profile_interval: float = 0.0) -> None:
     """Configure a pool worker: capture records, never touch the log.
 
     Called at the top of every worker job.  After a ``fork`` the child
-    inherits the parent's writer handle; buffering instead of writing
-    keeps the JSONL file single-writer.
+    inherits the parent's writer handle and subscribers; buffering
+    instead of writing keeps the JSONL file single-writer, and dropping
+    the subscribers keeps the parent's HTTP stream single-producer.
+    The boundary context (where this worker's root spans hang) arrives
+    per job via :func:`set_trace_context`.
     """
-    global ENABLED, _WRITER, _CAPTURE
+    global ENABLED, _WRITER, _CAPTURE, _CHROME, _PROFILE_INTERVAL
+    _stop_profiler()  # a forked child inherits a dead profiler thread
     _WRITER = None
+    _CHROME = None
+    _SUBSCRIBERS.clear()
     _CAPTURE = bool(enabled)
     ENABLED = bool(enabled)
+    _PROFILE_INTERVAL = max(float(profile_interval or 0.0), 0.0)
+    if ENABLED and _PROFILE_INTERVAL > 0:
+        _start_profiler(_PROFILE_INTERVAL)
 
 
 def disable() -> None:
     """Turn observability off and drop all recorded state."""
-    global ENABLED, _MODE, _WRITER, _CAPTURE
+    global ENABLED, _MODE, _WRITER, _CAPTURE, _CHROME
+    global _TRACE_ID, _BOUNDARY_PARENT, _PROFILE_INTERVAL
     ENABLED = False
     _MODE = "off"
+    _stop_profiler()
     if _WRITER is not None:
         _WRITER.close()
         _WRITER = None
     _CAPTURE = False
     _CAPTURED.clear()
+    _CHROME = None
+    _SUBSCRIBERS.clear()
     _REGISTRY.reset()
     _COLLECTOR.reset()
     _LOCAL.stack = []
+    _STACKS.clear()
+    _TRACE_ID = None
+    _BOUNDARY_PARENT = None
+    _PROFILE_INTERVAL = 0.0
+
+
+def _start_profiler(interval_s: float) -> None:
+    global _PROFILER
+    from .profiler import ResourceProfiler
+
+    _PROFILER = ResourceProfiler(interval_s)
+    _PROFILER.start()
+
+
+def _stop_profiler() -> None:
+    global _PROFILER
+    if _PROFILER is not None:
+        _PROFILER.stop()
+        _PROFILER = None
 
 
 def finish() -> str | None:
@@ -137,12 +220,14 @@ def finish() -> str | None:
     ``summary`` returns the console table, ``prom`` the Prometheus text
     dump, ``jsonl`` a one-line pointer at the written log (after
     appending one ``metric`` record per series, so the log alone can
-    reproduce every final total).
+    reproduce every final total), ``chrome`` a pointer at the written
+    trace-event file.
     """
-    from .export import summary_table
+    from .export import summary_table, write_chrome_trace
 
     out: str | None = None
     if ENABLED:
+        _stop_profiler()  # flush the last sample before exporting
         if _MODE == "summary":
             out = summary_table(_COLLECTOR, _REGISTRY)
         elif _MODE == "prom":
@@ -154,6 +239,13 @@ def finish() -> str | None:
                 f"observability log: {_WRITER.path} "
                 f"({_WRITER.records} records) — "
                 f"render with `repro obs report {_WRITER.path}`"
+            )
+        elif _MODE == "chrome" and _CHROME is not None:
+            count = write_chrome_trace(_CHROME, _CHROME_PATH)
+            out = (
+                f"chrome trace: {_CHROME_PATH} ({count} events) — "
+                f"open in Perfetto (https://ui.perfetto.dev) or "
+                f"chrome://tracing"
             )
     disable()
     return out
@@ -189,6 +281,31 @@ def _emit(record: dict) -> None:
                 "obs_records_dropped_total",
                 "records dropped by the worker capture buffer cap",
             ).inc()
+    elif _CHROME is not None:
+        if len(_CHROME) < CAPTURE_LIMIT:
+            _CHROME.append(record)
+        else:
+            _REGISTRY.counter(
+                "obs_records_dropped_total",
+                "records dropped by the worker capture buffer cap",
+            ).inc()
+    for subscriber in _SUBSCRIBERS:
+        try:
+            subscriber(record)
+        except Exception:  # a broken consumer must never kill the run
+            pass
+
+
+def add_subscriber(fn) -> None:
+    """Register a live record consumer (called with every record dict)."""
+    if fn not in _SUBSCRIBERS:
+        _SUBSCRIBERS.append(fn)
+
+
+def remove_subscriber(fn) -> None:
+    """Unregister a record consumer registered via :func:`add_subscriber`."""
+    if fn in _SUBSCRIBERS:
+        _SUBSCRIBERS.remove(fn)
 
 
 def drain_records() -> list[dict]:
@@ -212,6 +329,20 @@ def absorb(delta: dict | None, records: list[dict] | None) -> None:
     if not ENABLED:
         return
     if delta:
+        peaks = delta.get("job_peak_rss_bytes")
+        if peaks:
+            # peak gauges merge max-wise: a retried job that used less
+            # memory must not lower the recorded peak (gauge merge is
+            # otherwise last-writer-wins)
+            gauge = _REGISTRY.gauge("job_peak_rss_bytes", peaks.get("help", ""))
+            delta = dict(delta)
+            delta["job_peak_rss_bytes"] = dict(
+                peaks,
+                series={
+                    key: max(value, gauge.value(**dict(key)) or 0.0)
+                    for key, value in peaks["series"].items()
+                },
+            )
         _REGISTRY.merge(delta)
     for record in records or ():
         if record.get("type") == "span":
@@ -219,9 +350,48 @@ def absorb(delta: dict | None, records: list[dict] | None) -> None:
                 record["name"],
                 record.get("wall_s", 0.0),
                 record.get("cpu_s", 0.0),
+                record.get("rss_peak_bytes", 0),
             )
-        if _WRITER is not None:
-            _WRITER.write(record)
+        _emit(record)
+
+
+# -- trace context -------------------------------------------------------------
+
+
+def current_trace_id() -> str | None:
+    """This process's active trace id (``None`` when disabled)."""
+    return _TRACE_ID
+
+
+def set_trace_context(wire) -> None:
+    """Adopt a cross-process :class:`~repro.obs.context.TraceContext`.
+
+    Called by a pool worker with the ``(trace_id, parent_span_id)`` wire
+    tuple that arrived with a dispatched job: subsequent root spans (the
+    worker's ``pipeline.job``) parent on the supervisor-side span instead
+    of floating free.
+    """
+    global _TRACE_ID, _BOUNDARY_PARENT
+    ctx = TraceContext.from_wire(wire)
+    if ctx.trace_id is not None:
+        _TRACE_ID = ctx.trace_id
+    _BOUNDARY_PARENT = ctx.parent_span_id
+
+
+def propagation_context() -> tuple[str | None, str | None] | None:
+    """The wire context a dispatcher ships with a job (``None`` when off).
+
+    The parent span id is the innermost open span of the calling thread
+    — for the executor, the ``pipeline.batch`` span — so everything the
+    receiving process records hangs off it.
+    """
+    if not ENABLED:
+        return None
+    parent = current_span()
+    return TraceContext(
+        trace_id=_TRACE_ID,
+        parent_span_id=parent.span_id if parent is not None else None,
+    ).to_wire()
 
 
 # -- spans ---------------------------------------------------------------------
@@ -231,7 +401,24 @@ def _stack() -> list:
     stack = getattr(_LOCAL, "stack", None)
     if stack is None:
         stack = _LOCAL.stack = []
+    # (re-)register every call: disable() swaps the list object out, and
+    # a dict store under the GIL is cheap and idempotent
+    _STACKS[threading.get_ident()] = stack
     return stack
+
+
+def open_spans() -> list:
+    """Every live span in the process, outermost first per thread.
+
+    Read by the resource-profiler thread to attribute a sample to the
+    spans open at sampling time.  Thread-safe to *read* under the GIL
+    (list append/pop are atomic); the snapshot may be one span stale,
+    which is fine for sampling.
+    """
+    out = []
+    for stack in list(_STACKS.values()):
+        out.extend(stack)
+    return out
 
 
 class Span:
@@ -243,9 +430,13 @@ class Span:
         "children",
         "depth",
         "parent_name",
+        "trace_id",
+        "span_id",
+        "parent_id",
         "t_start",
         "wall_s",
         "cpu_s",
+        "rss_peak",
         "_cpu_start",
     )
 
@@ -255,9 +446,13 @@ class Span:
         self.children: list[Span] = []
         self.depth = 0
         self.parent_name: str | None = None
+        self.trace_id: str | None = None
+        self.span_id: str | None = None
+        self.parent_id: str | None = None
         self.t_start = 0.0
         self.wall_s = 0.0
         self.cpu_s = 0.0
+        self.rss_peak = 0  # peak RSS bytes sampled while open (profiler)
         self._cpu_start = 0.0
 
     def set(self, **attrs) -> None:
@@ -265,12 +460,20 @@ class Span:
         self.attrs.update(attrs)
 
     def __enter__(self) -> "Span":
+        global _TRACE_ID
+        if _TRACE_ID is None:
+            _TRACE_ID = new_trace_id()
+        self.trace_id = _TRACE_ID
+        self.span_id = new_span_id()
         stack = _stack()
         if stack:
             parent = stack[-1]
             self.depth = parent.depth + 1
             self.parent_name = parent.name
+            self.parent_id = parent.span_id
             parent.children.append(self)
+        else:
+            self.parent_id = _BOUNDARY_PARENT
         stack.append(self)
         self.t_start = time.time()
         self._cpu_start = time.process_time()
@@ -286,20 +489,28 @@ class Span:
             return
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
-        _COLLECTOR.add(self.name, self.wall_s, self.cpu_s)
-        _emit(
-            {
-                "type": "span",
-                "t": self.t_start,
-                "name": self.name,
-                "attrs": self.attrs,
-                "wall_s": self.wall_s,
-                "cpu_s": self.cpu_s,
-                "depth": self.depth,
-                "parent": self.parent_name,
-                "pid": os.getpid(),
-            }
-        )
+        _COLLECTOR.add(self.name, self.wall_s, self.cpu_s, self.rss_peak)
+        _REGISTRY.counter(
+            "spans_total", "spans completed, by span name"
+        ).inc(name=self.name)
+        record = {
+            "type": "span",
+            "t": self.t_start,
+            "name": self.name,
+            "attrs": self.attrs,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "depth": self.depth,
+            "parent": self.parent_name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+        }
+        if self.rss_peak:
+            record["rss_peak_bytes"] = int(self.rss_peak)
+        _emit(record)
 
     def tree(self, indent: int = 0) -> str:
         """Render this span's subtree, one line per span."""
@@ -318,6 +529,10 @@ class _NullSpan:
     children: list = []
     wall_s = 0.0
     cpu_s = 0.0
+    rss_peak = 0
+    trace_id: str | None = None
+    span_id: str | None = None
+    parent_id: str | None = None
 
     def set(self, **attrs) -> None:
         pass
@@ -364,6 +579,7 @@ def event(name: str, **attrs) -> None:
             "t": time.time(),
             "name": name,
             "attrs": attrs,
+            "trace_id": _TRACE_ID,
             "pid": os.getpid(),
         }
     )

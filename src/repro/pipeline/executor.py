@@ -153,6 +153,9 @@ class JobOutcome:
     metrics: dict | None = None
     obs_records: list = field(default_factory=list)
     pid: int = 0
+    # peak RSS the resource profiler sampled while the job span was open
+    # (0 when profiling is off)
+    peak_rss_bytes: int = 0
 
     @property
     def ok(self) -> bool:
@@ -271,7 +274,9 @@ def execute_job(
     plan = faults.active_plan()
     snap_before = obs.registry().snapshot() if obs.ENABLED else None
     t_job = time.perf_counter()
-    with obs.span("pipeline.job", attempt=attempt, **spec.obs_attrs()):
+    with obs.span(
+        "pipeline.job", attempt=attempt, **spec.obs_attrs()
+    ) as job_span:
         try:
             keys = stage_cache_keys(spec)
             ctx = StageContext(spec)
@@ -325,6 +330,7 @@ def execute_job(
             )
             outcome.error_kind = "exception"
     outcome.elapsed = time.perf_counter() - t_job
+    outcome.peak_rss_bytes = int(job_span.rss_peak)
     if obs.ENABLED:
         obs.counter_inc(
             "pipeline_jobs_total",
@@ -431,6 +437,8 @@ class PipelineExecutor:
         with obs.span(
             "pipeline.batch", jobs=len(specs), workers=pool_size
         ):
+            # where worker-side root spans hang: (trace_id, batch span id)
+            trace_ctx = obs.propagation_context()
             remaining = list(enumerate(specs))
             if resume and cache is not None:
                 remaining = []
@@ -458,6 +466,8 @@ class PipelineExecutor:
                         cache_dir=self.cache_dir,
                         policy=self.policy,
                         collect=collect,
+                        trace_ctx=trace_ctx,
+                        profile_interval=obs.profile_interval(),
                     )
         result = BatchResult(
             outcomes=[by_index[i] for i in range(len(specs))],

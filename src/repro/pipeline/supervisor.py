@@ -40,18 +40,24 @@ __all__ = ["run_supervised"]
 TICK_S = 0.05
 
 
-def _worker_main(inbox, results, cache_dir, obs_enabled) -> None:
-    """Worker loop: take ``(index, spec, attempt)`` until ``None``."""
+def _worker_main(
+    inbox, results, cache_dir, obs_enabled, profile_interval=0.0
+) -> None:
+    """Worker loop: take ``(index, spec, attempt, trace_ctx)`` until
+    ``None``."""
     from . import executor
 
     executor._IN_POOL_WORKER = True
-    obs.worker_mode(obs_enabled)
+    obs.worker_mode(obs_enabled, profile_interval=profile_interval)
     cache = ResultCache(cache_dir) if cache_dir else None
     while True:
         item = inbox.get()
         if item is None:
             return
-        index, spec, attempt = item
+        index, spec, attempt, trace_ctx = item
+        # adopt the supervisor's trace context: this worker's root span
+        # (pipeline.job) parents on the supervisor's pipeline.batch span
+        obs.set_trace_context(trace_ctx)
         outcome = execute_job(spec, cache, attempt=attempt)
         results.put((index, attempt, os.getpid(), outcome))
 
@@ -72,21 +78,31 @@ class _Worker:
 
     __slots__ = ("proc", "inbox", "job_index", "dispatched_at")
 
-    def __init__(self, ctx, results, cache_dir, obs_enabled) -> None:
+    def __init__(
+        self, ctx, results, cache_dir, obs_enabled, profile_interval=0.0
+    ) -> None:
         self.inbox = ctx.SimpleQueue()
         self.proc = ctx.Process(
             target=_worker_main,
-            args=(self.inbox, results, cache_dir, obs_enabled),
+            args=(
+                self.inbox,
+                results,
+                cache_dir,
+                obs_enabled,
+                profile_interval,
+            ),
             daemon=True,
         )
         self.proc.start()
         self.job_index: int | None = None
         self.dispatched_at = 0.0
 
-    def dispatch(self, index: int, spec: JobSpec, attempt: int) -> None:
+    def dispatch(
+        self, index: int, spec: JobSpec, attempt: int, trace_ctx=None
+    ) -> None:
         self.job_index = index
         self.dispatched_at = time.monotonic()
-        self.inbox.put((index, spec, attempt))
+        self.inbox.put((index, spec, attempt, trace_ctx))
 
     def kill(self) -> None:
         self.proc.kill()
@@ -99,9 +115,17 @@ def run_supervised(
     cache_dir: str | None,
     policy: RetryPolicy,
     collect,
+    trace_ctx=None,
+    profile_interval: float = 0.0,
 ) -> None:
     """Run ``indexed_specs`` on a supervised pool, finalizing each job
-    exactly once through ``collect(index, outcome)``."""
+    exactly once through ``collect(index, outcome)``.
+
+    ``trace_ctx`` is the executor's propagation context (the batch
+    span); it rides along with every dispatched job so worker spans join
+    the batch's causal tree.  ``profile_interval`` > 0 starts a resource
+    profiler in every worker at that period.
+    """
     ctx = _pool_context()
     results = ctx.Queue()
     obs_enabled = obs.ENABLED
@@ -110,7 +134,8 @@ def run_supervised(
     waiting: list[tuple[float, int]] = []  # (eligible_at, index) heap
     open_jobs = len(jobs)
     pool = [
-        _Worker(ctx, results, cache_dir, obs_enabled) for _ in range(workers)
+        _Worker(ctx, results, cache_dir, obs_enabled, profile_interval)
+        for _ in range(workers)
     ]
 
     def finalize(index: int, outcome: JobOutcome) -> None:
@@ -155,7 +180,7 @@ def run_supervised(
         )
 
     def replace(worker: _Worker) -> _Worker:
-        fresh = _Worker(ctx, results, cache_dir, obs_enabled)
+        fresh = _Worker(ctx, results, cache_dir, obs_enabled, profile_interval)
         pool[pool.index(worker)] = fresh
         obs.counter_inc(
             "pipeline_worker_respawns_total",
@@ -174,7 +199,9 @@ def run_supervised(
                     index = ready.pop(0)
                     state = jobs[index]
                     state.attempt += 1
-                    worker.dispatch(index, state.spec, state.attempt)
+                    worker.dispatch(
+                        index, state.spec, state.attempt, trace_ctx
+                    )
 
             # Sleep until something can happen: a result, a deadline
             # expiring, or a backoff elapsing.

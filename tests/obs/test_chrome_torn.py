@@ -1,0 +1,125 @@
+"""Chrome trace-event export and torn-tail JSONL tolerance (satellite 1)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import chrome_trace, write_chrome_trace
+from repro.obs.report import load_records, render_report, scan_records
+
+
+RECORDS = [
+    {"type": "span", "name": "pipeline.batch", "t_start": 10.0,
+     "wall_s": 2.0, "cpu_s": 1.5, "pid": 100, "tid": 1,
+     "trace_id": "t" * 32, "span_id": "b" * 16, "parent_id": None},
+    {"type": "span", "name": "pipeline.job", "t_start": 10.1,
+     "wall_s": 1.0, "cpu_s": 0.9, "pid": 200, "tid": 1,
+     "trace_id": "t" * 32, "span_id": "j" * 16, "parent_id": "b" * 16},
+    {"type": "event", "name": "emergency", "t": 10.5, "pid": 200, "tid": 1},
+    {"type": "sample", "t": 10.6, "rss_bytes": 50 << 20, "cpu_s": 0.4,
+     "pid": 200, "open_spans": ["pipeline.job"]},
+]
+
+
+class TestChromeTrace:
+    def test_spans_become_complete_events(self):
+        doc = chrome_trace(RECORDS)
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in xs} == {"pipeline.batch", "pipeline.job"}
+        job = next(e for e in xs if e["name"] == "pipeline.job")
+        assert job["pid"] == 200
+        assert job["dur"] == pytest.approx(1.0 * 1e6)
+        # span identity rides in args so span_tree() can rebuild the tree
+        assert job["args"]["span_id"] == "j" * 16
+        assert job["args"]["parent_id"] == "b" * 16
+
+    def test_events_and_samples_map_to_instant_and_counter(self):
+        doc = chrome_trace(RECORDS)
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"X", "i", "C"} <= phases
+        counter = next(e for e in doc["traceEvents"] if e["ph"] == "C")
+        assert counter["args"]["rss_mb"] == pytest.approx(
+            (50 << 20) / 1e6, abs=0.01
+        )
+
+    def test_trace_ids_recorded_in_other_data(self):
+        doc = chrome_trace(RECORDS)
+        assert doc["otherData"]["trace_ids"] == ["t" * 32]
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_write_returns_event_count(self, tmp_path):
+        out = tmp_path / "trace.json"
+        count = write_chrome_trace(RECORDS, out)
+        doc = json.loads(out.read_text())
+        assert count == len(doc["traceEvents"]) == 4
+
+    def test_chrome_mode_writes_on_finish(self, tmp_path):
+        out = tmp_path / "trace.json"
+        obs.enable("chrome", path=str(out))
+        try:
+            with obs.span("pipeline.batch"):
+                with obs.span("pipeline.job", benchmark="gzip"):
+                    pass
+            obs.event("emergency", benchmark="gzip")
+        finally:
+            obs.finish()
+            obs.disable()
+        doc = json.loads(out.read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert names == {"pipeline.batch", "pipeline.job"}
+        tree = obs.span_tree(
+            [e["args"] | {"type": "span", "name": e["name"]}
+             for e in doc["traceEvents"] if e["ph"] == "X"]
+        )
+        assert [r["name"] for r in tree["roots"]] == ["pipeline.batch"]
+
+
+class TestTornTail:
+    def _torn_log(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        good = json.dumps({"type": "event", "name": "ok"})
+        path.write_text(good + "\n" + good + "\n" + '{"type": "spa')
+        return path
+
+    def test_scan_records_skips_and_counts(self, tmp_path):
+        records, skipped = scan_records(self._torn_log(tmp_path))
+        assert len(records) == 2 and skipped == 1
+
+    def test_load_records_stays_strict(self, tmp_path):
+        with pytest.raises(ValueError, match="torn.jsonl:3"):
+            load_records(self._torn_log(tmp_path))
+
+    def test_render_report_announces_skips(self, tmp_path):
+        text = render_report(self._torn_log(tmp_path))
+        assert "2 records" in text
+        assert "skipped 1 malformed line(s)" in text
+
+    def test_clean_log_reports_no_skips(self, tmp_path):
+        path = tmp_path / "ok.jsonl"
+        path.write_text(json.dumps({"type": "event", "name": "x"}) + "\n")
+        assert "skipped" not in render_report(path)
+
+    def test_obs_report_cli_survives_torn_log(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["obs", "report", str(self._torn_log(tmp_path))])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "skipped 1 malformed line(s)" in out
+
+
+class TestObsChromeCli:
+    def test_obs_chrome_converts_a_log(self, tmp_path, capsys):
+        from repro.cli import main
+
+        log = tmp_path / "run.jsonl"
+        lines = [json.dumps(r) for r in RECORDS]
+        lines.append('{"type": "spa')  # torn tail must not block it
+        log.write_text("\n".join(lines) + "\n")
+        out = tmp_path / "trace.json"
+        code = main(["obs", "chrome", str(log), "--output", str(out)])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert len(doc["traceEvents"]) == 4
+        assert "trace.json" in capsys.readouterr().out

@@ -1,0 +1,115 @@
+"""Trace-context propagation: ids, wire format, tree reconstruction."""
+
+import pytest
+
+from repro import obs
+from repro.obs import trace
+from repro.obs.context import TraceContext, new_span_id, new_trace_id
+
+
+@pytest.fixture
+def enabled():
+    obs.enable("summary")
+    yield
+    obs.disable()
+
+
+class TestIds:
+    def test_id_shapes(self):
+        tid, sid = new_trace_id(), new_span_id()
+        assert len(tid) == 32 and int(tid, 16) >= 0
+        assert len(sid) == 16 and int(sid, 16) >= 0
+
+    def test_ids_are_unique(self):
+        assert len({new_span_id() for _ in range(256)}) == 256
+
+    def test_wire_round_trip(self):
+        ctx = TraceContext(trace_id="a" * 32, parent_span_id="b" * 16)
+        assert TraceContext.from_wire(ctx.to_wire()) == ctx
+        assert TraceContext.from_wire(None) == TraceContext()
+
+
+class TestSpanIds:
+    def test_every_span_gets_ids_under_one_trace(self, enabled):
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                pass
+        assert outer.trace_id == inner.trace_id == obs.current_trace_id()
+        assert outer.span_id != inner.span_id
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_trace_id_survives_across_root_spans(self, enabled):
+        with obs.span("a") as a:
+            pass
+        with obs.span("b") as b:
+            pass
+        assert a.trace_id == b.trace_id
+
+    def test_disabled_spans_have_no_ids(self):
+        obs.disable()
+        with obs.span("x") as s:
+            pass
+        assert s.span_id is None and s.trace_id is None
+
+
+class TestBoundary:
+    def test_set_trace_context_adopts_trace_and_parent(self, enabled):
+        wire = ("f" * 32, "e" * 16)
+        obs.set_trace_context(wire)
+        with obs.span("root") as root:
+            with obs.span("child") as child:
+                pass
+        assert root.trace_id == "f" * 32
+        assert root.parent_id == "e" * 16  # boundary parent
+        assert child.parent_id == root.span_id  # normal nesting inside
+
+    def test_propagation_context_names_the_open_span(self, enabled):
+        with obs.span("pipeline.batch") as batch:
+            wire = obs.propagation_context()
+        assert wire == (batch.trace_id, batch.span_id)
+
+    def test_propagation_context_none_when_disabled(self):
+        obs.disable()
+        assert obs.propagation_context() is None
+
+    def test_worker_round_trip_parents_on_supervisor_span(self, enabled):
+        with obs.span("pipeline.batch") as batch:
+            wire = obs.propagation_context()
+        # simulate the forked worker
+        obs.worker_mode(True)
+        obs.set_trace_context(wire)
+        with obs.span("pipeline.job"):
+            pass
+        records = obs.drain_records()
+        (job,) = [r for r in records if r["name"] == "pipeline.job"]
+        assert job["trace_id"] == batch.trace_id
+        assert job["parent_id"] == batch.span_id
+
+
+class TestSpanTree:
+    def test_tree_reconstruction(self):
+        records = [
+            {"type": "span", "span_id": "b1", "parent_id": None, "name": "batch"},
+            {"type": "span", "span_id": "j1", "parent_id": "b1", "name": "job"},
+            {"type": "span", "span_id": "s1", "parent_id": "j1", "name": "stage"},
+            {"type": "span", "span_id": "x1", "parent_id": "gone", "name": "lost"},
+            {"type": "event", "name": "not-a-span"},
+        ]
+        tree = obs.span_tree(records)
+        assert [r["name"] for r in tree["roots"]] == ["batch"]
+        assert [r["name"] for r in tree["children"]["b1"]] == ["job"]
+        assert [r["name"] for r in tree["children"]["j1"]] == ["stage"]
+        assert [r["name"] for r in tree["orphans"]] == ["lost"]
+        assert set(tree["by_id"]) == {"b1", "j1", "s1", "x1"}
+
+    def test_records_carry_pid_and_tid(self, enabled):
+        obs.disable()
+        obs.enable("jsonl", path="/dev/null")
+        captured = []
+        trace.add_subscriber(captured.append)
+        with obs.span("x"):
+            pass
+        (record,) = captured
+        assert record["pid"] > 0 and record["tid"] > 0
+        assert record["span_id"] and record["trace_id"]

@@ -1,0 +1,121 @@
+"""Resource profiler: /proc sampling, span attribution, gauge peaks."""
+
+import pytest
+
+from repro import obs
+from repro.obs import trace
+from repro.obs.profiler import ResourceProfiler, read_resources
+
+
+@pytest.fixture
+def enabled():
+    obs.enable("summary")
+    yield
+    obs.disable()
+
+
+class TestReadResources:
+    def test_sample_has_all_fields(self):
+        sample = read_resources()
+        assert set(sample) == {"rss_bytes", "cpu_s", "read_bytes", "write_bytes"}
+        assert sample["rss_bytes"] > 0  # a live interpreter is tens of MB
+        assert sample["cpu_s"] >= 0.0
+        assert sample["read_bytes"] >= 0 and sample["write_bytes"] >= 0
+
+    def test_rss_is_plausible(self):
+        # more than one page, less than a terabyte
+        rss = read_resources()["rss_bytes"]
+        assert 4096 < rss < 1 << 40
+
+
+class TestSampleOnce:
+    def test_noop_when_disabled(self):
+        obs.disable()
+        profiler = ResourceProfiler(0.05)
+        sample = profiler.sample_once()
+        assert profiler.samples == 1
+        assert sample["rss_bytes"] > 0
+        # no registry side effects while disabled
+        obs.enable("summary")
+        try:
+            reg = trace.registry()
+            assert reg.gauge("process_rss_bytes", "").value() is None
+        finally:
+            obs.disable()
+
+    def test_sets_process_gauges_and_counter(self, enabled):
+        profiler = ResourceProfiler(0.05)
+        profiler.sample_once(emit=False)
+        reg = trace.registry()
+        assert reg.gauge("process_rss_bytes", "").value() > 0
+        assert reg.gauge("process_rss_peak_bytes", "").value() > 0
+        assert reg.counter("profiler_samples_total").value() == 1
+        profiler.sample_once(emit=False)
+        assert reg.counter("profiler_samples_total").value() == 2
+
+    def test_attributes_peak_to_open_spans(self, enabled):
+        profiler = ResourceProfiler(0.05)
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                profiler.sample_once(emit=False)
+                assert outer.rss_peak > 0
+                assert inner.rss_peak == outer.rss_peak
+        with obs.span("later") as later:
+            pass
+        assert later.rss_peak == 0  # no sample while it was open
+
+    def test_job_peak_gauge_tracks_max_per_benchmark(self, enabled):
+        profiler = ResourceProfiler(0.05)
+        reg = trace.registry()
+        with obs.span("pipeline.job", benchmark="mcf"):
+            profiler.sample_once(emit=False)
+            first = reg.gauge("job_peak_rss_bytes", "").value(job="mcf")
+            assert first > 0
+            # a lower reading must not lower the recorded peak
+            gauge = reg.gauge("job_peak_rss_bytes", "")
+            gauge.set(first * 100, job="mcf")
+            profiler.sample_once(emit=False)
+            assert gauge.value(job="mcf") == first * 100
+
+    def test_emits_sample_record_with_open_span_names(self, enabled):
+        captured = []
+        trace.add_subscriber(captured.append)
+        try:
+            profiler = ResourceProfiler(0.05)
+            with obs.span("pipeline.batch"):
+                profiler.sample_once()
+        finally:
+            trace.remove_subscriber(captured.append)
+        samples = [r for r in captured if r["type"] == "sample"]
+        assert len(samples) == 1
+        assert "pipeline.batch" in samples[0]["open_spans"]
+        assert samples[0]["rss_bytes"] > 0
+        assert samples[0]["trace_id"] == obs.current_trace_id()
+
+
+class TestThread:
+    def test_start_stop_collects_samples(self, enabled):
+        profiler = ResourceProfiler(0.01)
+        profiler.start()
+        profiler.start()  # idempotent
+        import time
+
+        deadline = time.time() + 2.0
+        while profiler.samples < 3 and time.time() < deadline:
+            time.sleep(0.01)
+        profiler.stop()
+        assert profiler.samples >= 3
+        assert profiler.rss_peak > 0
+        profiler.stop()  # idempotent
+
+    def test_enable_with_interval_starts_profiler(self):
+        obs.enable("summary", profile_interval=0.01)
+        try:
+            assert obs.profile_interval() == 0.01
+            import time
+
+            time.sleep(0.05)
+            reg = trace.registry()
+            assert reg.counter("profiler_samples_total").value() >= 1
+        finally:
+            obs.disable()

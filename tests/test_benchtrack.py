@@ -1,0 +1,243 @@
+"""Perf-regression tracking: directions, thresholds, noise floor, history."""
+
+import json
+
+import pytest
+
+from repro.benchtrack import (
+    DEFAULT_THRESHOLD,
+    NOISE_MULTIPLIER,
+    append_history,
+    compare_benchmarks,
+    compare_files,
+    flatten_metrics,
+    metric_direction,
+    render_comparison,
+)
+
+
+def doc(quick=False, **overrides):
+    """A small bench-document skeleton in the BENCH_kernels.json shape."""
+    base = {
+        "quick": quick,
+        "kernels": {
+            "wavedec": {
+                "reference_s": 0.8,
+                "vectorized_s": 0.02,
+                "speedup": 40.0,
+                "repeats": 5,
+                "max_abs_diff": 1e-13,
+            }
+        },
+        "end_to_end": {
+            "characterize_batch": {"speedup": 42.0, "vectorized_s": 0.03}
+        },
+    }
+    for path, value in overrides.items():
+        node = base
+        *parents, leaf = path.split("__")
+        for part in parents:
+            node = node[part]
+        node[leaf] = value
+    return base
+
+
+class TestDirections:
+    @pytest.mark.parametrize(
+        "name,want",
+        [
+            ("kernels.wavedec.speedup", "higher"),
+            ("scan.gb_per_s", "higher"),
+            ("end_to_end.store_traces_per_s", "higher"),
+            ("kernels.wavedec.vectorized_s", "lower"),
+            ("ingest.seconds", "lower"),
+            ("kernels.wavedec.max_abs_diff", "info"),
+            ("kernels.wavedec.repeats", "info"),
+            ("end_to_end.characterize_batch.cycles", "info"),
+            ("ingest.bytes", "info"),
+            ("obs_overhead.benchmarks", "info"),
+        ],
+    )
+    def test_leaf_decides(self, name, want):
+        assert metric_direction(name) == want
+
+
+class TestFlatten:
+    def test_nested_numeric_leaves_with_dots(self):
+        flat = flatten_metrics(doc())
+        assert flat["kernels.wavedec.speedup"] == 40.0
+        assert flat["end_to_end.characterize_batch.vectorized_s"] == 0.03
+        assert "quick" not in flat  # booleans skipped
+
+    def test_non_numeric_leaves_skipped(self):
+        flat = flatten_metrics({"a": "text", "b": {"c": [1, 2]}, "d": 3})
+        assert flat == {"d": 3.0}
+
+
+class TestCompare:
+    def test_identical_docs_are_ok(self):
+        result = compare_benchmarks(doc(), doc())
+        assert result.ok
+        assert result.regressions == [] and result.improvements == []
+
+    def test_speedup_drop_beyond_threshold_regresses(self):
+        current = doc(kernels__wavedec__speedup=40.0 * 0.7)  # -30% > 25%
+        result = compare_benchmarks(doc(), current)
+        assert not result.ok
+        (r,) = result.regressions
+        assert r.name == "kernels.wavedec.speedup"
+        assert r.direction == "higher"
+
+    def test_timing_growth_beyond_threshold_regresses(self):
+        current = doc(kernels__wavedec__vectorized_s=0.02 * 1.5)
+        result = compare_benchmarks(doc(), current)
+        assert [r.name for r in result.regressions] == [
+            "kernels.wavedec.vectorized_s"
+        ]
+
+    def test_moves_within_threshold_pass(self):
+        current = doc(
+            kernels__wavedec__speedup=40.0 * 0.8,  # -20% < 25%
+            kernels__wavedec__vectorized_s=0.02 * 1.2,
+        )
+        assert compare_benchmarks(doc(), current).ok
+
+    def test_info_metrics_never_gate(self):
+        current = doc(kernels__wavedec__max_abs_diff=1.0)  # 13 decades worse
+        assert compare_benchmarks(doc(), current).ok
+
+    def test_improvement_flagged_not_failed(self):
+        result = compare_benchmarks(doc(), doc(kernels__wavedec__speedup=80.0))
+        assert result.ok
+        assert [d.name for d in result.improvements] == [
+            "kernels.wavedec.speedup"
+        ]
+
+    def test_noise_floor_widens_small_timings(self):
+        base = doc(kernels__wavedec__vectorized_s=0.001)  # 1 ms, sub-floor
+        jittery = doc(kernels__wavedec__vectorized_s=0.0018)  # +80%
+        result = compare_benchmarks(base, jittery)
+        assert result.ok  # widened to 25% * 4 = 100%
+        delta = next(
+            d for d in result.deltas
+            if d.name == "kernels.wavedec.vectorized_s"
+        )
+        assert delta.noisy
+        assert delta.threshold == DEFAULT_THRESHOLD * NOISE_MULTIPLIER
+        # but a genuine blow-up still fails even under the floor
+        blown = doc(kernels__wavedec__vectorized_s=0.003)  # +200%
+        assert not compare_benchmarks(base, blown).ok
+
+    def test_quick_vs_full_refused_by_default(self):
+        result = compare_benchmarks(doc(quick=False), doc(quick=True))
+        assert result.skipped_quick_mismatch
+        assert not result.ok
+        assert result.deltas == []
+        assert "REFUSED" in render_comparison(result)
+
+    def test_quick_mismatch_can_be_allowed(self):
+        result = compare_benchmarks(
+            doc(quick=False), doc(quick=True), allow_quick_mismatch=True
+        )
+        assert result.ok and result.deltas
+
+    def test_missing_and_added_metrics_reported(self):
+        current = doc()
+        current["kernels"]["newkernel"] = {"speedup": 2.0}
+        del current["end_to_end"]["characterize_batch"]
+        result = compare_benchmarks(doc(), current)
+        assert result.ok  # structure drift alone does not gate
+        assert "kernels.newkernel.speedup" in result.added
+        assert "end_to_end.characterize_batch.speedup" in result.missing
+
+
+class TestRender:
+    def test_render_names_regressions(self):
+        result = compare_benchmarks(doc(), doc(kernels__wavedec__speedup=1.0))
+        text = render_comparison(result)
+        assert "REGRESSED" in text and "kernels.wavedec.speedup" in text
+        assert "verdict: FAIL (1 regression(s)" in text
+
+    def test_render_ok_verdict(self):
+        text = render_comparison(compare_benchmarks(doc(), doc()))
+        assert "verdict: OK" in text
+
+
+class TestFilesAndHistory:
+    def test_compare_files_round_trip(self, tmp_path):
+        base_p = tmp_path / "base.json"
+        cur_p = tmp_path / "cur.json"
+        base_p.write_text(json.dumps(doc()))
+        cur_p.write_text(json.dumps(doc(kernels__wavedec__speedup=1.0)))
+        result = compare_files(base_p, cur_p)
+        assert not result.ok
+        assert result.baseline_path == str(base_p)
+
+    def test_history_appends_jsonl(self, tmp_path):
+        history = tmp_path / "BENCH_history.jsonl"
+        result = compare_benchmarks(doc(), doc())
+        append_history(history, result, extra={"source": "test"})
+        append_history(history, result)
+        lines = history.read_text().splitlines()
+        assert len(lines) == 2
+        entry = json.loads(lines[0])
+        assert entry["ok"] is True
+        assert entry["source"] == "test"
+        assert entry["t"] > 0
+        assert "kernels.wavedec.speedup" in entry["metrics"]
+
+
+class TestTool:
+    """tools/bench_compare.py exit-code contract."""
+
+    def _run(self, *argv):
+        import importlib.util
+        from pathlib import Path
+
+        spec = importlib.util.spec_from_file_location(
+            "bench_compare",
+            Path(__file__).resolve().parent.parent / "tools/bench_compare.py",
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        return mod.main(list(argv))
+
+    def test_ok_exits_zero(self, tmp_path, capsys):
+        p = tmp_path / "b.json"
+        p.write_text(json.dumps(doc()))
+        code = self._run(
+            "--baseline", str(p), "--current", str(p),
+            "--history", str(tmp_path / "h.jsonl"),
+        )
+        assert code == 0
+        assert "verdict: OK" in capsys.readouterr().out
+        assert (tmp_path / "h.jsonl").exists()
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        base_p = tmp_path / "base.json"
+        cur_p = tmp_path / "cur.json"
+        base_p.write_text(json.dumps(doc()))
+        cur_p.write_text(json.dumps(doc(kernels__wavedec__speedup=1.0)))
+        code = self._run(
+            "--baseline", str(base_p), "--current", str(cur_p), "--no-history"
+        )
+        assert code == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_missing_file_is_usage_error(self, tmp_path):
+        p = tmp_path / "b.json"
+        p.write_text(json.dumps(doc()))
+        with pytest.raises(SystemExit) as err:
+            self._run("--baseline", str(p), "--current", "/nope.json")
+        assert err.value.code == 2
+
+    def test_committed_baselines_match_committed_results(self):
+        """The CI gate contract: repo HEAD always compares clean."""
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        for name in ("BENCH_kernels.json", "BENCH_store.json"):
+            result = compare_files(
+                root / "benchmarks/baselines" / name, root / name
+            )
+            assert result.ok, render_comparison(result)

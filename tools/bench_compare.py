@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Diff bench results against a committed baseline; exit 1 on regression.
+
+The CI perf gate::
+
+    PYTHONPATH=src python tools/bench_compare.py \
+        --baseline benchmarks/baselines/BENCH_kernels.json \
+        --current BENCH_kernels.json
+
+compares every shared numeric metric with noise-aware thresholds (see
+:mod:`repro.benchtrack`): speedups and throughputs must not drop, raw
+timings must not grow, by more than ``--threshold`` (default 25%) —
+widened for sub-noise-floor timings.  Each run appends its verdict to
+``BENCH_history.jsonl`` (``--history`` to relocate, ``--no-history`` to
+skip), building a queryable perf trajectory across commits.
+
+Exit codes: 0 ok, 1 regression (or quick/full mode mismatch), 2 usage.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.benchtrack import (  # noqa: E402
+    DEFAULT_NOISE_FLOOR_S,
+    DEFAULT_THRESHOLD,
+    append_history,
+    compare_files,
+    render_comparison,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail on benchmark regressions vs a committed baseline"
+    )
+    parser.add_argument(
+        "--baseline", required=True, help="committed baseline JSON"
+    )
+    parser.add_argument(
+        "--current", required=True, help="freshly measured (or committed) JSON"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="relative regression threshold (default %(default)s)",
+    )
+    parser.add_argument(
+        "--noise-floor",
+        type=float,
+        default=DEFAULT_NOISE_FLOOR_S,
+        metavar="SECONDS",
+        help="timings at/below this get a widened threshold "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--allow-quick-mismatch",
+        action="store_true",
+        help="permit comparing quick-mode against full-mode numbers",
+    )
+    parser.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        help="append the verdict here (default %(default)s)",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append to the history trajectory",
+    )
+    args = parser.parse_args(argv)
+
+    for path in (args.baseline, args.current):
+        if not Path(path).is_file():
+            parser.error(f"no such file: {path}")
+
+    result = compare_files(
+        args.baseline,
+        args.current,
+        threshold=args.threshold,
+        noise_floor_s=args.noise_floor,
+        allow_quick_mismatch=args.allow_quick_mismatch,
+    )
+    print(render_comparison(result))
+    if not args.no_history:
+        append_history(args.history, result)
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
