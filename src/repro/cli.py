@@ -28,6 +28,16 @@ Four commands cover the repo's main flows:
 * ``obs`` — observability utilities: ``obs report`` renders a JSONL
   log, ``obs chrome`` converts one to a Perfetto-viewable Chrome trace,
   ``obs serve`` exposes a recorded log over the live HTTP endpoint.
+* ``serve`` — the characterization service (``docs/SERVE.md``): an
+  asyncio front-end that answers cache hits without a worker, coalesces
+  misses into pool batches, enforces per-client quotas and bounded
+  admission, streams results as chunked JSONL and drains gracefully on
+  SIGTERM.  Binds port 0 by default and prints (and ``--port-file``
+  writes) the actual bound address, so nothing ever races on a fixed
+  port.
+* ``loadgen`` — deterministic constant/Poisson/burst load against a
+  live server; writes ``BENCH_serve.json`` (requests/sec, p50/p99
+  latency, cache-hit ratio) for the benchtrack compare gate.
 
 Every command accepts the global ``--obs {off,summary,jsonl,prom,chrome}``
 flag (before or after the subcommand) selecting the telemetry exporter,
@@ -129,6 +139,13 @@ def _obs_options() -> argparse.ArgumentParser:
              "supervisor and every pool worker (default off)",
     )
     parent.add_argument(
+        "--obs-port-file",
+        default=argparse.SUPPRESS,
+        metavar="PATH",
+        help="write the bound obs endpoint address as 'host port' "
+             "(use with --obs-listen HOST:0 for ephemeral ports)",
+    )
+    parent.add_argument(
         "--kernel-backend",
         choices=("vectorized", "reference"),
         default=argparse.SUPPRESS,
@@ -163,6 +180,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         metavar="SECONDS",
         help="resource-profiler sampling period (default off)",
+    )
+    parser.add_argument(
+        "--obs-port-file",
+        default=None,
+        metavar="PATH",
+        help="write the bound obs endpoint address as 'host port' "
+             "(use with --obs-listen HOST:0 for ephemeral ports)",
     )
     parser.add_argument(
         "--kernel-backend",
@@ -389,6 +413,105 @@ def build_parser() -> argparse.ArgumentParser:
         "--duration", type=float, default=None, metavar="SECONDS",
         help="stop after this long (default: run until interrupted)",
     )
+    oserve.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the actual bound 'host port' here once listening "
+             "(for scripts/CI using an ephemeral port)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="characterization service (see docs/SERVE.md)",
+        parents=[obs_opts],
+    )
+    serve.add_argument(
+        "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="bind address (default %(default)s; port 0 = ephemeral, "
+             "the real address is printed once bound)",
+    )
+    serve.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the actual bound 'host port' here once listening",
+    )
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="pipeline worker processes (default 1)")
+    serve.add_argument("--cache-dir", default=".repro-cache",
+                       help="content-addressed result cache the fast "
+                            "path answers from (default .repro-cache)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache (every request "
+                            "computes; for benchmarking the miss path)")
+    serve.add_argument("--store", default=None, metavar="DIR",
+                       help="trace-store directory served for "
+                            "by-reference (trace_id) requests")
+    serve.add_argument("--spool", default=None, metavar="DIR",
+                       help="store directory inline uploads are "
+                            "ingested into (default: a temp spool)")
+    serve.add_argument("--quota-rate", type=float, default=0.0,
+                       metavar="PER_S",
+                       help="per-client token refill rate; 0 disables "
+                            "quotas (default 0)")
+    serve.add_argument("--quota-burst", type=float, default=8.0,
+                       help="per-client token bucket depth (default 8)")
+    serve.add_argument("--max-pending", type=int, default=32,
+                       help="bounded admission: max unique jobs queued "
+                            "or in flight before 503 (default 32)")
+    serve.add_argument("--batch-window", type=float, default=0.02,
+                       metavar="SECONDS",
+                       help="coalescing window before a batch "
+                            "dispatches (default 0.02)")
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="max unique jobs per pool batch (default 8)")
+    serve.add_argument("--retries", type=int, default=0,
+                       help="per-job retry budget (default 0)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-job wall-clock budget (forces the "
+                            "supervised pool; default none)")
+    serve.add_argument("--duration", type=float, default=None,
+                       metavar="SECONDS",
+                       help="drain and exit after this long (default: "
+                            "run until SIGTERM/SIGINT)")
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="deterministic load generation against a live `repro serve`",
+        parents=[obs_opts],
+    )
+    loadgen.add_argument("--target", required=True, metavar="HOST:PORT",
+                         help="the server's bound address (as printed "
+                              "by `repro serve` / its --port-file)")
+    loadgen.add_argument("--pattern", choices=("constant", "poisson",
+                                               "burst"),
+                         default="poisson",
+                         help="arrival pattern (default poisson)")
+    loadgen.add_argument("--rate", type=float, default=20.0,
+                         help="offered load, requests/second "
+                              "(default 20)")
+    loadgen.add_argument("--count", type=int, default=40,
+                         help="total requests (default 40)")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="PRNG seed: same seed + knobs replays the "
+                              "identical request sequence (default 0)")
+    loadgen.add_argument("--burst-size", type=int, default=4,
+                         help="arrivals per group for --pattern burst "
+                              "(default 4)")
+    loadgen.add_argument("--cycles", type=int, default=2048,
+                         help="cycles per requested characterization "
+                              "(default 2048)")
+    loadgen.add_argument("--quick", action="store_true",
+                         help="CI-smoke sizes (8 requests, small "
+                              "cycles); marks the bench doc quick")
+    loadgen.add_argument("--output", default="BENCH_serve.json",
+                         help="bench JSON path (default BENCH_serve."
+                              "json; '-' to skip writing)")
+    loadgen.add_argument("--compare", default=None, metavar="BASELINE",
+                         help="diff against this committed baseline; "
+                              "exit 1 on regression")
+    loadgen.add_argument("--compare-threshold", type=float, default=None,
+                         metavar="FRACTION",
+                         help="relative regression threshold for "
+                              "--compare (default 0.25)")
     return parser
 
 
@@ -956,6 +1079,8 @@ def _cmd_obs_serve(args) -> int:
         + ")",
         flush=True,
     )
+    if args.port_file:
+        _write_port_file(args.port_file, server.host, server.port)
     try:
         if args.duration is not None:
             _time.sleep(args.duration)
@@ -967,6 +1092,133 @@ def _cmd_obs_serve(args) -> int:
     finally:
         server.stop()
     return EXIT_OK
+
+
+def _write_port_file(path: str, host: str, port: int) -> None:
+    """Publish the actual bound address for scripts waiting on it.
+
+    Written atomically (temp + rename), so a reader polling the path
+    never sees a half-written line.
+    """
+    tmp = f"{path}.{os.getpid()}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(f"{host} {port}\n")
+    os.replace(tmp, path)
+
+
+def _cmd_serve(args) -> int:
+    import asyncio as _asyncio
+
+    from .serve import ServeConfig, ServeServer
+
+    try:
+        host, port = obs.parse_listen(args.listen)
+    except ValueError as exc:
+        raise UsageError(str(exc)) from None
+    config = ServeConfig(
+        host=host,
+        port=port,
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        store_dir=args.store,
+        spool_dir=args.spool,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        max_pending=args.max_pending,
+        batch_window_s=args.batch_window,
+        max_batch=args.max_batch,
+        retries=args.retries,
+        timeout_s=args.timeout,
+    )
+
+    async def run() -> dict:
+        server = await ServeServer(config).start()
+        print(f"serve listening on {server.url}", flush=True)
+        if args.port_file:
+            _write_port_file(args.port_file, server.host, server.port)
+        await server.serve_until_shutdown(duration=args.duration)
+        return server.snapshot_stats()
+
+    stats = _asyncio.run(run())
+    print(
+        f"serve drained: {stats['requests']} requests "
+        f"({stats['ok']} ok, {stats['errors']} failed, "
+        f"{stats['cache_fastpath']} from cache, "
+        f"{stats['dispatched_jobs']} jobs dispatched)",
+        flush=True,
+    )
+    return EXIT_OK
+
+
+def _cmd_loadgen(args) -> int:
+    import asyncio as _asyncio
+    import json
+
+    from .serve import loadgen as lg
+
+    try:
+        host, port = obs.parse_listen(args.target)
+    except ValueError as exc:
+        raise UsageError(str(exc)) from None
+    count = min(args.count, 8) if args.quick else args.count
+    cycles = min(args.cycles, 1024) if args.quick else args.cycles
+    try:
+        run = _asyncio.run(
+            lg.run_loadgen(
+                host,
+                port,
+                pattern=args.pattern,
+                rate=args.rate,
+                count=count,
+                seed=args.seed,
+                burst_size=args.burst_size,
+                cycles=cycles,
+            )
+        )
+    except (ConnectionError, OSError) as exc:
+        raise UsageError(
+            f"cannot reach server at {args.target}: {exc}"
+        ) from None
+    doc = lg.summarize(run, quick=args.quick)
+    summary = doc["loadgen"]
+    if args.output != "-":
+        lg.write_bench(doc, args.output)
+    print(
+        f"loadgen {summary['pattern']} x{summary['requests']} "
+        f"(seed {run['seed']}): "
+        f"{summary['requests_per_s']:.1f} req/s, "
+        f"p50 {summary['latency_p50_s'] * 1000:.1f} ms, "
+        f"p99 {summary['latency_p99_s'] * 1000:.1f} ms, "
+        f"cache-hit {summary['cache_hit_ratio'] * 100:.0f}%, "
+        f"{summary['rejected']} rejected"
+        + (f"\nwrote {args.output}" if args.output != "-" else "")
+    )
+    failed = summary["accepted"] - summary["ok"]
+    if not args.compare:
+        return EXIT_PARTIAL if failed else EXIT_OK
+
+    from .benchtrack import (
+        DEFAULT_THRESHOLD,
+        append_history,
+        compare_benchmarks,
+        render_comparison,
+    )
+
+    try:
+        with open(args.compare, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except OSError as exc:
+        raise UsageError(f"cannot read --compare baseline: {exc}") from None
+    comparison = compare_benchmarks(
+        baseline,
+        doc,
+        threshold=args.compare_threshold or DEFAULT_THRESHOLD,
+        baseline_path=args.compare,
+        current_path=args.output if args.output != "-" else "<fresh run>",
+    )
+    print(render_comparison(comparison))
+    append_history("BENCH_history.jsonl", comparison)
+    return EXIT_OK if comparison.ok and not failed else EXIT_PARTIAL
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -982,9 +1234,12 @@ def main(argv: list[str] | None = None) -> int:
     obs_mode = getattr(args, "obs", "off")
     obs_listen = getattr(args, "obs_listen", None)
     obs_profile = float(getattr(args, "obs_profile", 0.0) or 0.0)
-    if obs_mode == "off" and (obs_listen or obs_profile > 0):
+    if obs_mode == "off" and (
+        obs_listen or obs_profile > 0 or args.command == "serve"
+    ):
         # a live endpoint or profiler without an exporter still needs
-        # the telemetry plane on; summary is the cheapest exporter
+        # the telemetry plane on (as does the serve command's /metrics
+        # route); summary is the cheapest exporter
         obs_mode = "summary"
     server = None
     if obs_mode != "off":
@@ -1005,6 +1260,9 @@ def main(argv: list[str] | None = None) -> int:
                 f"obs endpoint {server.url} — /metrics /healthz /events",
                 flush=True,
             )
+            port_file = getattr(args, "obs_port_file", None)
+            if port_file:
+                _write_port_file(port_file, server.host, server.port)
     try:
         return _dispatch(args)
     except UsageError as exc:
@@ -1078,6 +1336,10 @@ def _dispatch(args) -> int:
             print(_cmd_obs_chrome(args))
         elif args.obs_command == "serve":
             return _cmd_obs_serve(args)
+    elif args.command == "serve":
+        return _cmd_serve(args)
+    elif args.command == "loadgen":
+        return _cmd_loadgen(args)
     elif args.command == "report":
         from .report import QUICK_SUBSET, generate_report
 

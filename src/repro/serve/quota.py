@@ -1,0 +1,105 @@
+"""Per-client token-bucket quotas for the characterization service.
+
+A classic token bucket: ``burst`` tokens of capacity, refilled at
+``rate`` tokens/second, one token per accepted request.  Buckets are
+created lazily per client id (the ``X-Client`` header, the request's
+``client`` field, or the peer address), so "millions of users" cost one
+small object per *active* client, and idle buckets are pruned once they
+are indistinguishable from a fresh one (full again).
+
+The clock is injectable so tests exercise refill behavior without
+sleeping.  A denied request learns ``retry_after_s`` — the exact time
+until one token exists — which the server surfaces as a 429 with a
+``Retry-After`` header; a well-behaved loadgen backs off by it.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["TokenBucket", "QuotaRegistry"]
+
+
+class TokenBucket:
+    """``burst``-deep bucket refilling at ``rate`` tokens/second."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated", "_clock")
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be at least 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._clock = clock
+        self.updated = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self.tokens = min(
+            self.burst, self.tokens + (now - self.updated) * self.rate
+        )
+        self.updated = now
+
+    def try_acquire(self, n: float = 1.0) -> tuple[bool, float]:
+        """``(granted, retry_after_s)`` — retry_after is 0 when granted."""
+        self._refill()
+        if self.tokens >= n:
+            self.tokens -= n
+            return True, 0.0
+        return False, (n - self.tokens) / self.rate
+
+    @property
+    def full(self) -> bool:
+        self._refill()
+        return self.tokens >= self.burst
+
+
+class QuotaRegistry:
+    """Lazily-created per-client buckets; ``rate <= 0`` disables quotas."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float = 8.0,
+        clock=time.monotonic,
+        prune_every: int = 1024,
+    ) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._prune_every = prune_every
+        self._checks = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def check(self, client: str) -> tuple[bool, float]:
+        """Spend one token of ``client``'s bucket (always granted when
+        quotas are disabled)."""
+        if not self.enabled:
+            return True, 0.0
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = self._buckets[client] = TokenBucket(
+                self.rate, self.burst, clock=self._clock
+            )
+        self._checks += 1
+        if self._checks % self._prune_every == 0:
+            self.prune()
+        return bucket.try_acquire()
+
+    def prune(self) -> int:
+        """Drop buckets that refilled to full (same as never existing)."""
+        idle = [c for c, b in self._buckets.items() if b.full]
+        for client in idle:
+            del self._buckets[client]
+        return len(idle)
+
+    @property
+    def active_clients(self) -> int:
+        return len(self._buckets)

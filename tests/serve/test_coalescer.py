@@ -1,0 +1,337 @@
+"""Coalescer property and concurrency tests against a fake runner.
+
+The coalescer only relies on ``spec.digest()`` and the outcome shape,
+so a fake spec/outcome pair keeps these tests instant while the real
+asyncio machinery (dispatch task, thread-offloaded runner, threadsafe
+routing) runs for real.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve.coalescer import BatchCoalescer
+from repro.serve.protocol import AdmissionError, DrainingError
+
+
+class FakeSpec:
+    """Digest-keyed stand-in for a JobSpec."""
+
+    def __init__(self, name: str) -> None:
+        self.benchmark = name
+        self.stages = ("fake",)
+
+    def digest(self) -> str:
+        return f"digest-{self.benchmark}"
+
+
+class FakeOutcome:
+    def __init__(self, spec, ok=True, estimated=None):
+        self.spec = spec
+        self.ok = ok
+        self.artifacts = (
+            {"characterize": {"estimated": estimated}}
+            if estimated is not None
+            else {}
+        )
+        self.cache_hits = {}
+        self.attempts = 1
+        self.elapsed = 0.01
+        self._fail = (
+            None
+            if ok
+            else {"kind": "crash", "stage": "fake", "attempts": 1,
+                  "error": f"{spec.benchmark} failed"}
+        )
+
+    def failure(self):
+        return self._fail
+
+
+class RecordingRunner:
+    """Synchronous runner double: records every batch it executes."""
+
+    def __init__(self, outcome_for=None, gate=None, error=None):
+        self.calls: list[list] = []
+        self.outcome_for = outcome_for or (lambda s: FakeOutcome(s))
+        self.gate = gate
+        self.error = error
+
+    def __call__(self, specs, progress):
+        self.calls.append(list(specs))
+        if self.gate is not None:
+            assert self.gate.wait(30)
+        if self.error is not None:
+            raise self.error
+        for spec in specs:
+            progress(self.outcome_for(spec))
+
+    @property
+    def total_jobs(self) -> int:
+        return sum(len(call) for call in self.calls)
+
+
+async def collect(sub) -> list[dict]:
+    return [event async for event in sub.events()]
+
+
+def run(coro, timeout: float = 30.0):
+    async def guarded():
+        return await asyncio.wait_for(coro, timeout)
+
+    return asyncio.run(guarded())
+
+
+class TestCoalescing:
+    def test_n_identical_requests_one_job_n_streams(self):
+        runner = RecordingRunner()
+
+        async def scenario():
+            coalescer = BatchCoalescer(runner, batch_window_s=0.01).start()
+            spec = FakeSpec("gzip")
+            subs = [
+                await coalescer.submit(spec, f"req-{i}") for i in range(5)
+            ]
+            streams = await asyncio.gather(*(collect(s) for s in subs))
+            await coalescer.drain()
+            return coalescer, streams
+
+        coalescer, streams = run(scenario())
+        assert runner.total_jobs == 1  # one pipeline job for 5 requests
+        assert len(streams) == 5  # ...but five full result streams
+        for i, events in enumerate(streams):
+            assert events[-1] == {
+                "type": "done", "ok": True, "request_id": f"req-{i}",
+            }
+            result = next(e for e in events if e["type"] == "result")
+            assert result["benchmark"] == "gzip"
+            assert result["request_id"] == f"req-{i}"
+        assert coalescer.stats["submitted"] == 5
+        assert coalescer.stats["coalesced"] == 4
+        assert coalescer.stats["dispatched_jobs"] == 1
+
+    def test_distinct_requests_never_cross_deliver(self):
+        runner = RecordingRunner(
+            outcome_for=lambda s: FakeOutcome(
+                s, estimated=float(len(s.benchmark))
+            )
+        )
+
+        async def scenario():
+            coalescer = BatchCoalescer(runner, batch_window_s=0.01).start()
+            names = ["gzip", "mcf", "art", "gcc", "vpr", "twolf"]
+            subs = {
+                name: await coalescer.submit(FakeSpec(name), f"req-{name}")
+                for name in names
+            }
+            streams = {
+                name: await collect(sub) for name, sub in subs.items()
+            }
+            await coalescer.drain()
+            return streams
+
+        streams = run(scenario())
+        for name, events in streams.items():
+            result = next(e for e in events if e["type"] == "result")
+            # each stream carries exactly its own job's result
+            assert result["benchmark"] == name
+            assert result["estimated"] == float(len(name))
+            assert result["request_id"] == f"req-{name}"
+            assert all(
+                e.get("request_id") == f"req-{name}" for e in events
+            )
+
+    def test_interleaved_duplicates_coalesce_across_batches(self):
+        gate = threading.Event()
+        runner = RecordingRunner(gate=gate)
+
+        async def scenario():
+            coalescer = BatchCoalescer(
+                runner, batch_window_s=0.005, max_batch=1
+            ).start()
+            sub_a = await coalescer.submit(FakeSpec("gzip"), "a")
+            # wait until the job is in flight, then subscribe again:
+            # the duplicate must piggyback, not start a second job
+            for _ in range(1000):
+                if coalescer.stats["batches"]:
+                    break
+                await asyncio.sleep(0.005)
+            sub_b = await coalescer.submit(FakeSpec("gzip"), "b")
+            gate.set()
+            events_a, events_b = await asyncio.gather(
+                collect(sub_a), collect(sub_b)
+            )
+            await coalescer.drain()
+            return events_a, events_b
+
+        events_a, events_b = run(scenario())
+        assert runner.total_jobs == 1
+        assert events_a[-1]["ok"] and events_b[-1]["ok"]
+        states_b = [e.get("state") for e in events_b if e["type"] == "status"]
+        assert "coalesced" in states_b
+
+    def test_batch_window_groups_distinct_jobs(self):
+        runner = RecordingRunner()
+
+        async def scenario():
+            coalescer = BatchCoalescer(
+                runner, batch_window_s=0.05, max_batch=8
+            ).start()
+            subs = [
+                await coalescer.submit(FakeSpec(f"b{i}"), f"req-{i}")
+                for i in range(4)
+            ]
+            await asyncio.gather(*(collect(s) for s in subs))
+            await coalescer.drain()
+
+        run(scenario())
+        assert runner.total_jobs == 4
+        assert len(runner.calls) == 1  # one batch, four jobs
+
+
+class TestAdmission:
+    def test_bounded_admission_rejects_past_max_pending(self):
+        runner = RecordingRunner()
+
+        async def scenario():
+            # window long enough that nothing dispatches during the test
+            coalescer = BatchCoalescer(
+                runner, batch_window_s=5.0, max_pending=2
+            ).start()
+            sub_a = await coalescer.submit(FakeSpec("a"), "ra")
+            sub_b = await coalescer.submit(FakeSpec("b"), "rb")
+            with pytest.raises(AdmissionError) as excinfo:
+                await coalescer.submit(FakeSpec("c"), "rc")
+            # duplicates of queued jobs are still free (no new job)
+            dup = await coalescer.submit(FakeSpec("a"), "ra2")
+            await coalescer.drain()
+            await asyncio.gather(
+                collect(sub_a), collect(sub_b), collect(dup)
+            )
+            return coalescer, excinfo.value
+
+        coalescer, error = run(scenario())
+        assert error.details["queue_depth"] == 2
+        assert coalescer.stats["rejected_admission"] == 1
+        assert runner.total_jobs == 2
+
+    def test_draining_rejects_new_submits(self):
+        runner = RecordingRunner()
+
+        async def scenario():
+            coalescer = BatchCoalescer(runner, batch_window_s=0.01).start()
+            sub = await coalescer.submit(FakeSpec("a"), "ra")
+            events = await collect(sub)
+            await coalescer.drain()
+            with pytest.raises(DrainingError):
+                await coalescer.submit(FakeSpec("b"), "rb")
+            return events
+
+        events = run(scenario())
+        assert events[-1]["ok"] is True
+
+    def test_drain_flushes_pending_work(self):
+        runner = RecordingRunner()
+
+        async def scenario():
+            # window far longer than the test: only drain can flush
+            coalescer = BatchCoalescer(runner, batch_window_s=60.0).start()
+            sub = await coalescer.submit(FakeSpec("a"), "ra")
+            drain_task = asyncio.create_task(coalescer.drain())
+            events = await collect(sub)
+            await drain_task
+            return events
+
+        events = run(scenario())
+        assert runner.total_jobs == 1
+        assert events[-1] == {"type": "done", "ok": True,
+                              "request_id": "ra"}
+
+
+class TestCacheFastPath:
+    def test_fastpath_skips_the_runner(self):
+        runner = RecordingRunner()
+        hits = []
+
+        def try_cache(spec):
+            hits.append(spec.benchmark)
+            return FakeOutcome(spec, estimated=0.5)
+
+        async def scenario():
+            coalescer = BatchCoalescer(
+                runner, try_cache=try_cache, batch_window_s=0.01
+            ).start()
+            sub = await coalescer.submit(FakeSpec("gzip"), "r1")
+            events = await collect(sub)
+            await coalescer.drain()
+            return coalescer, events
+
+        coalescer, events = run(scenario())
+        assert runner.calls == []  # zero dispatches
+        assert hits == ["gzip"]
+        assert [e["type"] for e in events] == ["status", "result", "done"]
+        assert events[0]["state"] == "cached"
+        assert coalescer.stats["cache_fastpath"] == 1
+        assert coalescer.stats["dispatched_jobs"] == 0
+
+    def test_cache_miss_falls_through_to_runner(self):
+        runner = RecordingRunner()
+
+        async def scenario():
+            coalescer = BatchCoalescer(
+                runner, try_cache=lambda spec: None, batch_window_s=0.01
+            ).start()
+            sub = await coalescer.submit(FakeSpec("gzip"), "r1")
+            events = await collect(sub)
+            await coalescer.drain()
+            return events
+
+        events = run(scenario())
+        assert runner.total_jobs == 1
+        assert events[-1]["ok"] is True
+
+
+class TestFailureDelivery:
+    def test_job_error_reaches_every_subscriber(self):
+        runner = RecordingRunner(
+            outcome_for=lambda s: FakeOutcome(s, ok=False)
+        )
+
+        async def scenario():
+            coalescer = BatchCoalescer(runner, batch_window_s=0.01).start()
+            spec = FakeSpec("gzip")
+            subs = [
+                await coalescer.submit(spec, f"r{i}") for i in range(3)
+            ]
+            streams = await asyncio.gather(*(collect(s) for s in subs))
+            await coalescer.drain()
+            return coalescer, streams
+
+        coalescer, streams = run(scenario())
+        for events in streams:
+            error = next(e for e in events if e["type"] == "error")
+            assert error["kind"] == "crash"
+            assert events[-1]["ok"] is False
+        assert coalescer.stats["job_errors"] == 1
+
+    def test_runner_exception_fails_all_streams(self):
+        runner = RecordingRunner(error=RuntimeError("pool exploded"))
+
+        async def scenario():
+            coalescer = BatchCoalescer(runner, batch_window_s=0.01).start()
+            sub_a = await coalescer.submit(FakeSpec("a"), "ra")
+            sub_b = await coalescer.submit(FakeSpec("b"), "rb")
+            streams = await asyncio.gather(collect(sub_a), collect(sub_b))
+            await coalescer.drain()
+            return streams
+
+        streams = run(scenario())
+        for events in streams:
+            error = next(e for e in events if e["type"] == "error")
+            assert error["kind"] == "internal"
+            assert "pool exploded" in error["message"]
+            assert events[-1] == {
+                "type": "done", "ok": False,
+                "request_id": events[-1]["request_id"],
+            }

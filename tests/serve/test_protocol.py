@@ -1,0 +1,307 @@
+"""Wire-protocol round trips: request validation and spec building.
+
+Pure-function coverage — no sockets, no event loop.  The spec-building
+tests construct a default :class:`PowerSupplyNetwork` directly instead
+of running the stressmark calibration, so they are instant.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.pipeline.spec import DEFAULT_STAGES, STORE_STAGES
+from repro.power import PowerSupplyNetwork
+from repro.serve.protocol import (
+    MAX_INLINE_SAMPLES,
+    RequestError,
+    ServeRequest,
+    build_spec,
+    encode_event,
+    error_event,
+    parse_request,
+    result_event,
+)
+from repro.store import TraceStore
+
+
+def network_for(impedance: float) -> PowerSupplyNetwork:
+    return PowerSupplyNetwork(impedance_scale=impedance / 100.0)
+
+
+class TestParseRequest:
+    def test_named_workload_round_trip(self):
+        request = parse_request(
+            {"benchmark": "gzip", "cycles": 4096, "seed": 7, "window": 128}
+        )
+        assert request.kind == "characterize"
+        assert request.source == "workload"
+        assert request.benchmark == "gzip"
+        assert request.cycles == 4096
+        assert request.seed == 7
+        assert request.window == 128
+
+    def test_defaults_match_pipeline_defaults(self):
+        request = parse_request({"benchmark": "gzip"})
+        assert request.cycles == 32768
+        assert request.warmup_cycles == 4096
+        assert request.window == 256
+        assert request.threshold == 0.97
+        assert request.impedance == 150.0
+
+    def test_body_must_be_object(self):
+        with pytest.raises(RequestError):
+            parse_request(["not", "an", "object"])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(RequestError, match="unknown kind"):
+            parse_request({"kind": "explode", "benchmark": "gzip"})
+
+    def test_exactly_one_trace_source(self):
+        with pytest.raises(RequestError, match="exactly one"):
+            parse_request({})
+        with pytest.raises(RequestError, match="exactly one"):
+            parse_request({"benchmark": "gzip", "trace_id": "tr-x"})
+        with pytest.raises(RequestError, match="exactly one"):
+            parse_request(
+                {"benchmark": "gzip", "trace": {"samples": [1.0]}}
+            )
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(RequestError, match="unknown benchmark"):
+            parse_request({"benchmark": "not-a-spec-workload"})
+
+    def test_inline_trace_parsed(self):
+        request = parse_request(
+            {"trace": {"samples": [1.0, 2.5, 3.0], "label": "probe"}}
+        )
+        assert request.source == "inline"
+        assert request.samples == (1.0, 2.5, 3.0)
+        assert request.label == "probe"
+
+    def test_inline_trace_size_capped(self):
+        with pytest.raises(RequestError, match="too large"):
+            parse_request(
+                {"trace": {"samples": [0.0] * (MAX_INLINE_SAMPLES + 1)}}
+            )
+
+    def test_inline_trace_needs_numbers(self):
+        with pytest.raises(RequestError, match="numbers"):
+            parse_request({"trace": {"samples": [1.0, "nope"]}})
+
+    def test_empty_inline_trace_rejected(self):
+        with pytest.raises(RequestError, match="no samples"):
+            parse_request({"trace": {"samples": []}})
+
+    def test_control_requires_named_workload(self):
+        with pytest.raises(RequestError, match="named workload"):
+            parse_request(
+                {"kind": "control", "trace": {"samples": [1.0]}}
+            )
+        with pytest.raises(RequestError, match="named workload"):
+            parse_request({"kind": "control", "trace_id": "tr-x"})
+        request = parse_request({"kind": "control", "benchmark": "gzip"})
+        assert request.kind == "control"
+
+    def test_numeric_field_validation(self):
+        with pytest.raises(RequestError, match="'cycles'"):
+            parse_request({"benchmark": "gzip", "cycles": "many"})
+        with pytest.raises(RequestError, match="'cycles'"):
+            parse_request({"benchmark": "gzip", "cycles": 0})
+        with pytest.raises(RequestError, match="'window'"):
+            parse_request({"benchmark": "gzip", "window": 1})
+
+    def test_params_must_be_scalar(self):
+        with pytest.raises(RequestError, match="scalar"):
+            parse_request(
+                {"benchmark": "gzip", "params": {"nested": {"no": 1}}}
+            )
+
+    def test_params_sorted_for_digest_stability(self):
+        a = parse_request(
+            {"benchmark": "gzip", "params": {"b": 1, "a": 2}}
+        )
+        b = parse_request(
+            {"benchmark": "gzip", "params": {"a": 2, "b": 1}}
+        )
+        assert a.params == b.params == (("a", 2), ("b", 1))
+
+    def test_client_field(self):
+        request = parse_request({"benchmark": "gzip", "client": "ci"})
+        assert request.client == "ci"
+        with pytest.raises(RequestError, match="'client'"):
+            parse_request({"benchmark": "gzip", "client": 7})
+
+
+class TestBuildSpec:
+    def test_workload_spec(self):
+        request = parse_request(
+            {"benchmark": "gzip", "cycles": 2048, "seed": 3}
+        )
+        spec = build_spec(
+            request, network_for=network_for, store=None, spool=None
+        )
+        assert spec.benchmark == "gzip"
+        assert spec.stages == DEFAULT_STAGES
+        assert spec.cycles == 2048
+        assert spec.seed == 3
+        assert spec.trace is None
+        assert spec.network is not None
+
+    def test_identical_requests_share_a_digest(self):
+        doc = {"benchmark": "gzip", "cycles": 2048, "seed": 3}
+        spec_a = build_spec(
+            parse_request(doc), network_for=network_for, store=None,
+            spool=None,
+        )
+        spec_b = build_spec(
+            parse_request(dict(doc)), network_for=network_for, store=None,
+            spool=None,
+        )
+        assert spec_a.digest() == spec_b.digest()
+
+    def test_control_spec(self):
+        request = parse_request({"kind": "control", "benchmark": "gzip"})
+        spec = build_spec(
+            request, network_for=network_for, store=None, spool=None
+        )
+        assert spec.stages == ("control",)
+        assert spec.param("scheme") == "wavelet"
+
+    def test_inline_upload_goes_through_spool(self, tmp_path):
+        spool = TraceStore(tmp_path / "spool", mode="a")
+        rng = np.random.default_rng(0)
+        samples = list(rng.normal(40.0, 5.0, 256))
+        request = parse_request(
+            {"trace": {"samples": samples, "label": "probe"}}
+        )
+        spec = build_spec(
+            request, network_for=network_for, store=None, spool=spool
+        )
+        assert spec.stages == STORE_STAGES
+        assert spec.trace is not None
+        assert spec.cycles == 256
+        assert len(spool) == 1
+
+    def test_inline_reupload_dedupes(self, tmp_path):
+        spool = TraceStore(tmp_path / "spool", mode="a")
+        samples = [float(i) for i in range(64)]
+        doc = {"trace": {"samples": samples, "label": "probe"}}
+        spec_a = build_spec(
+            parse_request(doc), network_for=network_for, store=None,
+            spool=spool,
+        )
+        spec_b = build_spec(
+            parse_request(json.loads(json.dumps(doc))),
+            network_for=network_for, store=None, spool=spool,
+        )
+        assert spec_a.digest() == spec_b.digest()
+        assert len(spool) == 1
+
+    def test_ref_request_without_store_rejected(self):
+        request = parse_request({"trace_id": "tr-anything"})
+        with pytest.raises(RequestError, match="no trace store"):
+            build_spec(
+                request, network_for=network_for, store=None, spool=None
+            )
+
+    def test_ref_request_resolves_record(self, tmp_path):
+        store = TraceStore(tmp_path / "store", mode="a")
+        record = store.ingest(
+            np.linspace(30.0, 50.0, 128), "gzip",
+            generator={"benchmark": "gzip", "cycles": 128, "seed": 1,
+                       "warmup_cycles": 0},
+        )
+        request = parse_request({"trace_id": record.trace_id})
+        spec = build_spec(
+            request, network_for=network_for, store=store, spool=None
+        )
+        assert spec.stages == STORE_STAGES
+        assert spec.benchmark == "gzip"
+        assert spec.cycles == 128
+
+    def test_ref_request_unknown_id_rejected(self, tmp_path):
+        store = TraceStore(tmp_path / "store", mode="a")
+        request = parse_request({"trace_id": "tr-missing"})
+        with pytest.raises(RequestError, match="not found"):
+            build_spec(
+                request, network_for=network_for, store=store, spool=None
+            )
+
+    def test_inline_without_spool_rejected(self):
+        request = parse_request({"trace": {"samples": [1.0, 2.0]}})
+        with pytest.raises(RequestError, match="no spool"):
+            build_spec(
+                request, network_for=network_for, store=None, spool=None
+            )
+
+
+class _Outcome:
+    """A minimal stand-in for a pipeline JobOutcome."""
+
+    def __init__(self, ok=True, artifacts=None, cache_hits=None,
+                 attempts=1, fail=None):
+        from repro.pipeline.spec import JobSpec
+
+        self.spec = JobSpec("gzip", stages=("simulate",))
+        self.ok = ok
+        self.artifacts = artifacts or {}
+        self.cache_hits = cache_hits or {}
+        self.attempts = attempts
+        self.elapsed = 0.25
+        self._fail = fail
+
+    def failure(self):
+        return self._fail
+
+
+class TestEvents:
+    def test_result_event_characterization(self):
+        outcome = _Outcome(
+            artifacts={
+                "characterize": {"estimated": 0.05},
+                "voltage": {"observed": 0.04},
+            },
+            cache_hits={"simulate": True, "voltage": True},
+        )
+        event = result_event("req-1", outcome)
+        assert event["type"] == "result"
+        assert event["request_id"] == "req-1"
+        assert event["ok"] is True
+        assert event["estimated"] == 0.05
+        assert event["observed"] == 0.04
+        assert event["error"] == pytest.approx(0.01)
+        assert event["cache_hit"] is True
+
+    def test_result_event_partial_hits_not_a_cache_hit(self):
+        outcome = _Outcome(
+            artifacts={"voltage": {"observed": 0.04}},
+            cache_hits={"simulate": True, "voltage": False},
+        )
+        assert result_event("r", outcome)["cache_hit"] is False
+
+    def test_error_event_is_structured(self):
+        outcome = _Outcome(
+            ok=False,
+            fail={"kind": "crash", "stage": "simulate", "attempts": 2,
+                  "error": "worker died"},
+        )
+        event = error_event("req-2", outcome)
+        assert event["type"] == "error"
+        assert event["ok"] is False
+        assert event["kind"] == "crash"
+        assert event["stage"] == "simulate"
+        assert event["attempts"] == 2
+        assert event["message"] == "worker died"
+        assert "Traceback" not in json.dumps(event)
+
+    def test_encode_event_is_jsonl(self):
+        line = encode_event({"type": "done", "ok": True})
+        assert line.endswith(b"\n")
+        assert json.loads(line) == {"type": "done", "ok": True}
+
+
+def test_source_property():
+    assert ServeRequest(benchmark="gzip").source == "workload"
+    assert ServeRequest(trace_id="tr-1").source == "ref"
+    assert ServeRequest(samples=(1.0,)).source == "inline"

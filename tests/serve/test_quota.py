@@ -1,0 +1,86 @@
+"""Token-bucket quota behavior under a fake clock (no sleeping)."""
+
+import pytest
+
+from repro.serve.quota import QuotaRegistry, TokenBucket
+
+
+class Clock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestTokenBucket:
+    def test_burst_then_deny(self):
+        clock = Clock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert [bucket.try_acquire()[0] for _ in range(3)] == [True] * 3
+        granted, retry = bucket.try_acquire()
+        assert not granted
+        assert retry == pytest.approx(1.0)
+
+    def test_refill_grants_again(self):
+        clock = Clock()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        assert bucket.try_acquire()[0]
+        assert not bucket.try_acquire()[0]
+        clock.advance(0.5)  # 2 tokens/s * 0.5 s = exactly one token
+        assert bucket.try_acquire()[0]
+
+    def test_retry_after_is_exact(self):
+        clock = Clock()
+        bucket = TokenBucket(rate=4.0, burst=1, clock=clock)
+        bucket.try_acquire()
+        _, retry = bucket.try_acquire()
+        assert retry == pytest.approx(0.25)
+        clock.advance(0.1)
+        _, retry = bucket.try_acquire()
+        assert retry == pytest.approx(0.15)
+
+    def test_refill_caps_at_burst(self):
+        clock = Clock()
+        bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+        clock.advance(60.0)
+        assert bucket.try_acquire()[0]
+        assert bucket.try_acquire()[0]
+        assert not bucket.try_acquire()[0]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestQuotaRegistry:
+    def test_disabled_when_rate_nonpositive(self):
+        registry = QuotaRegistry(0.0)
+        assert not registry.enabled
+        assert registry.check("anyone") == (True, 0.0)
+        assert registry.active_clients == 0
+
+    def test_clients_are_isolated(self):
+        clock = Clock()
+        registry = QuotaRegistry(1.0, burst=1, clock=clock)
+        assert registry.check("alice")[0]
+        assert not registry.check("alice")[0]
+        assert registry.check("bob")[0]  # bob's bucket is untouched
+        assert registry.active_clients == 2
+
+    def test_prune_drops_refilled_buckets(self):
+        clock = Clock()
+        registry = QuotaRegistry(1.0, burst=1, clock=clock)
+        registry.check("alice")
+        registry.check("bob")
+        clock.advance(0.5)
+        registry.check("carol")  # alice/bob half-full, carol just spent
+        assert registry.prune() == 0
+        clock.advance(10.0)  # everyone refilled to burst
+        assert registry.prune() == 3
+        assert registry.active_clients == 0

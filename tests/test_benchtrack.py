@@ -236,7 +236,11 @@ class TestTool:
         from pathlib import Path
 
         root = Path(__file__).resolve().parent.parent
-        for name in ("BENCH_kernels.json", "BENCH_store.json"):
+        for name in (
+            "BENCH_kernels.json",
+            "BENCH_store.json",
+            "BENCH_serve.json",
+        ):
             result = compare_files(
                 root / "benchmarks/baselines" / name, root / name
             )
