@@ -21,9 +21,10 @@ import sys
 from repro.core import calibrated_supply
 from repro.experiments import Figure9Result
 from repro.pipeline import (
+    BatchOptions,
     build_characterization_jobs,
     predictions_from,
-    run_batch,
+    submit,
 )
 
 
@@ -38,7 +39,7 @@ def main(
     specs = build_characterization_jobs(
         names, net, cycles=16384, impedance=150.0
     )
-    batch = run_batch(specs, jobs=jobs, cache_dir=cache_dir)
+    batch = submit(specs, BatchOptions(jobs=jobs, cache_dir=cache_dir))
 
     print(f"{'benchmark':<10} {'simulate':>9} {'voltage':>9} "
           f"{'character':>9}  cache")

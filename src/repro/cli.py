@@ -46,9 +46,11 @@ serve live ``/metrics``, ``/healthz`` and ``/events`` endpoints while
 the command runs, and ``--obs-profile SECONDS`` to start the continuous
 resource profiler at that sampling period (supervisor and every pool
 worker); see ``docs/OBSERVABILITY.md``.
-``--kernel-backend {vectorized,reference}`` (again before or after the
-subcommand) pins the numerical kernel backend for the whole run,
-including pipeline worker processes.
+``--kernel-backend {batched,vectorized,reference}`` (again before or
+after the subcommand) pins the numerical kernel backend for the whole
+run, including pipeline worker processes; ``batched`` additionally
+fuses compatible characterization jobs into block dispatch units (see
+``docs/KERNELS.md``).
 
 Exit codes are uniform across commands: 0 — success; 1 — the work ran
 but some of it failed (a partial-failure batch, a failed job); 2 — the
@@ -147,10 +149,10 @@ def _obs_options() -> argparse.ArgumentParser:
     )
     parent.add_argument(
         "--kernel-backend",
-        choices=("vectorized", "reference"),
+        choices=("batched", "vectorized", "reference"),
         default=argparse.SUPPRESS,
-        help="numerical kernel backend (default vectorized; reference "
-             "is the scalar oracle, for debugging numerics)",
+        help="numerical kernel backend (default vectorized; batched "
+             "fuses multi-trace work, reference is the scalar oracle)",
     )
     return parent
 
@@ -190,7 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--kernel-backend",
-        choices=("vectorized", "reference"),
+        choices=("batched", "vectorized", "reference"),
         default=None,
         help="numerical kernel backend (default vectorized)",
     )
@@ -543,9 +545,10 @@ def _cmd_simulate(args) -> str:
 
 def _cmd_characterize(args) -> str:
     from .pipeline import (
+        BatchOptions,
         build_characterization_jobs,
         prediction_from_outcome,
-        run_batch,
+        submit,
     )
 
     net = calibrated_supply(args.impedance)
@@ -556,7 +559,9 @@ def _cmd_characterize(args) -> str:
         threshold=args.threshold,
         impedance=args.impedance,
     )
-    batch = run_batch(specs, jobs=args.jobs, cache_dir=args.cache_dir)
+    batch = submit(
+        specs, BatchOptions(jobs=args.jobs, cache_dir=args.cache_dir)
+    )
     if len(batch.outcomes) == 1:
         outcome = batch.outcomes[0]
         p = prediction_from_outcome(outcome)
@@ -625,12 +630,12 @@ def _batch_footer(batch) -> str:
 def _cmd_pipeline_run(args) -> int:
     from .experiments import Figure9Result
     from .pipeline import (
-        RetryPolicy,
+        BatchOptions,
         build_characterization_jobs,
         build_store_jobs,
         faults,
         predictions_from,
-        run_batch,
+        submit,
         suite_names,
     )
 
@@ -651,10 +656,16 @@ def _cmd_pipeline_run(args) -> int:
     cache_dir = None if args.no_cache else args.cache_dir
     if args.resume and not cache_dir:
         raise UsageError("--resume needs a cache (drop --no-cache)")
-    policy = RetryPolicy(
-        max_attempts=args.retries + 1,
+    options = BatchOptions(
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        retries=args.retries,
         timeout_s=args.timeout,
         backoff_s=args.backoff,
+        resume=args.resume,
+        raise_on_error=False,  # degrade gracefully: report, don't raise
+        store=args.store or None,
+        fault_plan=args.inject_faults or None,
     )
     net = calibrated_supply(args.impedance)
     if args.store:
@@ -702,26 +713,9 @@ def _cmd_pipeline_run(args) -> int:
         f"{cache_dir if cache_dir else 'disabled'}",
         flush=True,
     )
-    saved_plan = os.environ.get(faults.ENV_VAR)
-    try:
-        if args.inject_faults:
-            # the env var carries the plan into pipeline worker processes
-            os.environ[faults.ENV_VAR] = args.inject_faults
-        batch = run_batch(
-            specs,
-            jobs=args.jobs,
-            cache_dir=cache_dir,
-            progress=progress,
-            raise_on_error=False,  # degrade gracefully: report, don't raise
-            policy=policy,
-            resume=args.resume,
-        )
-    finally:
-        if args.inject_faults:
-            if saved_plan is None:
-                os.environ.pop(faults.ENV_VAR, None)
-            else:
-                os.environ[faults.ENV_VAR] = saved_plan
+    # submit() exports the fault plan (and kernel backend, when one is
+    # configured) to the environment for pool workers, restoring after.
+    batch = submit(specs, options, progress=progress)
     lines = ["", _batch_footer(batch)]
     predictions = predictions_from(batch)
     if predictions:
@@ -1226,11 +1220,11 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     backend = getattr(args, "kernel_backend", None)
     if backend:
-        from .kernels import set_backend
+        from .kernels import ENV_VAR, KernelConfig
 
         # The env var carries the choice into pipeline worker processes.
-        os.environ["REPRO_KERNEL_BACKEND"] = backend
-        set_backend(backend)
+        os.environ[ENV_VAR] = backend
+        KernelConfig(backend=backend).activate()
     obs_mode = getattr(args, "obs", "off")
     obs_listen = getattr(args, "obs_listen", None)
     obs_profile = float(getattr(args, "obs_profile", 0.0) or 0.0)

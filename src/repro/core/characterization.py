@@ -142,8 +142,13 @@ class WaveletVoltageEstimator:
             np.asarray(windows, dtype=float), self.levels
         )
 
-    def _voltage_params_from(self, stats) -> tuple[np.ndarray, np.ndarray]:
-        """Per-window Gaussian (mean, variance) from batched statistics."""
+    def voltage_params_from(self, stats) -> tuple[np.ndarray, np.ndarray]:
+        """Per-window Gaussian (mean, variance) from batched statistics.
+
+        Pure elementwise NumPy on a :class:`~repro.kernels.WindowStats`
+        — backend-independent, which is what lets every
+        ``characterize_block`` backend share it.
+        """
         v_var = np.zeros(stats.windows)
         for lvl in range(1, self.levels + 1):
             if self.keep_levels is not None and lvl not in self.keep_levels:
@@ -155,7 +160,7 @@ class WaveletVoltageEstimator:
         mean_v = self.network.vdd - stats.means * self.network.dc_resistance
         return mean_v, v_var
 
-    def _contribution_terms_from(self, stats) -> np.ndarray:
+    def contribution_terms_from(self, stats) -> np.ndarray:
         """Per-(level, window) voltage-variance terms from batched stats."""
         terms = np.empty((self.levels, stats.windows))
         for lvl in range(1, self.levels + 1):
@@ -176,7 +181,7 @@ class WaveletVoltageEstimator:
         :meth:`characterize_window` on ``windows[k]`` to float round-off
         (exactly, on the reference backend).
         """
-        return self._voltage_params_from(self._window_stats(windows))
+        return self.voltage_params_from(self._window_stats(windows))
 
     def window_probs_below(
         self, windows: np.ndarray, threshold: float
@@ -191,7 +196,7 @@ class WaveletVoltageEstimator:
         ``terms[j - 1, k]`` is level ``j``'s contribution in window
         ``k`` — the quantity :meth:`level_contributions` averages.
         """
-        return self._contribution_terms_from(self._window_stats(windows))
+        return self.contribution_terms_from(self._window_stats(windows))
 
     def characterize_windows(
         self, windows: np.ndarray, threshold: float
@@ -204,9 +209,9 @@ class WaveletVoltageEstimator:
         and :meth:`window_contribution_terms` separately.
         """
         stats = self._window_stats(windows)
-        mean_v, v_var = self._voltage_params_from(stats)
+        mean_v, v_var = self.voltage_params_from(stats)
         probs = get_kernel("gaussian_prob_below")(mean_v, v_var, threshold)
-        return probs, self._contribution_terms_from(stats)
+        return probs, self.contribution_terms_from(stats)
 
     def level_contributions(self, current: np.ndarray) -> dict[int, float]:
         """Mean per-level voltage-variance contribution over a trace.
@@ -289,6 +294,42 @@ class WaveletVoltageEstimator:
             "characterize_traces_total", 1, "whole-trace characterizations"
         )
         return float(probs.sum()) / count
+
+    def characterize_traces(
+        self, traces: np.ndarray, threshold: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """§4.1 probabilities and terms for a whole stack of traces.
+
+        ``traces`` is a rectangular ``(N, cycles)`` matrix; dispatches
+        the ``characterize_block`` kernel (one fused pass on the
+        ``batched`` backend).  Returns ``(probs, terms)`` of shapes
+        ``(N, W)`` and ``(N, levels, W)``; row ``k`` is bit-identical to
+        :meth:`characterize_windows` on trace ``k`` alone.
+        """
+        traces = np.asarray(traces)
+        with obs.span(
+            "characterize.block",
+            traces=int(traces.shape[0]) if traces.ndim == 2 else 0,
+            threshold=threshold,
+        ):
+            return get_kernel("characterize_block")(self, traces, threshold)
+
+    def estimate_traces(
+        self, traces: np.ndarray, threshold: float
+    ) -> np.ndarray:
+        """Per-trace below-threshold fractions for an ``(N, cycles)`` stack.
+
+        Element ``k`` equals :meth:`estimate_fraction_below` on trace
+        ``k`` to the bit.
+        """
+        probs, _ = self.characterize_traces(traces, threshold)
+        count = probs.shape[1]
+        obs.counter_inc(
+            "characterize_traces_total",
+            probs.shape[0],
+            "whole-trace characterizations",
+        )
+        return probs.sum(axis=1) / count
 
     def estimate_voltage_variance(self, current: np.ndarray) -> float:
         """Mean estimated per-window voltage variance over a trace."""

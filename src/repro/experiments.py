@@ -45,12 +45,13 @@ from .core import (
 from .kernels import get_backend
 from .obs import trace as obs
 from .pipeline import (
+    BatchOptions,
     JobSpec,
     build_characterization_jobs,
     build_control_jobs,
     control_results_from,
     predictions_from,
-    run_batch,
+    submit,
 )
 from .power import PowerSupplyNetwork
 from .stats import VoltageHistogram, study_windows
@@ -174,7 +175,7 @@ def simulate_suite(
     with obs.span(
         "experiment.simulate_suite", benchmarks=len(names), cycles=cycles
     ):
-        batch = run_batch(specs, jobs=jobs, cache_dir=cache_dir)
+        batch = submit(specs, BatchOptions(jobs=jobs, cache_dir=cache_dir))
     return {
         o.spec.benchmark: o.artifacts["simulate"] for o in batch.outcomes
     }
@@ -206,7 +207,7 @@ def characterize_suite(
         threshold=threshold,
         kernel_backend=get_backend(),
     ):
-        batch = run_batch(specs, jobs=jobs, cache_dir=cache_dir)
+        batch = submit(specs, BatchOptions(jobs=jobs, cache_dir=cache_dir))
     return Figure9Result(
         threshold=threshold, predictions=predictions_from(batch)
     )
@@ -580,7 +581,7 @@ def figure15(
         )
         cells.extend((pct, name) for name in names)
     with obs.span("experiment.figure15", cells=len(cells), cycles=cycles):
-        batch = run_batch(specs, jobs=jobs, cache_dir=cache_dir)
+        batch = submit(specs, BatchOptions(jobs=jobs, cache_dir=cache_dir))
     results = dict(zip(cells, control_results_from(batch)))
     return Figure15Result(results=results, names=tuple(names))
 
@@ -656,7 +657,7 @@ def table2(
             )
         )
         owners.extend(scheme for _ in workloads)
-    batch = run_batch(specs, jobs=jobs, cache_dir=cache_dir)
+    batch = submit(specs, BatchOptions(jobs=jobs, cache_dir=cache_dir))
     per_scheme: dict[str, list] = {s: [] for s in schemes}
     for scheme, result in zip(owners, control_results_from(batch)):
         per_scheme[scheme].append(result)

@@ -1,29 +1,51 @@
-"""Kernel-dispatch layer: one name, two interchangeable backends.
+"""Kernel-dispatch layer: one name, interchangeable backends.
 
 The paper's online monitor (§5) exists because per-cycle convolution is
 too expensive; this package is the software mirror of that concern.  The
 hot numerical inner loops of the reproduction — the Haar transform, the
 per-window wavelet statistics of §4.1, the Gaussian emergency-fraction
-evaluation, and the truncated subband convolution of §5.1 — each exist
-twice:
+evaluation, and the truncated subband convolution of §5.1 — exist in
+three tiers:
 
 * ``reference`` — the slow, obviously-correct scalar implementations
   (per-window loops, per-cycle dot products), kept as the oracle;
 * ``vectorized`` — NumPy block implementations (strided reshape-and-sum
   wavelet transforms, one 2-D pass over every window of a trace, FIR/FFT
-  convolution over whole traces).
+  convolution over whole traces);
+* ``batched`` — multi-trace implementations: the §4.1 chain fused into
+  one pass over an ``(N_traces, cycles)`` stack, and FFT/overlap-add
+  convolution with an automatic crossover heuristic.
 
-Call sites go through :func:`get_kernel`, so the two backends stay
+Call sites go through :func:`get_kernel`, so the backends stay
 plug-compatible and ``tests/kernels/test_equivalence.py`` can assert
-they agree on every registered kernel.  The default backend is
-``vectorized``; set the ``REPRO_KERNEL_BACKEND`` environment variable or
-pass ``--kernel-backend reference`` to any CLI command to fall back to
-the scalar oracle when debugging numerics.
+they agree on every registered kernel.
+
+Backend selection
+-----------------
+One object, :class:`KernelConfig`, owns backend selection.  Resolution
+order (first hit wins):
+
+1. an explicit ``backend=`` argument to :func:`get_kernel` /
+   :func:`resolve_kernel`;
+2. the innermost active ``with KernelConfig(backend=...):`` context;
+3. the process-wide config installed by ``KernelConfig(...).activate()``;
+4. the ``REPRO_KERNEL_BACKEND`` environment variable (read live);
+5. :data:`DEFAULT_BACKEND` (``vectorized``).
+
+The older ``set_backend`` / ``use_backend`` entry points remain as thin
+shims that emit :class:`DeprecationWarning` and delegate to
+:class:`KernelConfig`.
+
+A kernel registered one-sided falls back along the chain
+``batched → vectorized → reference``; the fallback is explicit in
+:func:`resolve_kernel`'s return value and logged once per
+(kernel, backend) pair.  Pinning an explicit backend never falls back —
+a missing implementation raises.
 
 Kernel contract
 ---------------
 A kernel is a pure function of its arguments registered under the same
-name in **both** backends (the equivalence battery fails loudly on a
+name in **every** backend (the equivalence battery fails loudly on a
 one-sided registration).  The registered signatures:
 
 ``wavedec(x, wavelet="haar", level=None)``
@@ -40,45 +62,56 @@ one-sided registration).  The registered signatures:
     whole trace (truncated K-term subband convolution).
 ``monitor_estimate_trace(monitor, current)``
     A compressed-kernel voltage monitor run over a whole trace.
+``characterize_block(estimator, traces, threshold)``
+    The full §4.1 chain over an ``(N_traces, cycles)`` stack, returning
+    per-trace probability and contribution-term matrices.
 
 With observability on (``--obs``), every dispatched call is timed under
-a ``kernel.<name>`` span tagged with its backend, so ``--obs summary``
-attributes hot-path time kernel by kernel.
+a ``kernel.<name>`` span tagged with the backend actually used, so
+``--obs summary`` attributes hot-path time kernel by kernel.
 """
 
 from __future__ import annotations
 
 import functools
+import logging
 import os
-from contextlib import contextmanager
+import warnings
+from dataclasses import dataclass
 
 from ..obs import trace as obs
 
 __all__ = [
     "DEFAULT_BACKEND",
+    "KernelConfig",
     "WindowStats",
     "available_backends",
     "available_kernels",
     "get_backend",
     "get_kernel",
     "register_kernel",
+    "resolve_backend",
+    "resolve_kernel",
     "set_backend",
     "use_backend",
 ]
 
-#: Backend chosen when ``REPRO_KERNEL_BACKEND`` is unset.
+#: Backend chosen when nothing else selects one.
 DEFAULT_BACKEND = "vectorized"
 
-_BACKENDS = ("reference", "vectorized")
+#: Environment variable consulted (live) by :func:`resolve_backend`.
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+_BACKENDS = ("reference", "vectorized", "batched")
 
 #: name -> backend -> implementation
 _REGISTRY: dict[str, dict[str, object]] = {}
 
-_ACTIVE = os.environ.get("REPRO_KERNEL_BACKEND", DEFAULT_BACKEND)
-if _ACTIVE not in _BACKENDS:  # pragma: no cover - env misconfiguration
-    raise ValueError(
-        f"REPRO_KERNEL_BACKEND={_ACTIVE!r} is not one of {_BACKENDS}"
-    )
+#: One-sided registrations resolve down this chain (never up).
+_FALLBACK_CHAIN = {"batched": "vectorized", "vectorized": "reference"}
+
+_log = logging.getLogger(__name__)
+_warned_fallbacks: set[tuple[str, str]] = set()
 
 
 def available_backends() -> tuple[str, ...]:
@@ -117,27 +150,96 @@ def register_kernel(name: str, backend: str):
     return wrap
 
 
+@dataclass(frozen=True)
+class KernelConfig:
+    """Backend selection as a value: context manager or process default.
+
+    ``backend=None`` means "inherit" — entering such a config changes
+    nothing.  Use as a scoped override::
+
+        with KernelConfig(backend="reference"):
+            ...  # dynamically dispatched kernels use the oracle
+
+    or install process-wide (what ``--kernel-backend`` does)::
+
+        KernelConfig(backend="batched").activate()
+
+    Resolution order: explicit ``backend=`` argument > innermost active
+    context > process config > ``REPRO_KERNEL_BACKEND`` > the default.
+    """
+
+    backend: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend is not None:
+            _check_backend(self.backend)
+
+    def __enter__(self) -> KernelConfig:
+        _STACK.append(self)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        _STACK.pop()
+        return False
+
+    def activate(self) -> KernelConfig:
+        """Install as the process-wide config (below any active context)."""
+        global _PROCESS
+        _PROCESS = self
+        return self
+
+
+_STACK: list[KernelConfig] = []
+_PROCESS: KernelConfig | None = None
+
+
+def resolve_backend(explicit: str | None = None) -> str:
+    """The backend the next dynamic dispatch would use.
+
+    Applies the documented resolution order; raises ``ValueError`` on an
+    unknown explicit name or a misconfigured environment variable.
+    """
+    if explicit is not None:
+        _check_backend(explicit)
+        return explicit
+    for config in reversed(_STACK):
+        if config.backend is not None:
+            return config.backend
+    if _PROCESS is not None and _PROCESS.backend is not None:
+        return _PROCESS.backend
+    env = os.environ.get(ENV_VAR)
+    if env:
+        if env not in _BACKENDS:
+            raise ValueError(f"{ENV_VAR}={env!r} is not one of {_BACKENDS}")
+        return env
+    return DEFAULT_BACKEND
+
+
 def get_backend() -> str:
-    """The currently active backend name."""
-    return _ACTIVE
+    """The currently active backend name (alias of :func:`resolve_backend`)."""
+    return resolve_backend()
 
 
 def set_backend(backend: str) -> None:
-    """Select the process-wide backend for dynamically dispatched kernels."""
-    global _ACTIVE
-    _check_backend(backend)
-    _ACTIVE = backend
+    """Deprecated: use ``KernelConfig(backend=...).activate()``."""
+    warnings.warn(
+        "set_backend() is deprecated; use "
+        "KernelConfig(backend=...).activate()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    KernelConfig(backend=backend).activate()
 
 
-@contextmanager
-def use_backend(backend: str):
-    """Temporarily switch the active backend (tests, A/B comparisons)."""
-    previous = get_backend()
-    set_backend(backend)
-    try:
-        yield
-    finally:
-        set_backend(previous)
+def use_backend(backend: str) -> KernelConfig:
+    """Deprecated: use ``with KernelConfig(backend=...):``."""
+    warnings.warn(
+        "use_backend() is deprecated; use "
+        "with KernelConfig(backend=...): ...",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return KernelConfig(backend=backend)
 
 
 def get_kernel(name: str, backend: str | None = None):
@@ -145,10 +247,12 @@ def get_kernel(name: str, backend: str | None = None):
 
     With ``backend=None`` (the normal call-site form) the returned
     callable re-resolves the active backend on **every call**, so
-    :func:`set_backend`/:func:`use_backend` affect kernels fetched
-    earlier.  With an explicit backend it is pinned to that
-    implementation.  Either way the call is wrapped in a
-    ``kernel.<name>`` tracing span when observability is enabled.
+    :class:`KernelConfig` contexts affect kernels fetched earlier, and a
+    one-sided registration falls back down the chain (logged once).
+    With an explicit backend it is pinned to that exact implementation —
+    no fallback; a missing implementation raises.  Either way the call
+    is wrapped in a ``kernel.<name>`` tracing span when observability is
+    enabled.
     """
     impls = _kernel_impls(name)
     if backend is not None:
@@ -163,6 +267,21 @@ def get_kernel(name: str, backend: str | None = None):
     return _dispatcher(name)
 
 
+def resolve_kernel(name: str, backend: str | None = None):
+    """Resolve ``name`` right now, fallback included: ``(impl, backend)``.
+
+    Unlike :func:`get_kernel` this makes the fallback explicit in the
+    return value: the second element is the backend that will actually
+    run, which differs from the requested/active one when the kernel is
+    registered one-sided.  The resolution is a snapshot — later
+    :class:`KernelConfig` changes do not affect the returned callable.
+    """
+    impls = _kernel_impls(name)
+    requested = resolve_backend(backend)
+    impl, used = _resolve_impl(name, impls, requested)
+    return _spanned(name, used, impl), used
+
+
 def _kernel_impls(name: str) -> dict[str, object]:
     try:
         return _REGISTRY[name]
@@ -170,6 +289,31 @@ def _kernel_impls(name: str) -> dict[str, object]:
         raise ValueError(
             f"unknown kernel {name!r}; available: {list(available_kernels())}"
         ) from None
+
+
+def _resolve_impl(name: str, impls: dict[str, object], requested: str):
+    used: str | None = requested
+    while used is not None:
+        impl = impls.get(used)
+        if impl is not None:
+            if used != requested:
+                _note_fallback(name, requested, used)
+            return impl, used
+        used = _FALLBACK_CHAIN.get(used)
+    raise ValueError(f"kernel {name!r} has no {requested!r} implementation")
+
+
+def _note_fallback(name: str, requested: str, used: str) -> None:
+    key = (name, requested)
+    if key in _warned_fallbacks:
+        return
+    _warned_fallbacks.add(key)
+    _log.warning(
+        "kernel %r has no %r implementation; falling back to %r",
+        name,
+        requested,
+        used,
+    )
 
 
 def _spanned(name: str, backend: str, impl):
@@ -186,12 +330,7 @@ def _spanned(name: str, backend: str, impl):
 @functools.lru_cache(maxsize=None)
 def _dispatcher(name: str):
     def call(*args, **kwargs):
-        backend = _ACTIVE
-        impl = _REGISTRY[name].get(backend)
-        if impl is None:
-            raise ValueError(
-                f"kernel {name!r} has no {backend!r} implementation"
-            )
+        impl, backend = _resolve_impl(name, _REGISTRY[name], resolve_backend())
         if obs.ENABLED:
             with obs.span(f"kernel.{name}", backend=backend):
                 return impl(*args, **kwargs)
@@ -204,4 +343,4 @@ def _dispatcher(name: str):
 # Importing the backends registers every kernel; WindowStats is part of
 # the public window_stats contract.
 from .reference import WindowStats  # noqa: E402
-from . import reference, vectorized  # noqa: E402,F401
+from . import reference, vectorized, batched  # noqa: E402,F401

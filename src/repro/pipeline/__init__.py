@@ -14,14 +14,23 @@ figure only recomputes invalidated jobs.
 Quickstart::
 
     from repro.core import calibrated_supply
-    from repro.pipeline import build_characterization_jobs, run_batch
+    from repro.pipeline import BatchOptions, submit
+    from repro.pipeline import build_characterization_jobs
     from repro.pipeline import predictions_from
 
-    jobs = build_characterization_jobs(
+    specs = build_characterization_jobs(
         ("gzip", "mcf"), calibrated_supply(150), cycles=16384
     )
-    batch = run_batch(jobs, jobs=2, cache_dir=".repro-cache")
+    batch = submit(
+        specs, BatchOptions(jobs=2, cache_dir=".repro-cache")
+    )
     print(predictions_from(batch))
+
+``submit`` + :class:`BatchOptions` is the one execution entry point
+(``run_batch`` survives as a deprecation shim).  Compatible
+characterization jobs fuse into block dispatch units when the
+``batched`` kernel backend is active — see
+:mod:`repro.pipeline.blocks`.
 
 See ``docs/PIPELINE.md`` for the job model, cache layout and worker
 tuning guidance.
@@ -37,6 +46,7 @@ from .batch import (
     run_batch,
     suite_names,
 )
+from .blocks import BlockOutcome, BlockSpec, group_blocks
 from .cache import CacheStats, ResultCache
 from .executor import (
     BatchResult,
@@ -56,6 +66,7 @@ from .spec import (
     serialize_network,
     trace_identity,
 )
+from .submit import BatchOptions, submit
 from .stages import (
     Stage,
     StageContext,
@@ -72,7 +83,10 @@ from .windows import (
 )
 
 __all__ = [
+    "BatchOptions",
     "BatchResult",
+    "BlockOutcome",
+    "BlockSpec",
     "CACHE_SALT",
     "CACHE_SCHEMA_VERSION",
     "CacheStats",
@@ -97,6 +111,7 @@ __all__ = [
     "control_results_from",
     "deserialize_network",
     "get_stage",
+    "group_blocks",
     "iter_windows",
     "parse_plan",
     "prediction_from_outcome",
@@ -107,6 +122,7 @@ __all__ = [
     "stage_cache_keys",
     "streaming_fraction_below",
     "streaming_level_contributions",
+    "submit",
     "suite_names",
     "trace_identity",
 ]

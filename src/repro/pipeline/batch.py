@@ -12,7 +12,7 @@ from ..core import TracePrediction
 from ..errors import SpecError
 from ..power import PowerSupplyNetwork
 from ..workloads import SPEC2000, SPEC_FP, SPEC_INT
-from .executor import BatchResult, JobOutcome, PipelineExecutor, RetryPolicy
+from .executor import BatchResult, JobOutcome, RetryPolicy
 from .spec import DEFAULT_STAGES, STORE_STAGES, JobSpec
 from .stages import control_result_from_artifact
 
@@ -164,21 +164,33 @@ def run_batch(
     policy: RetryPolicy | None = None,
     resume: bool = False,
 ) -> BatchResult:
-    """Execute a batch with ``jobs`` workers and an optional disk cache.
+    """Deprecated: use :func:`repro.pipeline.submit` with
+    :class:`~repro.pipeline.BatchOptions`.
 
-    ``policy`` selects the fault-tolerance behavior (retries, backoff,
-    per-job timeout; see :class:`~repro.pipeline.RetryPolicy`) and
-    ``resume`` satisfies fully-cached jobs from disk without occupying
-    the pool — together they are the ``repro pipeline run --retries /
-    --timeout / --resume`` surface.
+    Thin shim kept for callers of the old kwarg surface; behaves
+    identically to ``submit(specs, BatchOptions(...))``.
     """
-    executor = PipelineExecutor(
-        workers=jobs,
-        cache_dir=cache_dir,
-        raise_on_error=raise_on_error,
-        policy=policy,
+    import warnings
+
+    from .submit import BatchOptions, submit
+
+    warnings.warn(
+        "run_batch() is deprecated; use "
+        "repro.pipeline.submit(specs, BatchOptions(...))",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return executor.run(specs, progress=progress, resume=resume)
+    return submit(
+        specs,
+        BatchOptions(
+            jobs=jobs,
+            cache_dir=cache_dir,
+            raise_on_error=raise_on_error,
+            policy=policy,
+            resume=resume,
+        ),
+        progress=progress,
+    )
 
 
 def prediction_from_outcome(outcome: JobOutcome) -> TracePrediction:

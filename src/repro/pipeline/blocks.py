@@ -1,0 +1,479 @@
+"""Block dispatch: one fused job for N compatible characterization jobs.
+
+The batched kernel tier (``repro.kernels.batched``) only pays off when
+the pipeline actually hands it stacks of traces.  This module is that
+wiring:
+
+* :func:`group_blocks` partitions a batch's ``(index, spec)`` pairs into
+  :class:`BlockSpec` units — specs that share every characterization
+  parameter (cycles, window, threshold, network, params, stage chain,
+  trace dtype) and whose stage chain ends in ``characterize``.  The
+  supervisor then dispatches **one** block job instead of N trace jobs.
+* :func:`execute_block` runs a block: every member still executes its
+  prefix stages (``simulate``/``load_trace``/``voltage``) and probes its
+  **own** per-trace cache key under its **own** ``pipeline.job`` span;
+  only the cache-missing members' traces are stacked — zero-copy
+  attached when store-backed — into one ``characterize_block`` kernel
+  call, whose result is split back into per-member artifacts and cached
+  under each member's key.
+
+The fused math is bit-identical per trace to the streaming per-trace
+path (every reduction is row-local and split matrices stay
+C-contiguous), so a block job and N single jobs produce byte-identical
+cache entries — the property ``tests/pipeline/test_blocks.py`` pins.
+
+Failures stay member-granular where possible: a member whose trace
+attach or injected fault raises fails alone; only a failure of the fused
+pass itself falls back to per-member computation.  The block container
+carries telemetry once; retries operate on the whole block (already-
+cached members are satisfied from cache on the next attempt).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SpecError
+from ..obs import trace as obs
+from . import executor as _executor
+from . import faults
+from .executor import JobOutcome
+from .spec import CACHE_SALT, JobSpec, hash_payload, trace_identity
+from .stages import StageContext, get_stage, stage_cache_keys
+
+__all__ = ["BlockSpec", "BlockOutcome", "block_key", "group_blocks", "execute_block"]
+
+#: Default cap on members per block: bounds worker memory (one float64
+#: copy of every stacked trace) and keeps retry granularity reasonable.
+DEFAULT_MAX_BLOCK = 32
+
+
+def block_key(spec: JobSpec) -> tuple:
+    """The compatibility key two specs must share to ride one block."""
+    ident = trace_identity(spec)
+    return (
+        spec.stages,
+        spec.cycles,
+        spec.window,
+        spec.threshold,
+        spec.network,
+        spec.params,
+        ident.get("dtype"),
+        ident.get("samples", spec.cycles),
+    )
+
+
+def _groupable(spec: JobSpec) -> bool:
+    # Only chains *ending* in characterize fuse: the prefix stages run
+    # per member, the final characterize runs once for the whole stack.
+    return spec.stages[-1] == "characterize"
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """N compatible :class:`JobSpec` dispatched as one supervised unit.
+
+    Carries the members' original batch indices so results (and
+    supervisor-synthesized failures) can be fanned back out per trace.
+    Opaque to the supervisor, which only needs ``digest()``, ``label``
+    and picklability — exactly the :class:`JobSpec` surface.
+    """
+
+    members: tuple[JobSpec, ...]
+    indices: tuple[int, ...]
+
+    #: Cheap runtime marker so the executor avoids an isinstance import.
+    is_block = True
+
+    def __post_init__(self) -> None:
+        if len(self.members) < 2:
+            raise SpecError("a block needs at least two members")
+        if len(self.indices) != len(self.members):
+            raise SpecError("indices and members must be parallel")
+        keys = {block_key(m) for m in self.members}
+        if len(keys) != 1:
+            raise SpecError(
+                "block members must share cycles/window/threshold/network/"
+                f"params/stages/trace dtype; got {len(keys)} distinct keys"
+            )
+        if any(not _groupable(m) for m in self.members):
+            raise SpecError("block members must end with 'characterize'")
+
+    def digest(self) -> str:
+        """Content hash over the member digests (order-sensitive)."""
+        return hash_payload(
+            {"salt": CACHE_SALT, "block": [m.digest() for m in self.members]}
+        )
+
+    @property
+    def benchmark(self) -> str:
+        first = self.members[0].benchmark
+        return f"block:{first}+{len(self.members) - 1}"
+
+    @property
+    def label(self) -> str:
+        return f"block[{len(self.members)}]({self.members[0].label}…)"
+
+    def obs_attrs(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "cycles": self.members[0].cycles,
+            "stages": ",".join(self.members[0].stages),
+            "members": len(self.members),
+        }
+
+
+@dataclass
+class BlockOutcome(JobOutcome):
+    """The container a block job ships back: per-member outcomes inside.
+
+    ``spec`` is the :class:`BlockSpec`; ``members`` pairs each member's
+    original batch index with its :class:`JobOutcome`.  Member outcomes
+    carry no telemetry payloads of their own — the container ships the
+    worker's metric delta and span records exactly once.
+    """
+
+    members: list = field(default_factory=list)
+
+
+def group_blocks(
+    indexed_specs: list[tuple[int, JobSpec]],
+    max_block: int = DEFAULT_MAX_BLOCK,
+) -> list:
+    """Partition ``(index, spec)`` pairs into dispatch units.
+
+    Compatible characterization specs become :class:`BlockSpec` chunks
+    of at most ``max_block`` members, dispatched at the position of
+    their first member; everything else passes through untouched.
+    Singleton groups stay plain specs — a block of one buys nothing.
+    """
+    if max_block < 2:
+        return list(indexed_specs)
+    groups: dict[tuple, list[tuple[int, JobSpec]]] = {}
+    for index, spec in indexed_specs:
+        if _groupable(spec):
+            groups.setdefault(block_key(spec), []).append((index, spec))
+    emitted: set[int] = set()
+    units: list = []
+    for index, spec in indexed_specs:
+        if index in emitted:
+            continue
+        members = groups.get(block_key(spec)) if _groupable(spec) else None
+        if not members or len(members) < 2:
+            units.append((index, spec))
+            continue
+        for start in range(0, len(members), max_block):
+            chunk = members[start : start + max_block]
+            emitted.update(i for i, _ in chunk)
+            if len(chunk) == 1:
+                units.append(chunk[0])
+            else:
+                units.append(
+                    (
+                        chunk[0][0],
+                        BlockSpec(
+                            members=tuple(s for _, s in chunk),
+                            indices=tuple(i for i, _ in chunk),
+                        ),
+                    )
+                )
+    return units
+
+
+def synthesize_member_failures(outcome: JobOutcome) -> list:
+    """Per-member failures for a block that died without member data.
+
+    The supervisor's timeout/crash paths synthesize a bare container
+    (``JobOutcome`` around the :class:`BlockSpec`) in the parent — fan
+    its error out so every member index still gets an outcome.
+    """
+    block = outcome.spec
+    return [
+        (
+            index,
+            JobOutcome(
+                spec=member,
+                error=outcome.error,
+                error_kind=outcome.error_kind,
+                failed_stage=outcome.failed_stage,
+                attempts=outcome.attempts,
+                elapsed=outcome.elapsed,
+                pid=outcome.pid,
+            ),
+        )
+        for index, member in zip(block.indices, block.members)
+    ]
+
+
+class _MemberRun:
+    """Executor-side state of one member inside a running block."""
+
+    __slots__ = ("spec", "outcome", "ctx", "keys", "char_done")
+
+    def __init__(self, spec: JobSpec, attempt: int) -> None:
+        self.spec = spec
+        self.outcome = JobOutcome(
+            spec=spec, pid=os.getpid(), attempts=attempt
+        )
+        self.ctx: StageContext | None = None
+        self.keys: dict[str, str] | None = None
+        self.char_done = False
+
+
+def _member_fail(
+    run: _MemberRun, stage: str, exc: BaseException, attempt: int
+) -> None:
+    run.outcome.failed_stage = stage
+    run.outcome.error = (
+        f"job {run.spec.label}: stage {stage!r} raised "
+        f"{type(exc).__name__} on attempt {attempt}\n"
+        + traceback.format_exc()
+    )
+    run.outcome.error_kind = "exception"
+
+
+def _stage_timing(run: _MemberRun, name: str, seconds: float, hit: bool) -> None:
+    run.outcome.timings[name] = run.outcome.timings.get(name, 0.0) + seconds
+    run.outcome.cache_hits[name] = hit
+    if obs.ENABLED:
+        obs.histogram_observe(
+            "pipeline_stage_seconds",
+            seconds,
+            "stage wall time including cache lookups",
+            stage=name,
+        )
+
+
+def _member_prefix(spec: JobSpec, cache, attempt: int, plan) -> _MemberRun:
+    """Run one member's pre-characterize stages + characterize cache probe.
+
+    Mirrors :func:`~repro.pipeline.executor.execute_job` stage for
+    stage — same spans, cache keys, fault points and error text — but
+    stops short of computing ``characterize``, which the fused pass
+    owns.
+    """
+    run = _MemberRun(spec, attempt)
+    outcome = run.outcome
+    t_job = time.perf_counter()
+    with obs.span(
+        "pipeline.job", attempt=attempt, blocked=1, **spec.obs_attrs()
+    ) as job_span:
+        try:
+            run.keys = stage_cache_keys(spec)
+            run.ctx = StageContext(spec)
+            for name in spec.stages[:-1]:
+                stage = get_stage(name)
+                t0 = time.perf_counter()
+                hit = False
+                try:
+                    artifact = None
+                    if cache is not None:
+                        hit, artifact = cache.get(
+                            name, run.keys[name], stage.kind
+                        )
+                    if not hit:
+                        if plan is not None:
+                            faults.apply_fault(
+                                plan, name, spec.benchmark, attempt
+                            )
+                        with obs.span(
+                            f"stage.{name}", benchmark=spec.benchmark
+                        ):
+                            artifact = stage.func(run.ctx)
+                        if cache is not None:
+                            cache.put(
+                                name, run.keys[name], stage.kind, artifact
+                            )
+                finally:
+                    _stage_timing(run, name, time.perf_counter() - t0, hit)
+                run.ctx.artifacts[name] = artifact
+                outcome.artifacts[name] = artifact
+            # the final characterize stage: probe the member's own cache
+            # key; a miss is deferred to the fused block pass
+            name = spec.stages[-1]
+            stage = get_stage(name)
+            t0 = time.perf_counter()
+            hit = False
+            artifact = None
+            if cache is not None:
+                hit, artifact = cache.get(name, run.keys[name], stage.kind)
+            if hit:
+                _stage_timing(run, name, time.perf_counter() - t0, True)
+                run.ctx.artifacts[name] = artifact
+                outcome.artifacts[name] = artifact
+                run.char_done = True
+        except Exception as exc:
+            outcome.failed_stage = next(
+                (n for n in spec.stages if n not in outcome.artifacts), None
+            )
+            outcome.error = (
+                f"job {spec.label}: stage {outcome.failed_stage!r} raised "
+                f"{type(exc).__name__} on attempt {attempt}\n"
+                + traceback.format_exc()
+            )
+            outcome.error_kind = "exception"
+    outcome.elapsed = time.perf_counter() - t_job
+    outcome.peak_rss_bytes = int(job_span.rss_peak)
+    return run
+
+
+def _split_artifact(probs_row, terms_row, levels: int) -> dict:
+    """One member's characterize artifact from its fused result rows.
+
+    Must stay byte-identical to what the streaming per-trace stage
+    produces: both rows are C-contiguous, so the sums see the same
+    pairwise reduction as the per-trace path.
+    """
+    count = probs_row.shape[0]
+    totals = terms_row.sum(axis=1)
+    return {
+        "estimated": float(probs_row.sum()) / count,
+        "windows": int(count),
+        "level_contributions": {
+            str(lvl): float(totals[lvl - 1]) / count
+            for lvl in range(1, levels + 1)
+        },
+    }
+
+
+def _member_characterize_single(run: _MemberRun, cache, attempt: int) -> None:
+    """Fallback: run one member's characterize stage the per-trace way."""
+    name = run.spec.stages[-1]
+    stage = get_stage(name)
+    t0 = time.perf_counter()
+    try:
+        with obs.span(f"stage.{name}", benchmark=run.spec.benchmark):
+            artifact = stage.func(run.ctx)
+        if cache is not None:
+            cache.put(name, run.keys[name], stage.kind, artifact)
+    except Exception as exc:
+        _stage_timing(run, name, time.perf_counter() - t0, False)
+        _member_fail(run, name, exc, attempt)
+        return
+    _stage_timing(run, name, time.perf_counter() - t0, False)
+    run.ctx.artifacts[name] = artifact
+    run.outcome.artifacts[name] = artifact
+    run.char_done = True
+
+
+def _fused_characterize(pending: list[_MemberRun], cache, attempt: int, plan) -> None:
+    """One ``characterize_block`` kernel call for every cache-miss member."""
+    name = pending[0].spec.stages[-1]
+    stage = get_stage(name)
+    live: list[tuple[_MemberRun, np.ndarray]] = []
+    for run in pending:
+        t0 = time.perf_counter()
+        try:
+            if plan is not None:
+                faults.apply_fault(plan, name, run.spec.benchmark, attempt)
+            trace = run.ctx.current_trace()
+        except Exception as exc:
+            _stage_timing(run, name, time.perf_counter() - t0, False)
+            _member_fail(run, name, exc, attempt)
+            continue
+        _stage_timing(run, name, time.perf_counter() - t0, False)
+        live.append((run, trace))
+    if not live:
+        return
+    estimator = live[0][0].ctx.estimator
+    threshold = live[0][0].spec.threshold
+    t0 = time.perf_counter()
+    try:
+        traces = np.stack([trace for _, trace in live])
+        with obs.span("stage.characterize_block", members=len(live)):
+            probs, terms = estimator.characterize_traces(traces, threshold)
+    except Exception:
+        # The fused pass itself failed (shape surprise, kernel bug):
+        # degrade to the per-trace stage so one bad stack cannot take
+        # down every member.
+        for run, _ in live:
+            _member_characterize_single(run, cache, attempt)
+        return
+    share = (time.perf_counter() - t0) / len(live)
+    for k, (run, _) in enumerate(live):
+        artifact = _split_artifact(probs[k], terms[k], estimator.levels)
+        if cache is not None:
+            cache.put(name, run.keys[name], stage.kind, artifact)
+        _stage_timing(run, name, share, False)
+        run.ctx.artifacts[name] = artifact
+        run.outcome.artifacts[name] = artifact
+        run.char_done = True
+
+
+def execute_block(
+    block: BlockSpec, cache=None, attempt: int = 1
+) -> BlockOutcome:
+    """Run one block, never raising: a container of per-member outcomes.
+
+    Every member keeps its per-trace cache keys, its own
+    ``pipeline.job`` span and its own failure entry; the fused
+    ``characterize_block`` pass covers exactly the members whose
+    characterize artifact was not already cached.  The container's
+    ``error`` is set when any member failed, so the existing retry
+    machinery re-dispatches the whole block (cached members are
+    satisfied from cache on the next attempt).
+    """
+    container = BlockOutcome(spec=block, pid=os.getpid(), attempts=attempt)
+    plan = faults.active_plan()
+    snap_before = obs.registry().snapshot() if obs.ENABLED else None
+    t_block = time.perf_counter()
+    runs: list[tuple[int, _MemberRun]] = []
+    with obs.span(
+        "pipeline.block", attempt=attempt, **block.obs_attrs()
+    ) as block_span:
+        for index, spec in zip(block.indices, block.members):
+            runs.append((index, _member_prefix(spec, cache, attempt, plan)))
+        pending = [
+            run
+            for _, run in runs
+            if run.outcome.ok and not run.char_done
+        ]
+        if pending:
+            _fused_characterize(pending, cache, attempt, plan)
+        if obs.ENABLED:
+            for _, run in runs:
+                obs.counter_inc(
+                    "pipeline_jobs_total",
+                    1,
+                    "job attempts executed by outcome status",
+                    status="ok" if run.outcome.ok else "error",
+                )
+    container.elapsed = time.perf_counter() - t_block
+    container.peak_rss_bytes = int(block_span.rss_peak)
+    container.members = [(index, run.outcome) for index, run in runs]
+    failed = [run for _, run in runs if not run.outcome.ok]
+    if failed:
+        first = failed[0].outcome
+        container.error = (
+            f"block {block.label}: {len(failed)} of {len(runs)} members "
+            f"failed on attempt {attempt}; first ({failed[0].spec.label}):\n"
+            f"{first.error}"
+        )
+        container.error_kind = first.error_kind or "exception"
+        container.failed_stage = first.failed_stage
+    if obs.ENABLED:
+        obs.counter_inc(
+            "pipeline_blocks_total",
+            1,
+            "fused block jobs executed by outcome status",
+            status="ok" if container.ok else "error",
+        )
+        if _executor._IN_POOL_WORKER:
+            total = sum(
+                _executor._trace_channel_bytes(run.outcome.artifacts)
+                for _, run in runs
+            )
+            obs.counter_inc(
+                "pipeline_trace_pickle_bytes_total",
+                total,
+                "trace-array bytes pickled through the worker result "
+                "channel (zero on the store path)",
+            )
+        container.metrics = obs.snapshot_delta(snap_before)
+        container.obs_records = obs.drain_records()
+    return container

@@ -10,7 +10,7 @@ digest is the coalescing key:
   pipeline job and produce N result streams;
 * distinct digests accumulate for up to ``batch_window_s`` (or until
   ``max_batch`` of them are waiting) and dispatch as **one**
-  ``run_batch`` call, so a burst of arrivals pays one pool round-trip,
+  ``submit`` call, so a burst of arrivals pays one pool round-trip,
   one ``pipeline.batch`` span, one cache scan per stage — the serving
   layer inherits the batch pipeline's economics instead of defeating
   them one request at a time.
@@ -92,7 +92,7 @@ class BatchCoalescer:
     """Coalesce identical requests and batch distinct ones to a runner.
 
     ``runner(specs, progress)`` executes a list of specs synchronously
-    (the server passes a :func:`repro.pipeline.run_batch` closure) and
+    (the server passes a :func:`repro.pipeline.submit` closure) and
     calls ``progress(outcome)`` as each job completes.  ``try_cache``,
     if given, maps a spec to a finished outcome when every stage is
     already cached (or returns ``None``).  Both run off-loop in worker

@@ -42,7 +42,7 @@ import time
 
 from ..core import calibrated_supply
 from ..obs import trace as obs
-from ..pipeline import RetryPolicy, run_batch
+from ..pipeline import BatchOptions, submit
 from ..pipeline.cache import ResultCache
 from ..pipeline.executor import execute_job
 from ..pipeline.stages import get_stage, stage_cache_keys
@@ -126,21 +126,17 @@ class ServeServer:
             "rejected_429": 0,
             "rejected_503": 0,
         }
-        policy = RetryPolicy(
-            max_attempts=self.config.retries + 1,
+        options = BatchOptions(
+            jobs=self.config.jobs,
+            cache_dir=self.config.cache_dir,
+            retries=self.config.retries,
             timeout_s=self.config.timeout_s,
             backoff_s=self.config.backoff_s,
+            raise_on_error=False,
         )
 
         def runner(specs, progress):
-            return run_batch(
-                specs,
-                jobs=self.config.jobs,
-                cache_dir=self.config.cache_dir,
-                progress=progress,
-                raise_on_error=False,
-                policy=policy,
-            )
+            return submit(specs, options, progress=progress)
 
         self.coalescer = BatchCoalescer(
             runner,

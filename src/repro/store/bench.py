@@ -106,7 +106,12 @@ def _bench_scan(root: Path, repeats: int) -> dict:
 
 def _bench_end_to_end(root: Path, quick: bool, repeats: int) -> dict:
     from ..core import calibrated_supply
-    from ..pipeline import build_characterization_jobs, build_store_jobs, run_batch
+    from ..pipeline import (
+        BatchOptions,
+        build_characterization_jobs,
+        build_store_jobs,
+        submit,
+    )
     from ..uarch import simulate_benchmark, simulator
     from ..workloads import SPEC2000
 
@@ -135,14 +140,14 @@ def _bench_end_to_end(root: Path, quick: bool, repeats: int) -> dict:
     )
 
     def run_store() -> None:
-        run_batch(store_jobs, jobs=1)
+        submit(store_jobs, BatchOptions(jobs=1))
 
     def run_baseline() -> None:
         # The memo would hand the baseline its traces for free after the
         # warm-up above; clear it so every repeat re-simulates, exactly
         # like a fresh sweep does.
         simulator._CACHE.clear()
-        run_batch(baseline_jobs, jobs=1)
+        submit(baseline_jobs, BatchOptions(jobs=1))
 
     with obs.span(
         "store.bench.end_to_end", benchmarks=count, cycles=cycles

@@ -10,7 +10,11 @@ numerical comparison.
 import numpy as np
 import pytest
 
-from repro.core import WaveletVoltageMonitor, calibrated_supply
+from repro.core import (
+    WaveletVoltageEstimator,
+    WaveletVoltageMonitor,
+    calibrated_supply,
+)
 from repro.kernels import (
     available_backends,
     available_kernels,
@@ -44,6 +48,13 @@ def convolver(network, monitor):
     )
 
 
+@pytest.fixture(scope="module")
+def estimator(network):
+    # A 4-cycle window keeps characterize_block valid at every grid
+    # length (traces are padded up to one window below).
+    return WaveletVoltageEstimator(network, window=4)
+
+
 def _trace(n: int, dtype, seed: int = 0) -> np.ndarray:
     rng = np.random.default_rng(seed * 1000 + n)
     x = rng.normal(40.0, 5.0, n)
@@ -57,7 +68,7 @@ def _dyadic_depth(n: int) -> int:
     return (n & -n).bit_length() - 1
 
 
-def _case(name: str, n: int, dtype, monitor, convolver):
+def _case(name: str, n: int, dtype, monitor, convolver, estimator):
     """(args, kwargs) exercising kernel ``name`` at one grid point."""
     x = _trace(n, dtype)
     if name == "wavedec":
@@ -78,6 +89,12 @@ def _case(name: str, n: int, dtype, monitor, convolver):
         return (convolver, x), {}
     if name == "monitor_estimate_trace":
         return (monitor, x), {}
+    if name == "characterize_block":
+        cycles = max(n, estimator.window)
+        traces = np.stack(
+            [_trace(cycles, dtype, seed=s) for s in range(3)]
+        )
+        return (estimator, traces, 0.97), {}
     raise AssertionError(
         f"no equivalence case for kernel {name!r} — a new kernel must be "
         "added to this battery"
@@ -116,19 +133,20 @@ def test_every_kernel_registered_in_every_backend():
             assert callable(get_kernel(name, backend=backend))
 
 
-def test_every_kernel_has_an_equivalence_case(monitor, convolver):
+def test_every_kernel_has_an_equivalence_case(monitor, convolver, estimator):
     for name in available_kernels():
-        _case(name, 2, np.float64, monitor, convolver)
+        _case(name, 2, np.float64, monitor, convolver, estimator)
 
 
 @pytest.mark.parametrize("dtype", DTYPES)
 @pytest.mark.parametrize("n", LENGTHS)
 @pytest.mark.parametrize("name", available_kernels())
-def test_backends_agree(name, n, dtype, monitor, convolver):
-    args, kwargs = _case(name, n, dtype, monitor, convolver)
+def test_backends_agree(name, n, dtype, monitor, convolver, estimator):
+    args, kwargs = _case(name, n, dtype, monitor, convolver, estimator)
     ref = get_kernel(name, backend="reference")(*args, **kwargs)
-    vec = get_kernel(name, backend="vectorized")(*args, **kwargs)
-    _assert_close(ref, vec)
+    for backend in ("vectorized", "batched"):
+        out = get_kernel(name, backend=backend)(*args, **kwargs)
+        _assert_close(ref, out)
 
 
 def test_unknown_kernel_and_backend_raise():

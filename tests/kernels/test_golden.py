@@ -19,7 +19,7 @@ from repro.core import (
     WaveletVoltageMonitor,
     calibrated_supply,
 )
-from repro.kernels import available_backends, get_kernel, use_backend
+from repro.kernels import KernelConfig, available_backends, get_kernel
 
 FIXTURE = Path(__file__).parent.parent / "fixtures" / "golden_kernels.npz"
 
@@ -57,7 +57,7 @@ def test_fixture_shapes(golden):
 def test_window_statistics_match_golden(golden, network, backend):
     estimator = WaveletVoltageEstimator(network)
     windows = estimator.tile_windows(golden["trace"])
-    with use_backend(backend):
+    with KernelConfig(backend=backend):
         stats = get_kernel("window_stats")(windows, estimator.levels)
     np.testing.assert_allclose(
         stats.variances, golden["wavelet_variances"], rtol=RTOL, atol=ATOL
@@ -73,7 +73,7 @@ def test_window_statistics_match_golden(golden, network, backend):
 @pytest.mark.parametrize("backend", available_backends())
 def test_voltage_estimate_matches_golden(golden, network, backend):
     monitor = WaveletVoltageMonitor(network, terms=int(golden["terms"]))
-    with use_backend(backend):
+    with KernelConfig(backend=backend):
         voltage = monitor.estimate_trace(golden["trace"])
     np.testing.assert_allclose(
         voltage, golden["voltage_estimate"], rtol=RTOL, atol=ATOL
@@ -83,7 +83,7 @@ def test_voltage_estimate_matches_golden(golden, network, backend):
 @pytest.mark.parametrize("backend", available_backends())
 def test_emergency_fraction_matches_golden(golden, network, backend):
     estimator = WaveletVoltageEstimator(network)
-    with use_backend(backend):
+    with KernelConfig(backend=backend):
         fraction = estimator.estimate_fraction_below(
             golden["trace"], float(golden["threshold"])
         )

@@ -17,7 +17,7 @@ convolve exactly, and a monitor's zero-history warm-up makes streaming
 import numpy as np
 import pytest
 
-from repro.kernels import available_backends, get_kernel, use_backend
+from repro.kernels import KernelConfig, available_backends, get_kernel
 from repro.wavelets import WaveletConvolver, convolve_via_subbands
 
 try:
@@ -126,7 +126,7 @@ def test_truncation_error_within_analytic_bound(x, backend):
     h = np.exp(-np.arange(64) / 9.0) * np.cos(np.arange(64) / 3.0)
     h += 0.01 * rng.normal(size=64)
     conv = WaveletConvolver(h, "haar", keep=8)
-    with use_backend(backend):
+    with KernelConfig(backend=backend):
         err = conv.max_error_on(x)
     bound = conv.error_bound(float(np.abs(x).max()))
     assert err <= bound * (1.0 + 1e-9) + 1e-12
@@ -156,7 +156,7 @@ def test_convolve_via_subbands_short_inputs_match_direct(n, wavelet):
 @pytest.mark.parametrize("backend", BACKENDS)
 def test_convolver_apply_empty_trace(backend):
     conv = WaveletConvolver(np.ones(8), "haar", keep=4)
-    with use_backend(backend):
+    with KernelConfig(backend=backend):
         out = conv.apply(np.empty(0))
     assert out.shape == (0,)
 
@@ -170,7 +170,7 @@ def test_monitor_warmup_streaming_matches_batch(backend):
     rng = np.random.default_rng(3)
     # Shorter than the monitor's tap count: entirely warm-up territory.
     trace = rng.normal(40.0, 5.0, monitor.taps // 2)
-    with use_backend(backend):
+    with KernelConfig(backend=backend):
         batch = monitor.estimate_trace(trace)
         monitor.reset()
         streamed = np.array([monitor.observe(i) for i in trace])

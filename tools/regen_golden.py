@@ -34,7 +34,7 @@ from repro.core import (  # noqa: E402
     WaveletVoltageMonitor,
     calibrated_supply,
 )
-from repro.kernels import get_kernel, use_backend  # noqa: E402
+from repro.kernels import KernelConfig, get_kernel  # noqa: E402
 
 FIXTURE = (
     Path(__file__).resolve().parent.parent
@@ -64,7 +64,7 @@ def compute_golden() -> dict:
     network = calibrated_supply(IMPEDANCE)
     estimator = WaveletVoltageEstimator(network)
     monitor = WaveletVoltageMonitor(network, terms=TERMS)
-    with use_backend("reference"):
+    with KernelConfig(backend="reference"):
         windows = estimator.tile_windows(trace)
         stats = get_kernel("window_stats")(windows, estimator.levels)
         fraction = estimator.estimate_fraction_below(trace, THRESHOLD)
