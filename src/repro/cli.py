@@ -69,7 +69,7 @@ import traceback
 
 import numpy as np
 
-from .errors import ReproError, UsageError
+from .errors import ReproError, SpecError, UsageError
 
 from . import obs, viz
 from .core import (
@@ -211,8 +211,16 @@ def build_parser() -> argparse.ArgumentParser:
         "characterize", help="offline §4 characterization",
         parents=[obs_opts],
     )
-    char.add_argument("benchmarks", nargs="+", choices=sorted(SPEC2000),
-                      metavar="benchmark")
+    # no argparse choices= here: nargs="*" rejects the empty list against
+    # them (the --scenario-only form passes no benchmarks); validated in
+    # the handler instead
+    char.add_argument("benchmarks", nargs="*", metavar="benchmark",
+                      help="SPEC2000 benchmark models to characterize")
+    char.add_argument("--scenario", action="append", default=None,
+                      metavar="NAME",
+                      help="also characterize a named scenario, atomic "
+                           "stress profile, or schedule expression (see "
+                           "'repro scenario ls'); repeatable")
     char.add_argument("--cycles", type=int, default=32768)
     char.add_argument("--impedance", type=float, default=150.0,
                       help="target impedance percent (default 150)")
@@ -341,6 +349,41 @@ def build_parser() -> argparse.ArgumentParser:
     pstat.add_argument("--cache-dir", default=".repro-cache")
     pclear = psub.add_parser("clear", help="delete every cache entry")
     pclear.add_argument("--cache-dir", default=".repro-cache")
+
+    scen = sub.add_parser(
+        "scenario",
+        help="composable stress scenarios (see docs/SCENARIOS.md)",
+    )
+    scsub = scen.add_subparsers(dest="scenario_command", required=True)
+    scsub.add_parser(
+        "ls", help="list atomic stress profiles and catalog scenarios"
+    )
+    scshow = scsub.add_parser(
+        "show", help="describe one scenario, profile or expression"
+    )
+    scshow.add_argument("name", metavar="NAME",
+                        help="catalog scenario, atomic profile, or "
+                             "schedule expression")
+    scrun = scsub.add_parser(
+        "run", help="characterize scenarios through the pipeline",
+        parents=[obs_opts],
+    )
+    scrun.add_argument("scenarios", nargs="+", metavar="NAME",
+                       help="catalog scenarios, atomic profiles, or "
+                            "schedule expressions")
+    scrun.add_argument("--cycles", type=int, default=None,
+                       help="override each scenario's own cycle count")
+    scrun.add_argument("--seed", type=int, default=None)
+    scrun.add_argument("--warmup-cycles", type=int, default=512)
+    scrun.add_argument("--impedance", type=float, default=150.0)
+    scrun.add_argument("--threshold", type=float, default=0.97)
+    scrun.add_argument("--window", type=int, default=256)
+    scrun.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default 1; -1 = all cores)")
+    scrun.add_argument("--cache-dir", default=None,
+                       help="on-disk result cache directory (default: none)")
+    scrun.add_argument("--no-cache", action="store_true",
+                       help="compute everything fresh, touch no cache")
 
     storep = sub.add_parser(
         "store", help="zero-copy trace store (see docs/STORE.md)"
@@ -547,10 +590,20 @@ def _cmd_characterize(args) -> str:
     from .pipeline import (
         BatchOptions,
         build_characterization_jobs,
+        build_scenario_jobs,
         prediction_from_outcome,
         submit,
     )
 
+    unknown = sorted(set(args.benchmarks) - set(SPEC2000))
+    if unknown:
+        raise UsageError(
+            f"unknown benchmark(s) {', '.join(unknown)}; "
+            f"valid: {', '.join(sorted(SPEC2000))}"
+        )
+    scenarios = args.scenario or []
+    if not args.benchmarks and not scenarios:
+        raise UsageError("give benchmarks to characterize, or --scenario")
     net = calibrated_supply(args.impedance)
     specs = build_characterization_jobs(
         args.benchmarks,
@@ -559,6 +612,19 @@ def _cmd_characterize(args) -> str:
         threshold=args.threshold,
         impedance=args.impedance,
     )
+    if scenarios:
+        # Unknown scenario names are a usage error (exit 2), not a
+        # pipeline failure: surface the valid-name list on stderr.
+        try:
+            specs += build_scenario_jobs(
+                scenarios,
+                net,
+                cycles=args.cycles,
+                threshold=args.threshold,
+                impedance=args.impedance,
+            )
+        except SpecError as exc:
+            raise UsageError(str(exc)) from None
     batch = submit(
         specs, BatchOptions(jobs=args.jobs, cache_dir=args.cache_dir)
     )
@@ -759,6 +825,117 @@ def _cmd_pipeline_clear(args) -> str:
 
     removed = ResultCache(args.cache_dir).clear()
     return f"removed {removed} cache entries from {args.cache_dir}"
+
+
+def _cmd_scenario_ls() -> str:
+    from .scenarios import SCENARIOS, STRESS_PROFILES
+
+    lines = ["atomic stress profiles:"]
+    for name in sorted(STRESS_PROFILES):
+        profile = STRESS_PROFILES[name]
+        lines.append(f"  {name:<18} {profile.description}")
+    lines += ["", "catalog scenarios:"]
+    for name in sorted(SCENARIOS):
+        scenario = SCENARIOS[name]
+        lines.append(
+            f"  {name:<18} {len(scenario.cores)} core(s) x "
+            f"{scenario.cycles} cycles — {scenario.description}"
+        )
+    lines += [
+        "",
+        "compose profiles with seq(a, b, ...), overlay(a, b, ...), "
+        "repeat(x, n), ramp(x, start, stop)",
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_scenario_show(args) -> str:
+    from .scenarios import resolve_scenario, scenario_param
+
+    try:
+        scenario = resolve_scenario(args.name)
+    except SpecError as exc:
+        raise UsageError(str(exc)) from None
+    lines = [
+        f"{scenario.name}: {scenario.description}",
+        f"  default cycles : {scenario.cycles}",
+        f"  cores          : {len(scenario.cores)}",
+    ]
+    for index, core in enumerate(scenario.cores):
+        lines.append(f"  core {index}: {core.schedule}")
+        if core.phase_offset:
+            lines.append(
+                f"    phase offset : {core.phase_offset:.3f} of the interval"
+            )
+        if core.gain != 1.0:
+            lines.append(f"    gain         : {core.gain}")
+        for event in core.dvfs:
+            kind = "clock-gate" if event.scale == 0.0 else "dvfs step"
+            lines.append(
+                f"    {kind} @ {event.at:.3f}: scale -> {event.scale}"
+            )
+    lines.append(f"  identity       : {scenario_param(scenario)}")
+    return "\n".join(lines)
+
+
+def _cmd_scenario_run(args) -> int:
+    from .pipeline import (
+        BatchOptions,
+        build_scenario_jobs,
+        prediction_from_outcome,
+        submit,
+    )
+
+    if args.no_cache and args.cache_dir:
+        raise UsageError("give --cache-dir or --no-cache, not both")
+    net = calibrated_supply(args.impedance)
+    try:
+        specs = build_scenario_jobs(
+            args.scenarios,
+            net,
+            cycles=args.cycles,
+            threshold=args.threshold,
+            window=args.window,
+            seed=args.seed,
+            warmup_cycles=args.warmup_cycles,
+            impedance=args.impedance,
+        )
+    except SpecError as exc:
+        raise UsageError(str(exc)) from None
+    cache_dir = None if args.no_cache else args.cache_dir
+    batch = submit(
+        specs,
+        BatchOptions(
+            jobs=args.jobs, cache_dir=cache_dir, raise_on_error=False
+        ),
+    )
+    rows = {}
+    for outcome in batch.outcomes:
+        if not outcome.ok:
+            continue
+        p = prediction_from_outcome(outcome)
+        rows[outcome.spec.benchmark] = [
+            p.estimated * 100,
+            p.observed * 100,
+            p.error * 100,
+            outcome.elapsed,
+        ]
+    lines = []
+    if rows:
+        lines.append(
+            viz.table(
+                rows,
+                headers=["est %", "obs %", "err %", "secs"],
+                title=f"{len(rows)} scenario(s) at "
+                      f"{args.impedance:.0f}% impedance "
+                      f"(threshold {args.threshold} V)",
+            )
+        )
+    lines += ["", _batch_footer(batch)]
+    if not batch.ok:
+        lines += ["", batch.describe_failures()]
+    print("\n".join(lines))
+    return EXIT_OK if batch.ok else EXIT_PARTIAL
 
 
 def _cmd_control(args) -> str:
@@ -1314,6 +1491,13 @@ def _dispatch(args) -> int:
             print(_cmd_pipeline_status(args))
         elif args.pipeline_command == "clear":
             print(_cmd_pipeline_clear(args))
+    elif args.command == "scenario":
+        if args.scenario_command == "ls":
+            print(_cmd_scenario_ls())
+        elif args.scenario_command == "show":
+            print(_cmd_scenario_show(args))
+        elif args.scenario_command == "run":
+            return _cmd_scenario_run(args)
     elif args.command == "store":
         if args.store_command == "ingest":
             print(_cmd_store_ingest(args))

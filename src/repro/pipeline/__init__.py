@@ -39,6 +39,7 @@ tuning guidance.
 from .batch import (
     build_characterization_jobs,
     build_control_jobs,
+    build_scenario_jobs,
     build_store_jobs,
     control_results_from,
     prediction_from_outcome,
@@ -60,6 +61,7 @@ from .spec import (
     CACHE_SALT,
     CACHE_SCHEMA_VERSION,
     DEFAULT_STAGES,
+    SCENARIO_STAGES,
     STORE_STAGES,
     JobSpec,
     deserialize_network,
@@ -99,6 +101,7 @@ __all__ = [
     "PipelineExecutor",
     "ResultCache",
     "RetryPolicy",
+    "SCENARIO_STAGES",
     "STORE_STAGES",
     "Stage",
     "StageContext",
@@ -107,6 +110,7 @@ __all__ = [
     "available_stages",
     "build_characterization_jobs",
     "build_control_jobs",
+    "build_scenario_jobs",
     "build_store_jobs",
     "control_results_from",
     "deserialize_network",

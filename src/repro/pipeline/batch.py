@@ -13,13 +13,14 @@ from ..errors import SpecError
 from ..power import PowerSupplyNetwork
 from ..workloads import SPEC2000, SPEC_FP, SPEC_INT
 from .executor import BatchResult, JobOutcome, RetryPolicy
-from .spec import DEFAULT_STAGES, STORE_STAGES, JobSpec
+from .spec import DEFAULT_STAGES, SCENARIO_STAGES, STORE_STAGES, JobSpec
 from .stages import control_result_from_artifact
 
 __all__ = [
     "suite_names",
     "build_characterization_jobs",
     "build_control_jobs",
+    "build_scenario_jobs",
     "build_store_jobs",
     "run_batch",
     "prediction_from_outcome",
@@ -126,6 +127,50 @@ def build_store_jobs(
         raise SpecError(
             f"no matching traces in store {store.root}",
             store=str(store.root),
+        )
+    return specs
+
+
+def build_scenario_jobs(
+    names,
+    network: PowerSupplyNetwork,
+    *,
+    cycles: int | None = None,
+    threshold: float = 0.97,
+    window: int = 256,
+    seed: int | None = None,
+    warmup_cycles: int = 512,
+    impedance: float | None = None,
+    stages: tuple[str, ...] = SCENARIO_STAGES,
+) -> list[JobSpec]:
+    """The §4 chain fed from composed stress scenarios.
+
+    ``names`` are catalog scenario names, atomic profile names, or
+    schedule expressions (see :func:`repro.scenarios.resolve_scenario`
+    — unknown names raise a structured :class:`SpecError` listing the
+    valid ones).  Each job carries the scenario's canonical JSON in
+    ``params["scenario"]``; the ``scenario`` stage compiles it and the
+    rest of the chain (voltage, characterize, caching, blocks, obs)
+    runs unchanged.  ``cycles=None`` uses each scenario's own default.
+    """
+    from ..scenarios import resolve_scenario, scenario_param
+
+    specs = []
+    for name in names:
+        scenario = resolve_scenario(name)
+        specs.append(
+            JobSpec.make(
+                scenario.name,
+                network=network,
+                cycles=int(cycles if cycles is not None else scenario.cycles),
+                threshold=threshold,
+                window=window,
+                seed=seed,
+                warmup_cycles=warmup_cycles,
+                impedance=impedance,
+                stages=stages,
+                params={"scenario": scenario_param(scenario)},
+            )
         )
     return specs
 

@@ -56,13 +56,18 @@ DEFAULT_MAX_BLOCK = 32
 def block_key(spec: JobSpec) -> tuple:
     """The compatibility key two specs must share to ride one block."""
     ident = trace_identity(spec)
+    # The "scenario" param only shapes per-member trace production in
+    # the prefix pass (like differing benchmarks under "simulate"); the
+    # fused characterize is indifferent to it, so two different
+    # scenarios of equal geometry still stack into one block.
+    params = tuple(p for p in spec.params if p[0] != "scenario")
     return (
         spec.stages,
         spec.cycles,
         spec.window,
         spec.threshold,
         spec.network,
-        spec.params,
+        params,
         ident.get("dtype"),
         ident.get("samples", spec.cycles),
     )

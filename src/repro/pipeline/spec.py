@@ -34,6 +34,7 @@ __all__ = [
     "CACHE_SALT",
     "DEFAULT_STAGES",
     "STORE_STAGES",
+    "SCENARIO_STAGES",
     "JobSpec",
     "serialize_network",
     "deserialize_network",
@@ -46,7 +47,9 @@ __all__ = [
 #: v3: trace-producing stages key on a dtype-explicit trace identity, so
 #: a float32 store trace and a float64 regenerated trace never collide
 #: (and equivalent ones dedupe across ``simulate``/``load_trace``).
-CACHE_SCHEMA_VERSION = 3
+#: v4: the ``scenario`` stage joins the ``trace`` namespace; scenario
+#: jobs identify their trace by the canonical-JSON scenario parameter.
+CACHE_SCHEMA_VERSION = 4
 
 #: Code-version salt folded into every cache key, so results computed by
 #: a different release or schema never alias.
@@ -57,6 +60,10 @@ DEFAULT_STAGES = ("simulate", "voltage", "characterize")
 
 #: The same chain fed from the trace store instead of the simulator.
 STORE_STAGES = ("load_trace", "voltage", "characterize")
+
+#: The same chain fed from a compiled stress scenario
+#: (:mod:`repro.scenarios`) instead of a single benchmark simulation.
+SCENARIO_STAGES = ("scenario", "voltage", "characterize")
 
 
 def serialize_network(network: PowerSupplyNetwork) -> tuple[tuple[str, float], ...]:
@@ -258,6 +265,20 @@ def trace_identity(spec: "JobSpec") -> dict:
     """
     if spec.trace is not None:
         return spec.resolve_trace_ref().identity()
+    scenario = spec.param("scenario")
+    if scenario is not None:
+        # Scenario jobs identify their trace by the scenario's canonical
+        # JSON (cores, schedules, offsets, DVFS edges) plus the compile
+        # contract — never by the display name, so an edited catalog
+        # entry can't alias a stale cache entry.
+        return {
+            "kind": "scenario",
+            "dtype": "float64",
+            "scenario": scenario,
+            "cycles": spec.cycles,
+            "seed": spec.seed,
+            "warmup_cycles": spec.warmup_cycles,
+        }
     return {
         "kind": "simulate",
         "dtype": "float64",

@@ -36,7 +36,7 @@ from ..core import (
 )
 from ..obs import trace as obs
 from ..power import ConvolutionVoltageSimulator
-from ..uarch import simulate_benchmark
+from ..uarch import RunStatistics, SimulationResult, simulate_benchmark
 from ..errors import SpecError
 from .spec import CACHE_SALT, JobSpec, hash_payload
 from .windows import streaming_characterize
@@ -190,6 +190,8 @@ class StageContext:
                     "store.attach", benchmark=self.spec.benchmark
                 ):
                     self._current = self.spec.resolve_trace_ref().resolve()
+            elif "scenario" in self.artifacts:
+                self._current = self.artifacts["scenario"].current
             else:
                 self._current = self.simulation().current
         return self._current
@@ -211,6 +213,55 @@ def _stage_simulate(ctx: StageContext):
         cycles=ctx.spec.cycles,
         seed=ctx.spec.seed,
         warmup_cycles=ctx.spec.warmup_cycles,
+    )
+
+
+@register_stage(
+    "scenario",
+    fields=("trace_identity",),
+    kind="result",
+    key_name="trace",
+)
+def _stage_scenario(ctx: StageContext):
+    """Compile a composed stress scenario into the job's current trace.
+
+    The spec carries the scenario's canonical JSON in
+    ``params["scenario"]`` (see
+    :func:`repro.scenarios.scenario_param`); compiling it runs every
+    atom span through the Table-1 simulator, superposes cores, and
+    applies DVFS envelopes.  The artifact is a synthetic
+    :class:`~repro.uarch.SimulationResult` so scenario traces
+    round-trip the ``kind = "result"`` cache exactly like simulated
+    ones — a cache hit restores the trace for downstream stages.
+    """
+    from ..scenarios import compile_scenario, scenario_from_param
+
+    spec = ctx.spec
+    param = spec.param("scenario")
+    if param is None:
+        raise SpecError(
+            f"job {spec.label} has a 'scenario' stage but no "
+            "'scenario' parameter",
+            job=spec.label,
+        )
+    scenario = scenario_from_param(str(param))
+    with obs.span(
+        "scenario.compile",
+        benchmark=spec.benchmark,
+        cores=len(scenario.cores),
+        cycles=spec.cycles,
+    ):
+        current = compile_scenario(
+            scenario,
+            spec.cycles,
+            seed=spec.seed,
+            warmup_cycles=spec.warmup_cycles,
+        )
+    return SimulationResult(
+        name=spec.benchmark,
+        current=current,
+        l2_outstanding=np.zeros(current.size, dtype=bool),
+        stats=RunStatistics(),
     )
 
 

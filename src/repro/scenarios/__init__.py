@@ -1,0 +1,83 @@
+"""Scenario universe: stress profiles, composition grammar, multi-core.
+
+The paper's 26-benchmark suite under-samples exactly the burst
+structures that drive voltage emergencies.  This package opens that
+workload space declaratively:
+
+* :mod:`~repro.scenarios.profiles` — ~10 named atomic stress profiles
+  (``STRESS_PROFILES``), each a complete workload model targeting one
+  burst mechanism;
+* :mod:`~repro.scenarios.grammar` — ``seq``/``overlay``/``repeat``/
+  ``ramp`` composition of profiles into schedules, compiled onto the
+  Table-1 simulator;
+* :mod:`~repro.scenarios.multicore` — per-core schedules with phase
+  offsets and DVFS/clock-gating step events, superposed onto one shared
+  supply network;
+* :mod:`~repro.scenarios.catalog` — curated named scenarios
+  (``quad-core-dvfs``, ...) and the name-or-expression resolver the CLI
+  and serve protocol share.
+
+Every scenario lowers to a pipeline :class:`~repro.pipeline.JobSpec`
+(the ``scenario`` stage), so it inherits caching, fault tolerance,
+block dispatch and observability unchanged.  See ``docs/SCENARIOS.md``.
+"""
+
+from .catalog import (
+    SCENARIOS,
+    get_scenario,
+    resolve_scenario,
+    scenario_from_param,
+    scenario_names,
+    scenario_param,
+)
+from .grammar import (
+    Atom,
+    Overlay,
+    Ramp,
+    Repeat,
+    ScheduleNode,
+    Seq,
+    compile_schedule,
+    parse_schedule,
+    schedule_units,
+)
+from .multicore import (
+    CoreSpec,
+    DVFSEvent,
+    Scenario,
+    compile_scenario,
+    dvfs_envelope,
+)
+from .profiles import (
+    STRESS_PROFILES,
+    StressProfile,
+    get_stress_profile,
+    profile_names,
+)
+
+__all__ = [
+    "Atom",
+    "CoreSpec",
+    "DVFSEvent",
+    "Overlay",
+    "Ramp",
+    "Repeat",
+    "SCENARIOS",
+    "STRESS_PROFILES",
+    "Scenario",
+    "ScheduleNode",
+    "Seq",
+    "StressProfile",
+    "compile_scenario",
+    "compile_schedule",
+    "dvfs_envelope",
+    "get_scenario",
+    "get_stress_profile",
+    "parse_schedule",
+    "profile_names",
+    "resolve_scenario",
+    "scenario_from_param",
+    "scenario_names",
+    "scenario_param",
+    "schedule_units",
+]

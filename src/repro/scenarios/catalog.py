@@ -1,0 +1,204 @@
+"""The named-scenario catalog and the name-or-expression resolver.
+
+Two ways to name a stimulus:
+
+* a **catalog name** (``quad-core-dvfs``, ``resonance-sweep``, ...) —
+  a curated :class:`~repro.scenarios.multicore.Scenario` below;
+* a **schedule expression** (``seq(cache-thrash, idle-spike)``) — any
+  grammar string, wrapped on the fly into an anonymous single-core
+  scenario.
+
+:func:`resolve_scenario` accepts either.  A bare name that is neither a
+catalog scenario nor a parseable expression raises a structured
+:class:`~repro.errors.SpecError` listing every valid scenario and
+profile name — the CLI maps that to exit code 2 and the serve protocol
+to HTTP 400.
+
+:func:`scenario_param` renders a scenario's content identity as
+canonical JSON: the string a pipeline :class:`~repro.pipeline.JobSpec`
+carries in ``params["scenario"]`` and the ``scenario`` stage hashes
+into its cache key.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import SpecError
+from .grammar import parse_schedule
+from .multicore import CoreSpec, DVFSEvent, Scenario
+from .profiles import profile_names
+
+__all__ = [
+    "SCENARIOS",
+    "get_scenario",
+    "resolve_scenario",
+    "scenario_names",
+    "scenario_param",
+    "scenario_from_param",
+]
+
+
+#: Curated scenario catalog.  Each entry is a complete multi-core
+#: stimulus; single-core entries exist so the interesting compositions
+#: have stable names in CI and the serve protocol.
+SCENARIOS: dict[str, Scenario] = {
+    "resonance-sweep": Scenario(
+        "resonance-sweep",
+        "a ramped resonance probe over an fp-saturate carrier: walks the "
+        "pump amplitude through the supply's resonant band",
+        cores=(
+            CoreSpec(
+                "overlay(fp-saturate, ramp(resonance-probe, 0.0, 1.0))"
+            ),
+        ),
+    ),
+    "burst-train": Scenario(
+        "burst-train",
+        "four idle-to-burst steps back to back: repeated maximal "
+        "single-edge current transients",
+        cores=(CoreSpec("repeat(seq(idle-spike, cache-thrash), 2)"),),
+    ),
+    "memory-storm": Scenario(
+        "memory-storm",
+        "streaming misses over pointer chasing, then a thrash tail: the "
+        "memory-bound worst case",
+        cores=(
+            CoreSpec(
+                "seq(overlay(memory-burst, pointer-chase), cache-thrash)"
+            ),
+        ),
+    ),
+    "dual-core-aligned": Scenario(
+        "dual-core-aligned",
+        "two cores running the same oscillation in phase: worst-case "
+        "constructive superposition on the shared network",
+        cores=(
+            CoreSpec("phase-oscillation"),
+            CoreSpec("phase-oscillation"),
+        ),
+    ),
+    "dual-core-skewed": Scenario(
+        "dual-core-skewed",
+        "the same two oscillating cores, half a period apart: the "
+        "phase-offset cancellation counterpart of dual-core-aligned",
+        cores=(
+            CoreSpec("phase-oscillation"),
+            CoreSpec("phase-oscillation", phase_offset=0.5),
+        ),
+    ),
+    "quad-core-dvfs": Scenario(
+        "quad-core-dvfs",
+        "four staggered cores under a DVFS storm: one down-steps then "
+        "recovers, one clock-gates mid-run, one wakes from gated — "
+        "every edge a first-class dI/dt step on the shared network",
+        cores=(
+            CoreSpec("seq(cache-thrash, memory-burst)"),
+            CoreSpec(
+                "phase-oscillation",
+                phase_offset=0.25,
+                dvfs=(DVFSEvent(0.375, 0.6), DVFSEvent(0.75, 1.0)),
+            ),
+            CoreSpec(
+                "fp-saturate",
+                phase_offset=0.5,
+                dvfs=(DVFSEvent(0.5, 0.0),),
+            ),
+            CoreSpec(
+                "branch-storm",
+                phase_offset=0.125,
+                dvfs=(DVFSEvent(0.0, 0.0), DVFSEvent(0.25, 1.0)),
+                gain=0.8,
+            ),
+        ),
+    ),
+    "gating-steps": Scenario(
+        "gating-steps",
+        "a steady fp plateau chopped by gate-off/gate-on pairs: isolates "
+        "the pure DVFS step response of the network",
+        cores=(
+            CoreSpec(
+                "fp-saturate",
+                dvfs=(
+                    DVFSEvent(0.25, 0.0),
+                    DVFSEvent(0.375, 1.0),
+                    DVFSEvent(0.625, 0.0),
+                    DVFSEvent(0.75, 1.0),
+                ),
+            ),
+        ),
+    ),
+}
+
+
+def scenario_names() -> tuple[str, ...]:
+    """The catalog scenario names, sorted."""
+    return tuple(sorted(SCENARIOS))
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up one catalog scenario; unknown names list the valid ones."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise SpecError(
+            f"unknown scenario {name!r}; valid scenarios: "
+            f"{', '.join(scenario_names())}; or compose atomic profiles "
+            f"({', '.join(profile_names())}) with "
+            "seq()/overlay()/repeat()/ramp()",
+            scenario=name,
+            valid_scenarios=list(scenario_names()),
+            valid_profiles=list(profile_names()),
+        ) from None
+
+
+def resolve_scenario(name_or_expression: str) -> Scenario:
+    """A scenario from a catalog name or a schedule expression.
+
+    Catalog names win; anything containing ``(`` is treated as an
+    expression and wrapped into an anonymous single-core scenario; a
+    bare unknown name raises the structured catalog error.
+    """
+    text = (name_or_expression or "").strip()
+    if not text:
+        raise SpecError("scenario name must be non-empty")
+    if text in SCENARIOS:
+        return SCENARIOS[text]
+    if "(" not in text:
+        # A bare name: either an atomic profile (a valid one-atom
+        # expression) or a typo — get_scenario's error lists both sets.
+        if text in profile_names():
+            return Scenario(text, f"single-core {text}", (CoreSpec(text),))
+        get_scenario(text)  # raises the structured unknown-name error
+    parse_schedule(text)  # surface expression errors with positions
+    return Scenario(text, "ad-hoc schedule expression", (CoreSpec(text),))
+
+
+def scenario_param(scenario: Scenario) -> str:
+    """A scenario's content identity as canonical compact JSON."""
+    return json.dumps(
+        scenario.canonical(), sort_keys=True, separators=(",", ":")
+    )
+
+
+def scenario_from_param(param: str) -> Scenario:
+    """Rebuild an executable scenario from its canonical JSON identity."""
+    try:
+        payload = json.loads(param)
+        cores = tuple(
+            CoreSpec(
+                schedule=core["schedule"],
+                phase_offset=core.get("phase_offset", 0.0),
+                dvfs=tuple(
+                    DVFSEvent(at, scale)
+                    for at, scale in core.get("dvfs", [])
+                ),
+                gain=core.get("gain", 1.0),
+            )
+            for core in payload["cores"]
+        )
+    except (ValueError, KeyError, TypeError) as exc:
+        raise SpecError(
+            f"malformed scenario parameter: {exc}", param=param
+        ) from exc
+    return Scenario("scenario", "from pipeline parameter", cores)

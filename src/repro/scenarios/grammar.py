@@ -1,0 +1,441 @@
+"""The scenario composition grammar: profiles in, schedules out.
+
+A *schedule expression* is a small text grammar over the atomic stress
+profiles (:mod:`repro.scenarios.profiles`)::
+
+    schedule := atom | combinator
+    atom     := profile-name                     # "cache-thrash"
+    seq(a, b, ...)        # run operands in order, cycle budget split
+                          # proportional to their relative lengths
+    overlay(a, b, ...)    # superpose operands (currents sum); operands
+                          # must have equal relative length
+    repeat(x, n)          # n copies of x in sequence
+    ramp(x, start, stop)  # x with a linear amplitude envelope
+
+Examples::
+
+    seq(cache-thrash, memory-burst, idle-spike)
+    repeat(seq(idle-spike, resonance-probe), 4)
+    overlay(fp-saturate, ramp(memory-burst, 0.0, 1.0))
+
+Parsing produces a :class:`ScheduleNode` tree; :func:`compile_schedule`
+lowers the tree onto the Table-1 machine — every atom span is a real
+:func:`~repro.uarch.simulate_benchmark` run of the profile's workload
+model — and returns one float64 per-cycle current trace.  All
+randomness derives deterministically from the caller's seed and each
+atom's position in the tree, so the same ``(expression, cycles, seed)``
+triple always compiles to the identical trace, on any backend and in
+any worker process.
+
+Every malformed expression raises :class:`~repro.errors.SpecError` with
+the offending position; unknown profile names list the valid ones.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SpecError
+from .profiles import get_stress_profile, profile_names
+
+__all__ = [
+    "Atom",
+    "Overlay",
+    "Ramp",
+    "Repeat",
+    "ScheduleNode",
+    "Seq",
+    "compile_schedule",
+    "parse_schedule",
+    "schedule_units",
+]
+
+#: Combinator names reserved by the grammar (not valid profile names).
+_COMBINATORS = ("seq", "overlay", "repeat", "ramp")
+
+
+class ScheduleNode:
+    """Base class of every schedule AST node."""
+
+    def canonical(self) -> dict:
+        """The node as a JSON-ready dict (the cache-identity payload)."""
+        raise NotImplementedError
+
+    def units(self) -> int:
+        """Relative length in atom units (an atom spans one unit)."""
+        raise NotImplementedError
+
+    def text(self) -> str:
+        """The canonical source rendering: whitespace-normalized, so
+        equivalent expressions produce identical cache identities."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Atom(ScheduleNode):
+    """One atomic stress profile occupying one relative time unit."""
+
+    profile: str
+
+    def __post_init__(self) -> None:
+        get_stress_profile(self.profile)  # unknown names fail loudly here
+
+    def canonical(self) -> dict:
+        return {"atom": self.profile}
+
+    def units(self) -> int:
+        return 1
+
+    def text(self) -> str:
+        return self.profile
+
+
+@dataclass(frozen=True)
+class Seq(ScheduleNode):
+    """Operands in order; cycles split proportional to their units."""
+
+    children: tuple[ScheduleNode, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.children) < 1:
+            raise SpecError("seq() needs at least one operand")
+
+    def canonical(self) -> dict:
+        return {"seq": [c.canonical() for c in self.children]}
+
+    def units(self) -> int:
+        return sum(c.units() for c in self.children)
+
+    def text(self) -> str:
+        return f"seq({', '.join(c.text() for c in self.children)})"
+
+
+@dataclass(frozen=True)
+class Overlay(ScheduleNode):
+    """Superposed operands: compiled over the same span and summed.
+
+    Operands must agree on relative length — overlaying a one-unit atom
+    onto a three-unit sequence has no meaningful alignment, so it is a
+    :class:`~repro.errors.SpecError` at construction time.
+    """
+
+    children: tuple[ScheduleNode, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.children) < 2:
+            raise SpecError("overlay() needs at least two operands")
+        lengths = {c.units() for c in self.children}
+        if len(lengths) != 1:
+            raise SpecError(
+                "overlay() operands must have equal relative length; "
+                f"got lengths {sorted(lengths)}",
+                lengths=sorted(lengths),
+            )
+
+    def canonical(self) -> dict:
+        return {"overlay": [c.canonical() for c in self.children]}
+
+    def units(self) -> int:
+        return self.children[0].units()
+
+    def text(self) -> str:
+        return f"overlay({', '.join(c.text() for c in self.children)})"
+
+
+@dataclass(frozen=True)
+class Repeat(ScheduleNode):
+    """``count`` copies of the operand, back to back."""
+
+    child: ScheduleNode
+    count: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.count, int) or self.count < 1:
+            raise SpecError(
+                f"repeat() count must be a positive integer, "
+                f"got {self.count!r}"
+            )
+
+    def canonical(self) -> dict:
+        return {"repeat": self.child.canonical(), "count": self.count}
+
+    def units(self) -> int:
+        return self.count * self.child.units()
+
+    def text(self) -> str:
+        return f"repeat({self.child.text()}, {self.count})"
+
+
+@dataclass(frozen=True)
+class Ramp(ScheduleNode):
+    """The operand under a linear amplitude envelope start → stop."""
+
+    child: ScheduleNode
+    start: float
+    stop: float
+
+    def __post_init__(self) -> None:
+        for label, value in (("start", self.start), ("stop", self.stop)):
+            if not (isinstance(value, (int, float)) and value >= 0.0):
+                raise SpecError(
+                    f"ramp() {label} must be a non-negative number, "
+                    f"got {value!r}"
+                )
+
+    def canonical(self) -> dict:
+        return {
+            "ramp": self.child.canonical(),
+            "start": float(self.start),
+            "stop": float(self.stop),
+        }
+
+    def units(self) -> int:
+        return self.child.units()
+
+    def text(self) -> str:
+        return (
+            f"ramp({self.child.text()}, {float(self.start)!r}, "
+            f"{float(self.stop)!r})"
+        )
+
+
+def schedule_units(node: ScheduleNode) -> int:
+    """Relative length of a schedule in atom units."""
+    return node.units()
+
+
+# -- parser --------------------------------------------------------------------
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<lparen>\()|(?P<rparen>\))|(?P<comma>,)"
+    r"|(?P<number>\d+(?:\.\d+)?)|(?P<name>[a-z][a-z0-9-]*))"
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str, int]]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None or match.end() == match.start():
+            remainder = text[pos:].lstrip()
+            if not remainder:
+                break
+            raise SpecError(
+                f"schedule parse error at position {pos}: "
+                f"unexpected {remainder[0]!r} in {text!r}",
+                position=pos,
+                expression=text,
+            )
+        kind = match.lastgroup
+        tokens.append((kind, match.group(kind), match.start(kind)))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    def peek(self):
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return (None, None, len(self.text))
+
+    def take(self, kind: str, what: str):
+        tok_kind, value, pos = self.peek()
+        if tok_kind != kind:
+            raise SpecError(
+                f"schedule parse error at position {pos}: expected "
+                f"{what}, got {value!r} in {self.text!r}",
+                position=pos,
+                expression=self.text,
+            )
+        self.index += 1
+        return value, pos
+
+    def parse(self) -> ScheduleNode:
+        node = self.expression()
+        tok_kind, value, pos = self.peek()
+        if tok_kind is not None:
+            raise SpecError(
+                f"schedule parse error at position {pos}: trailing "
+                f"{value!r} after a complete expression in {self.text!r}",
+                position=pos,
+                expression=self.text,
+            )
+        return node
+
+    def expression(self) -> ScheduleNode:
+        name, pos = self.take("name", "a profile or combinator name")
+        if name not in _COMBINATORS:
+            return Atom(name)
+        self.take("lparen", "'('")
+        if name == "seq":
+            node = Seq(tuple(self.operand_list()))
+        elif name == "overlay":
+            node = Overlay(tuple(self.operand_list()))
+        elif name == "repeat":
+            child = self.expression()
+            self.take("comma", "','")
+            count, cpos = self.take("number", "a repeat count")
+            if "." in count:
+                raise SpecError(
+                    f"schedule parse error at position {cpos}: repeat "
+                    f"count must be an integer, got {count!r}",
+                    position=cpos,
+                    expression=self.text,
+                )
+            node = Repeat(child, int(count))
+        else:  # ramp
+            child = self.expression()
+            self.take("comma", "','")
+            start, _ = self.take("number", "a ramp start level")
+            self.take("comma", "','")
+            stop, _ = self.take("number", "a ramp stop level")
+            node = Ramp(child, float(start), float(stop))
+        self.take("rparen", "')'")
+        return node
+
+    def operand_list(self) -> list[ScheduleNode]:
+        nodes = [self.expression()]
+        while self.peek()[0] == "comma":
+            self.index += 1
+            nodes.append(self.expression())
+        return nodes
+
+
+def parse_schedule(expression: str) -> ScheduleNode:
+    """Parse one schedule expression into its AST.
+
+    Raises :class:`~repro.errors.SpecError` on malformed syntax (with
+    the character position) and on unknown profile names (listing the
+    valid profiles).
+    """
+    if not isinstance(expression, str) or not expression.strip():
+        raise SpecError("schedule expression must be a non-empty string")
+    return _Parser(expression.strip()).parse()
+
+
+# -- compilation ---------------------------------------------------------------
+
+
+def _atom_seed(base_seed: int, ordinal: int) -> int:
+    """A deterministic per-atom-instantiation stream seed.
+
+    Mixes the scenario seed with the atom's traversal ordinal through an
+    LCG-style step, so every atom span draws an independent stream while
+    the whole schedule stays a pure function of ``(expression, seed)``.
+    """
+    return (base_seed * 2_654_435_761 + ordinal * 40_503 + 97) % (2**31 - 1)
+
+
+def _simulate_atom(
+    node: Atom, cycles: int, seed: int, warmup_cycles: int
+) -> np.ndarray:
+    from ..uarch import simulate_benchmark
+
+    profile = get_stress_profile(node.profile)
+    result = simulate_benchmark(
+        profile.workload,
+        cycles=cycles,
+        seed=seed,
+        warmup_cycles=warmup_cycles,
+    )
+    return np.asarray(result.current, dtype=np.float64)
+
+
+class _Compiler:
+    """Lowers a schedule tree onto the simulator, one atom span at a time."""
+
+    def __init__(self, base_seed: int, warmup_cycles: int) -> None:
+        self.base_seed = base_seed
+        self.warmup_cycles = warmup_cycles
+        self.ordinal = 0
+
+    def compile(self, node: ScheduleNode, cycles: int) -> np.ndarray:
+        if cycles <= 0:
+            raise SpecError("schedule span must be at least one cycle")
+        if isinstance(node, Atom):
+            self.ordinal += 1
+            return _simulate_atom(
+                node,
+                cycles,
+                _atom_seed(self.base_seed, self.ordinal),
+                self.warmup_cycles,
+            )
+        if isinstance(node, Seq):
+            return self._sequence(node.children, cycles)
+        if isinstance(node, Repeat):
+            return self._sequence((node.child,) * node.count, cycles)
+        if isinstance(node, Overlay):
+            parts = [self.compile(c, cycles) for c in node.children]
+            return np.sum(parts, axis=0)
+        if isinstance(node, Ramp):
+            trace = self.compile(node.child, cycles)
+            envelope = np.linspace(node.start, node.stop, cycles)
+            return trace * envelope
+        raise SpecError(f"unknown schedule node {type(node).__name__}")
+
+    def _sequence(self, children, cycles: int) -> np.ndarray:
+        total_units = sum(c.units() for c in children)
+        segments = []
+        consumed_units = 0
+        consumed_cycles = 0
+        for child in children:
+            consumed_units += child.units()
+            # Proportional split with the remainder folded into the last
+            # segment, so the lengths always sum to exactly ``cycles``.
+            end = round(cycles * consumed_units / total_units)
+            span = int(end) - consumed_cycles
+            if span <= 0:
+                raise SpecError(
+                    f"schedule span of {cycles} cycles is too short for "
+                    f"{total_units} sequence unit(s); give each unit at "
+                    "least one cycle",
+                    cycles=cycles,
+                    units=total_units,
+                )
+            segments.append(self.compile(child, span))
+            consumed_cycles += span
+        return np.concatenate(segments)
+
+
+def compile_schedule(
+    schedule: ScheduleNode | str,
+    cycles: int,
+    *,
+    seed: int | None = None,
+    warmup_cycles: int = 512,
+) -> np.ndarray:
+    """Lower one schedule to a float64 per-cycle current trace.
+
+    ``seed`` defaults to 0; every atom span derives its own stream seed
+    from it deterministically, so the result is a pure function of
+    ``(schedule, cycles, seed, warmup_cycles)``.
+    """
+    if isinstance(schedule, str):
+        schedule = parse_schedule(schedule)
+    if cycles <= 0:
+        raise SpecError("cycles must be positive")
+    if warmup_cycles < 0:
+        raise SpecError("warmup_cycles must be non-negative")
+    compiler = _Compiler(0 if seed is None else int(seed), warmup_cycles)
+    trace = compiler.compile(schedule, int(cycles))
+    if trace.shape != (cycles,):
+        raise SpecError(
+            f"schedule compiled to {trace.shape[0]} cycles, "
+            f"expected {cycles}"
+        )
+    return trace
+
+
+def _valid_names_hint() -> str:
+    return ", ".join(profile_names())

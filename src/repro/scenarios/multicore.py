@@ -1,0 +1,194 @@
+"""Multi-core scenarios: superposed per-core currents plus DVFS steps.
+
+A :class:`Scenario` is the top of the stimulus stack: one or more
+:class:`CoreSpec` entries, each running a schedule expression from the
+grammar (:mod:`repro.scenarios.grammar`), all drawing from **one shared
+power network**.  The supply sees the *sum* of the per-core currents —
+the same superposition a package-level PDN sees — so cross-core
+alignment matters: two cores hitting their burst phase in step double
+the dI/dt excursion, while a half-period ``phase_offset`` lets them
+partially cancel.
+
+DVFS and clock-gating enter as first-class current events.  A
+:class:`DVFSEvent` is a piecewise-constant amplitude step at a fractional
+position in the trace: frequency/voltage scaling multiplies a core's
+draw by ``scale`` (< 1 for a down-step), and ``scale = 0.0`` models a
+clock-gated core.  The *edges* of that envelope are themselves maximal
+dI/dt steps — exactly the transients the monitor has to survive — and
+they land on exact cycle boundaries (``int(at * cycles)``) so tests can
+pin their alignment.
+
+Everything compiles deterministically from ``(scenario, cycles, seed)``:
+per-core stream seeds derive from the scenario seed and the core index,
+then the grammar derives per-atom seeds below that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SpecError
+from .grammar import compile_schedule, parse_schedule
+
+__all__ = [
+    "CoreSpec",
+    "DVFSEvent",
+    "Scenario",
+    "compile_scenario",
+    "dvfs_envelope",
+]
+
+
+@dataclass(frozen=True)
+class DVFSEvent:
+    """One frequency/voltage (or clock-gate) amplitude step.
+
+    ``at`` is the fractional trace position of the edge in ``[0, 1)``;
+    the edge lands on cycle ``int(at * cycles)``.  ``scale`` is the
+    current multiplier in force from that edge until the next one
+    (``0.0`` = clock-gated, ``1.0`` = nominal).
+    """
+
+    at: float
+    scale: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.at < 1.0):
+            raise SpecError(
+                f"DVFS event position must be in [0, 1), got {self.at!r}",
+                at=self.at,
+            )
+        if self.scale < 0.0:
+            raise SpecError(
+                f"DVFS scale must be non-negative, got {self.scale!r}",
+                scale=self.scale,
+            )
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """One core's contribution to the shared supply network.
+
+    ``schedule`` is a grammar expression; ``phase_offset`` rotates the
+    core's trace by that fraction of the interval (cross-core
+    de-alignment); ``dvfs`` is the core's amplitude-step sequence,
+    strictly increasing in ``at``; ``gain`` is a static per-core
+    current weight (an asymmetric little core might carry 0.4).
+    """
+
+    schedule: str
+    phase_offset: float = 0.0
+    dvfs: tuple[DVFSEvent, ...] = ()
+    gain: float = 1.0
+
+    def __post_init__(self) -> None:
+        parse_schedule(self.schedule)  # malformed schedules fail here
+        if not (0.0 <= self.phase_offset < 1.0):
+            raise SpecError(
+                f"phase_offset must be in [0, 1), "
+                f"got {self.phase_offset!r}",
+                phase_offset=self.phase_offset,
+            )
+        if self.gain < 0.0:
+            raise SpecError(
+                f"core gain must be non-negative, got {self.gain!r}",
+                gain=self.gain,
+            )
+        positions = [event.at for event in self.dvfs]
+        if positions != sorted(set(positions)):
+            raise SpecError(
+                "DVFS events must be strictly increasing in position; "
+                f"got {positions}",
+                positions=positions,
+            )
+
+    def canonical(self) -> dict:
+        return {
+            # whitespace-normalized rendering, so equivalent expressions
+            # share one cache identity
+            "schedule": parse_schedule(self.schedule).text(),
+            "phase_offset": float(self.phase_offset),
+            "dvfs": [[float(e.at), float(e.scale)] for e in self.dvfs],
+            "gain": float(self.gain),
+        }
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named multi-core stimulus against one shared supply network."""
+
+    name: str
+    description: str
+    cores: tuple[CoreSpec, ...]
+    cycles: int = 32768
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("scenario name must be non-empty")
+        if not self.cores:
+            raise SpecError(
+                f"scenario {self.name!r} needs at least one core",
+                scenario=self.name,
+            )
+        if self.cycles <= 0:
+            raise SpecError("scenario cycles must be positive")
+
+    def canonical(self) -> dict:
+        """The scenario's content identity (what the cache key hashes)."""
+        return {"cores": [core.canonical() for core in self.cores]}
+
+
+def dvfs_envelope(events: tuple[DVFSEvent, ...], cycles: int) -> np.ndarray:
+    """The piecewise-constant amplitude envelope of a DVFS sequence.
+
+    Scale is 1.0 (nominal) from cycle 0 up to the first edge; each edge
+    at ``int(event.at * cycles)`` switches to ``event.scale`` for the
+    rest of the trace (until the next edge).
+    """
+    envelope = np.ones(cycles, dtype=np.float64)
+    for event in events:
+        edge = int(event.at * cycles)
+        envelope[edge:] = event.scale
+    return envelope
+
+
+def _core_seed(base_seed: int, core_index: int) -> int:
+    """A deterministic per-core stream seed below the scenario seed."""
+    return (base_seed * 1_000_003 + core_index * 7_919 + 13) % (2**31 - 1)
+
+
+def compile_scenario(
+    scenario: Scenario,
+    cycles: int | None = None,
+    *,
+    seed: int | None = None,
+    warmup_cycles: int = 512,
+) -> np.ndarray:
+    """Lower a scenario to the summed per-cycle current all cores draw.
+
+    Each core's schedule compiles independently (own derived stream
+    seed), is rotated by its phase offset, shaped by its DVFS envelope
+    and gain, then all cores superpose by plain addition — one shared
+    supply network sees the total.
+    """
+    span = int(scenario.cycles if cycles is None else cycles)
+    if span <= 0:
+        raise SpecError("cycles must be positive")
+    base_seed = 0 if seed is None else int(seed)
+    total = np.zeros(span, dtype=np.float64)
+    for index, core in enumerate(scenario.cores):
+        trace = compile_schedule(
+            core.schedule,
+            span,
+            seed=_core_seed(base_seed, index),
+            warmup_cycles=warmup_cycles,
+        )
+        offset = int(core.phase_offset * span)
+        if offset:
+            trace = np.roll(trace, offset)
+        if core.dvfs:
+            trace = trace * dvfs_envelope(core.dvfs, span)
+        total += core.gain * trace
+    return total

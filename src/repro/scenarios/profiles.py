@@ -1,0 +1,227 @@
+"""The atomic stress-profile library: named dI/dt stimulus generators.
+
+The paper characterizes dI/dt behavior from the fixed 26-benchmark SPEC
+suite, but its own conclusion is that voltage emergencies are driven by
+*burst structure* — exactly what a canned benchmark list under-samples.
+Each profile here is a small, deliberately extreme workload model
+(:class:`~repro.workloads.WorkloadProfile`) targeting one burst
+mechanism: L1 thrash, L2 streaming, pointer chasing, mispredict drains,
+cold-code excursions, resonance-period alternation, idle/active steps.
+
+Profiles are the *atoms* of the scenario grammar
+(:mod:`repro.scenarios.grammar`): composable into sequences, overlays,
+repeats and ramps, and superposable across cores
+(:mod:`repro.scenarios.multicore`).  They lower to the existing
+``workloads.spec``/``generator`` machinery, so every scenario exercises
+the same Table-1 machine as the paper's benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SpecError
+from ..workloads import PhaseSpec, WorkloadProfile
+
+__all__ = [
+    "STRESS_PROFILES",
+    "StressProfile",
+    "get_stress_profile",
+    "profile_names",
+]
+
+
+@dataclass(frozen=True)
+class StressProfile:
+    """One named atomic stimulus: a workload model plus its intent."""
+
+    name: str
+    description: str
+    workload: WorkloadProfile
+
+
+def _workload(name: str, phases, **kw) -> WorkloadProfile:
+    kw.setdefault("suite", "int")
+    # Seeds live in a dedicated 9xx range so a stress profile can never
+    # collide with a SPEC2000 model in the simulator's (name, seed) memo.
+    return WorkloadProfile(name=name, phases=tuple(phases), **kw)
+
+
+#: The atomic stress-profile catalog, in the ``STRESS_PROFILES`` dict
+#: idiom: one entry per burst mechanism, each a complete workload model.
+STRESS_PROFILES: dict[str, StressProfile] = {
+    "cache-thrash": StressProfile(
+        "cache-thrash",
+        "L1-thrashing walks over an L2-resident set: dense bursts of "
+        "short miss stalls (poor locality, stress-ng cache style)",
+        _workload(
+            "cache-thrash",
+            [
+                PhaseSpec("thrash", 700.0, load_fraction=0.45,
+                          store_fraction=0.15, warm=0.8, cold=0.02,
+                          serial=0.2),
+                PhaseSpec("compute", 300.0, warm=0.10, serial=0.15),
+            ],
+            warm_bytes=1024 * 1024,
+            seed=901,
+        ),
+    ),
+    "memory-burst": StressProfile(
+        "memory-burst",
+        "streaming L2-missing bursts alternating with compute: the "
+        "long-stall/spike pattern of the memory-bound group (swim/mcf)",
+        _workload(
+            "memory-burst",
+            [
+                PhaseSpec("stream", 800.0, load_fraction=0.4, cold=0.35,
+                          serial=0.1),
+                PhaseSpec("compute", 400.0, warm=0.05, serial=0.2),
+            ],
+            suite="fp",
+            warm_bytes=4 * 1024 * 1024,
+            seed=902,
+        ),
+    ),
+    "pointer-chase": StressProfile(
+        "pointer-chase",
+        "serial cold loads (dependent pointer walks): no memory-level "
+        "parallelism, so every miss is a full-depth current trough",
+        _workload(
+            "pointer-chase",
+            [
+                PhaseSpec("chase", 1200.0, load_fraction=0.45, cold=0.25,
+                          serial=0.9),
+            ],
+            warm_bytes=4 * 1024 * 1024,
+            seed=903,
+        ),
+    ),
+    "fork-storm": StressProfile(
+        "fork-storm",
+        "constant excursions into never-before-seen code: I-cache misses "
+        "and front-end restarts (short-lived-process churn)",
+        _workload(
+            "fork-storm",
+            [
+                PhaseSpec("spawn", 900.0, warm=0.15, serial=0.3,
+                          hard_branch=0.10),
+            ],
+            code_bytes=512 * 1024,
+            cold_code=0.3,
+            seed=904,
+        ),
+    ),
+    "lock-contention": StressProfile(
+        "lock-contention",
+        "spin-wait acquire/release: serial chains punctuated by "
+        "data-dependent branches — mispredict drains at lock hand-off",
+        _workload(
+            "lock-contention",
+            [
+                PhaseSpec("spin", 400.0, load_fraction=0.3,
+                          branch_fraction=0.4, serial=0.8,
+                          hard_branch=0.6),
+                PhaseSpec("critical", 250.0, warm=0.2, serial=0.3,
+                          store_fraction=0.2),
+            ],
+            seed=905,
+        ),
+    ),
+    "branch-storm": StressProfile(
+        "branch-storm",
+        "50/50 data-dependent branches back to back: the window drains "
+        "and refills every few cycles (full-swing current pulses)",
+        _workload(
+            "branch-storm",
+            [
+                PhaseSpec("storm", 800.0, load_fraction=0.1,
+                          store_fraction=0.02, branch_fraction=0.55,
+                          serial=0.7, hard_branch=0.9,
+                          mult_fraction=0.2),
+            ],
+            seed=906,
+        ),
+    ),
+    "phase-oscillation": StressProfile(
+        "phase-oscillation",
+        "slow compute/memory alternation at hundreds of cycles: pumps "
+        "the low-frequency bands the window-level estimator owns",
+        _workload(
+            "phase-oscillation",
+            [
+                PhaseSpec("hot", 320.0, warm=0.02, serial=0.05,
+                          hard_branch=0.002, easy_bias=(0.99, 0.999)),
+                PhaseSpec("cold", 280.0, load_fraction=0.4, cold=0.3,
+                          serial=0.5),
+            ],
+            suite="fp",
+            warm_bytes=3 * 1024 * 1024,
+            seed=907,
+        ),
+    ),
+    "resonance-probe": StressProfile(
+        "resonance-probe",
+        "burst/stall alternation sized to the supply's ~30-cycle "
+        "resonant period: the worst-case dI/dt pump (gcc/mgrid family)",
+        _workload(
+            "resonance-probe",
+            [
+                PhaseSpec("burst", 40.0, serial=0.02, warm=0.02,
+                          hard_branch=0.02, easy_bias=(0.97, 0.999)),
+                PhaseSpec("stall", 4.0, serial=0.9, load_fraction=0.10,
+                          store_fraction=0.02, branch_fraction=0.55,
+                          mult_fraction=0.3, hard_branch=0.95),
+            ],
+            seed=908,
+        ),
+    ),
+    "idle-spike": StressProfile(
+        "idle-spike",
+        "long near-idle serial stretches broken by short full-width "
+        "bursts: maximal single-step current edges (wake-up transients)",
+        _workload(
+            "idle-spike",
+            [
+                PhaseSpec("idle", 600.0, load_fraction=0.05,
+                          store_fraction=0.02, branch_fraction=0.05,
+                          serial=0.97, div_fraction=0.2),
+                PhaseSpec("spike", 60.0, serial=0.01, warm=0.01,
+                          hard_branch=0.001, easy_bias=(0.995, 0.9995)),
+            ],
+            seed=909,
+        ),
+    ),
+    "fp-saturate": StressProfile(
+        "fp-saturate",
+        "sustained high-ILP FP multiply pressure with few misses: a "
+        "high near-Gaussian current plateau (the overlay carrier)",
+        _workload(
+            "fp-saturate",
+            [
+                PhaseSpec("saturate", 3000.0, fp_fraction=0.85,
+                          mult_fraction=0.35, warm=0.01, serial=0.05,
+                          hard_branch=0.001, easy_bias=(0.995, 0.9995)),
+            ],
+            suite="fp",
+            seed=910,
+        ),
+    ),
+}
+
+
+def profile_names() -> tuple[str, ...]:
+    """The atomic profile names, sorted."""
+    return tuple(sorted(STRESS_PROFILES))
+
+
+def get_stress_profile(name: str) -> StressProfile:
+    """Look up one atomic profile; unknown names list the valid ones."""
+    try:
+        return STRESS_PROFILES[name]
+    except KeyError:
+        raise SpecError(
+            f"unknown stress profile {name!r}; "
+            f"valid profiles: {', '.join(profile_names())}",
+            profile=name,
+            valid_profiles=list(profile_names()),
+        ) from None

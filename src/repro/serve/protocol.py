@@ -43,8 +43,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import ReproError
-from ..pipeline.spec import DEFAULT_STAGES, STORE_STAGES, JobSpec
+from ..errors import ReproError, SpecError
+from ..pipeline.spec import (
+    DEFAULT_STAGES,
+    SCENARIO_STAGES,
+    STORE_STAGES,
+    JobSpec,
+)
 from ..workloads import SPEC2000
 
 __all__ = [
@@ -98,6 +103,7 @@ class ServeRequest:
     trace_id: str | None = None
     samples: tuple[float, ...] | None = None
     label: str | None = None
+    scenario: str | None = None
     cycles: int = 32768
     seed: int | None = None
     warmup_cycles: int = 4096
@@ -109,11 +115,14 @@ class ServeRequest:
 
     @property
     def source(self) -> str:
-        """How the trace arrives: ``workload`` / ``ref`` / ``inline``."""
+        """How the trace arrives: ``workload`` / ``ref`` / ``inline`` /
+        ``scenario``."""
         if self.samples is not None:
             return "inline"
         if self.trace_id is not None:
             return "ref"
+        if self.scenario is not None:
+            return "scenario"
         return "workload"
 
 
@@ -138,12 +147,34 @@ def parse_request(payload: dict) -> ServeRequest:
     benchmark = payload.get("benchmark")
     trace_id = payload.get("trace_id")
     trace = payload.get("trace")
-    sources = sum(x is not None for x in (benchmark, trace_id, trace))
+    scenario = payload.get("scenario")
+    sources = sum(
+        x is not None for x in (benchmark, trace_id, trace, scenario)
+    )
     _require(
         sources == 1,
         "give exactly one trace source: 'benchmark' (named workload), "
-        "'trace_id' (store reference) or 'trace' (inline upload)",
+        "'trace_id' (store reference), 'trace' (inline upload) or "
+        "'scenario' (named stress scenario / schedule expression)",
     )
+    if scenario is not None:
+        _require(
+            kind == "characterize",
+            "control requests need a named workload (the closed loop "
+            "re-executes the machine, not a composed scenario)",
+        )
+        _require(
+            isinstance(scenario, str) and scenario.strip(),
+            "'scenario' must be a non-empty string",
+        )
+        from ..scenarios import resolve_scenario
+
+        try:
+            resolve_scenario(scenario)
+        except SpecError as exc:
+            # unknown name / malformed expression → HTTP 400 with the
+            # valid-name lists in the structured details
+            raise RequestError(str(exc), **exc.details) from None
     samples: tuple[float, ...] | None = None
     label = None
     if trace is not None:
@@ -228,6 +259,7 @@ def parse_request(payload: dict) -> ServeRequest:
         trace_id=trace_id,
         samples=samples,
         label=label,
+        scenario=scenario,
         cycles=number("cycles", 32768, int, minimum=1),
         seed=seed,
         warmup_cycles=number("warmup_cycles", 4096, int, minimum=0),
@@ -269,6 +301,20 @@ def build_spec(request: ServeRequest, *, network_for, store, spool) -> JobSpec:
             request.benchmark,
             network=network,
             stages=DEFAULT_STAGES,
+            **common,
+        )
+    if request.source == "scenario":
+        from ..scenarios import resolve_scenario, scenario_param
+
+        try:
+            scenario = resolve_scenario(request.scenario)
+        except SpecError as exc:  # re-validated post-parse; same mapping
+            raise RequestError(str(exc), **exc.details) from None
+        return JobSpec.make(
+            scenario.name,
+            network=network,
+            stages=SCENARIO_STAGES,
+            params={"scenario": scenario_param(scenario)},
             **common,
         )
     if request.source == "ref":

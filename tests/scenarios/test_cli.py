@@ -1,0 +1,130 @@
+"""CLI tests for `repro scenario` and `characterize --scenario`."""
+
+import pytest
+
+from repro.cli import EXIT_OK, EXIT_USAGE, build_parser, main
+
+
+class TestParser:
+    def test_scenario_ls_parses(self):
+        args = build_parser().parse_args(["scenario", "ls"])
+        assert args.command == "scenario"
+        assert args.scenario_command == "ls"
+
+    def test_scenario_run_defaults(self):
+        args = build_parser().parse_args(["scenario", "run", "burst-train"])
+        assert args.scenarios == ["burst-train"]
+        assert args.cycles is None
+        assert args.warmup_cycles == 512
+
+    def test_characterize_scenario_flag_repeats(self):
+        args = build_parser().parse_args(
+            ["characterize", "--scenario", "a", "--scenario", "b"]
+        )
+        assert args.scenario == ["a", "b"]
+        assert args.benchmarks == []
+
+
+class TestScenarioCommands:
+    def test_ls_lists_profiles_and_scenarios(self, capsys):
+        assert main(["scenario", "ls"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "cache-thrash" in out
+        assert "quad-core-dvfs" in out
+        assert "overlay" in out
+
+    def test_show_names_dvfs_edges(self, capsys):
+        assert main(["scenario", "show", "quad-core-dvfs"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "clock-gate" in out
+        assert "phase offset" in out
+        assert '"cores"' in out
+
+    def test_show_accepts_expressions(self, capsys):
+        assert (
+            main(["scenario", "show", "seq(cache-thrash, idle-spike)"])
+            == EXIT_OK
+        )
+        assert "cores" in capsys.readouterr().out
+
+    def test_show_unknown_name_exits_usage(self, capsys):
+        assert main(["scenario", "show", "warp-core"]) == EXIT_USAGE
+        err = capsys.readouterr().err
+        assert "valid scenarios" in err
+        assert "quad-core-dvfs" in err
+        assert "Traceback" not in err
+
+    def test_run_unknown_name_exits_usage(self, capsys):
+        assert main(["scenario", "run", "warp-core"]) == EXIT_USAGE
+        err = capsys.readouterr().err
+        assert "valid scenarios" in err
+        assert "Traceback" not in err
+
+    def test_run_malformed_expression_exits_usage(self, capsys):
+        assert main(["scenario", "run", "seq(cache-thrash"]) == EXIT_USAGE
+        assert "parse error" in capsys.readouterr().err
+
+    def test_run_single_scenario(self, capsys):
+        assert (
+            main(
+                ["scenario", "run", "burst-train",
+                 "--cycles", "1024", "--warmup-cycles", "32"]
+            )
+            == EXIT_OK
+        )
+        out = capsys.readouterr().out
+        assert "burst-train" in out
+        assert "est %" in out
+
+    def test_run_cache_flags_conflict(self, capsys):
+        assert (
+            main(
+                ["scenario", "run", "burst-train",
+                 "--cache-dir", "x", "--no-cache"]
+            )
+            == EXIT_USAGE
+        )
+
+    def test_run_with_cache_dir_hits_second_time(self, capsys, tmp_path):
+        argv = [
+            "scenario", "run", "quad-core-dvfs",
+            "--cycles", "1024", "--warmup-cycles", "32",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == EXIT_OK
+        first = capsys.readouterr().out
+        assert "0 cache hits" in first
+        assert main(argv) == EXIT_OK
+        second = capsys.readouterr().out
+        assert "3 cache hits" in second
+
+
+class TestCharacterizeScenario:
+    def test_unknown_scenario_exits_usage(self, capsys):
+        assert (
+            main(["characterize", "--scenario", "bogus"]) == EXIT_USAGE
+        )
+        err = capsys.readouterr().err
+        assert "valid scenarios" in err
+        assert "Traceback" not in err
+
+    def test_no_inputs_exits_usage(self, capsys):
+        assert main(["characterize"]) == EXIT_USAGE
+        assert "--scenario" in capsys.readouterr().err
+
+    def test_unknown_benchmark_exits_usage(self, capsys):
+        assert main(["characterize", "doom"]) == EXIT_USAGE
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_mixed_benchmark_and_scenario(self, capsys):
+        assert (
+            main(
+                ["characterize", "gzip",
+                 "--scenario", "burst-train", "--cycles", "2048"]
+            )
+            == EXIT_OK
+        )
+        out = capsys.readouterr().out
+        assert "gzip" in out
+        assert "burst-train" in out

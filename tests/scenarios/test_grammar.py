@@ -1,0 +1,201 @@
+"""Grammar tests: parsing, structured errors, compile semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecError
+from repro.scenarios import (
+    Atom,
+    Overlay,
+    Ramp,
+    Repeat,
+    Seq,
+    compile_schedule,
+    parse_schedule,
+    profile_names,
+    schedule_units,
+)
+
+CYCLES = 1024
+WARMUP = 32
+
+
+class TestParsing:
+    def test_bare_atom(self):
+        node = parse_schedule("cache-thrash")
+        assert node == Atom("cache-thrash")
+        assert schedule_units(node) == 1
+
+    def test_nested_combinators(self):
+        node = parse_schedule(
+            "repeat(seq(idle-spike, ramp(memory-burst, 0.5, 1.0)), 3)"
+        )
+        assert isinstance(node, Repeat)
+        assert node.count == 3
+        assert isinstance(node.child, Seq)
+        assert isinstance(node.child.children[1], Ramp)
+        assert schedule_units(node) == 6
+
+    def test_overlay_units_follow_children(self):
+        node = parse_schedule(
+            "overlay(seq(idle-spike, cache-thrash), "
+            "seq(fp-saturate, memory-burst))"
+        )
+        assert isinstance(node, Overlay)
+        assert schedule_units(node) == 2
+
+    def test_whitespace_is_insignificant(self):
+        a = parse_schedule("seq( cache-thrash ,idle-spike )")
+        b = parse_schedule("seq(cache-thrash, idle-spike)")
+        assert a == b
+
+    def test_canonical_round_trip_is_stable(self):
+        node = parse_schedule("overlay(fp-saturate, ramp(branch-storm, 0.0, 2.0))")
+        assert node.canonical() == {
+            "overlay": [
+                {"atom": "fp-saturate"},
+                {
+                    "ramp": {"atom": "branch-storm"},
+                    "start": 0.0,
+                    "stop": 2.0,
+                },
+            ]
+        }
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "seq(cache-thrash",  # unbalanced paren
+            "seq(cache-thrash,)",  # dangling comma
+            "seq()",  # no operands
+            "cache-thrash idle-spike",  # trailing garbage
+            "repeat(idle-spike)",  # missing count
+            "repeat(idle-spike, 1.5)",  # fractional count
+            "ramp(idle-spike, 0.5)",  # missing stop
+            "seq(cache-thrash))",  # extra paren
+            "",
+            "   ",
+            "seq(cache-thrash, UPPER)",  # invalid token
+        ],
+    )
+    def test_malformed_raises_spec_error(self, text):
+        with pytest.raises(SpecError):
+            parse_schedule(text)
+
+    def test_parse_error_carries_position(self):
+        with pytest.raises(SpecError) as err:
+            parse_schedule("seq(cache-thrash,, idle-spike)")
+        assert "position" in str(err.value)
+        assert err.value.details.get("position") is not None
+
+    def test_unknown_profile_lists_valid_names(self):
+        with pytest.raises(SpecError) as err:
+            parse_schedule("seq(cache-thrash, no-such-profile)")
+        message = str(err.value)
+        assert "no-such-profile" in message
+        for name in profile_names():
+            assert name in message
+        assert err.value.details["valid_profiles"] == list(profile_names())
+
+    def test_overlay_length_mismatch(self):
+        with pytest.raises(SpecError) as err:
+            parse_schedule(
+                "overlay(cache-thrash, seq(idle-spike, fp-saturate))"
+            )
+        assert "equal relative length" in str(err.value)
+        assert err.value.details["lengths"] == [1, 2]
+
+    def test_repeat_count_zero_rejected(self):
+        with pytest.raises(SpecError):
+            parse_schedule("repeat(idle-spike, 0)")
+
+    def test_negative_ramp_level_rejected(self):
+        with pytest.raises(SpecError):
+            Ramp(Atom("idle-spike"), -1.0, 0.5)
+
+
+class TestCompile:
+    def test_exact_cycle_count_under_uneven_split(self):
+        # 3 units into 1000 cycles cannot split evenly; the lengths must
+        # still sum exactly.
+        trace = compile_schedule(
+            "seq(cache-thrash, idle-spike, fp-saturate)",
+            1000,
+            seed=1,
+            warmup_cycles=WARMUP,
+        )
+        assert trace.shape == (1000,)
+        assert trace.dtype == np.float64
+
+    def test_deterministic_for_same_seed(self):
+        expr = "repeat(seq(idle-spike, resonance-probe), 2)"
+        a = compile_schedule(expr, CYCLES, seed=9, warmup_cycles=WARMUP)
+        b = compile_schedule(expr, CYCLES, seed=9, warmup_cycles=WARMUP)
+        assert np.array_equal(a, b)
+
+    def test_different_seed_differs(self):
+        expr = "seq(cache-thrash, memory-burst)"
+        a = compile_schedule(expr, CYCLES, seed=1, warmup_cycles=WARMUP)
+        b = compile_schedule(expr, CYCLES, seed=2, warmup_cycles=WARMUP)
+        assert not np.array_equal(a, b)
+
+    def test_repeated_atoms_draw_independent_streams(self):
+        # Two copies of the same atom in one schedule must not be
+        # byte-identical: each instantiation derives its own stream.
+        trace = compile_schedule(
+            "seq(cache-thrash, cache-thrash)",
+            CYCLES,
+            seed=4,
+            warmup_cycles=WARMUP,
+        )
+        half = CYCLES // 2
+        assert not np.array_equal(trace[:half], trace[half:])
+
+    def test_overlay_sums_operands(self):
+        # The overlay of x with itself is NOT 2x (independent streams),
+        # but the overlay mean must sit near the sum of operand means.
+        a = compile_schedule("fp-saturate", CYCLES, seed=5,
+                             warmup_cycles=WARMUP)
+        b = compile_schedule("branch-storm", CYCLES, seed=5,
+                             warmup_cycles=WARMUP)
+        both = compile_schedule(
+            "overlay(fp-saturate, branch-storm)",
+            CYCLES,
+            seed=5,
+            warmup_cycles=WARMUP,
+        )
+        assert both.mean() == pytest.approx(a.mean() + b.mean(), rel=0.25)
+
+    def test_ramp_envelope_scales_ends(self):
+        trace = compile_schedule(
+            "ramp(fp-saturate, 0.0, 1.0)", CYCLES, seed=6,
+            warmup_cycles=WARMUP,
+        )
+        assert trace[0] == 0.0
+        assert abs(trace[-1]) > 0.0
+        # the first half carries less signal than the second
+        assert trace[: CYCLES // 2].sum() < trace[CYCLES // 2 :].sum()
+
+    def test_string_and_node_inputs_agree(self):
+        node = parse_schedule("seq(idle-spike, lock-contention)")
+        a = compile_schedule(node, CYCLES, seed=2, warmup_cycles=WARMUP)
+        b = compile_schedule(
+            "seq(idle-spike, lock-contention)", CYCLES, seed=2,
+            warmup_cycles=WARMUP,
+        )
+        assert np.array_equal(a, b)
+
+    def test_span_too_short_for_units(self):
+        with pytest.raises(SpecError):
+            compile_schedule(
+                "seq(cache-thrash, idle-spike, fp-saturate)", 2, seed=0,
+                warmup_cycles=0,
+            )
+
+    def test_every_profile_compiles(self):
+        for name in profile_names():
+            trace = compile_schedule(name, 512, seed=0, warmup_cycles=WARMUP)
+            assert trace.shape == (512,)
+            assert np.isfinite(trace).all()

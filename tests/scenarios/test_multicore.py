@@ -1,0 +1,241 @@
+"""Multi-core scenario tests: superposition, phase, DVFS edges, backends."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecError
+from repro.kernels import KernelConfig
+from repro.scenarios import (
+    CoreSpec,
+    DVFSEvent,
+    Scenario,
+    compile_scenario,
+    compile_schedule,
+    dvfs_envelope,
+    get_scenario,
+    resolve_scenario,
+    scenario_from_param,
+    scenario_names,
+    scenario_param,
+)
+
+CYCLES = 1024
+WARMUP = 32
+
+
+class TestValidation:
+    def test_dvfs_position_out_of_range(self):
+        with pytest.raises(SpecError):
+            DVFSEvent(1.0, 0.5)
+        with pytest.raises(SpecError):
+            DVFSEvent(-0.1, 0.5)
+
+    def test_dvfs_negative_scale(self):
+        with pytest.raises(SpecError):
+            DVFSEvent(0.5, -0.5)
+
+    def test_dvfs_events_must_be_increasing(self):
+        with pytest.raises(SpecError) as err:
+            CoreSpec(
+                "fp-saturate",
+                dvfs=(DVFSEvent(0.5, 0.0), DVFSEvent(0.25, 1.0)),
+            )
+        assert "increasing" in str(err.value)
+
+    def test_duplicate_dvfs_positions_rejected(self):
+        with pytest.raises(SpecError):
+            CoreSpec(
+                "fp-saturate",
+                dvfs=(DVFSEvent(0.5, 0.0), DVFSEvent(0.5, 1.0)),
+            )
+
+    def test_phase_offset_range(self):
+        with pytest.raises(SpecError):
+            CoreSpec("fp-saturate", phase_offset=1.0)
+
+    def test_core_schedule_validated_at_construction(self):
+        with pytest.raises(SpecError):
+            CoreSpec("seq(broken")
+
+    def test_scenario_needs_cores(self):
+        with pytest.raises(SpecError):
+            Scenario("empty", "no cores", cores=())
+
+
+class TestDVFSEdges:
+    def test_envelope_edge_alignment(self):
+        envelope = dvfs_envelope(
+            (DVFSEvent(0.25, 0.5), DVFSEvent(0.75, 1.0)), 1000
+        )
+        assert envelope[0] == 1.0
+        assert envelope[249] == 1.0
+        assert envelope[250] == 0.5  # edge lands exactly at int(0.25*1000)
+        assert envelope[749] == 0.5
+        assert envelope[750] == 1.0
+        assert envelope[-1] == 1.0
+
+    def test_clock_gate_zeroes_exactly_from_edge(self):
+        scenario = Scenario(
+            "gate",
+            "single gated core",
+            cores=(CoreSpec("fp-saturate", dvfs=(DVFSEvent(0.5, 0.0),)),),
+        )
+        trace = compile_scenario(
+            scenario, CYCLES, seed=3, warmup_cycles=WARMUP
+        )
+        edge = int(0.5 * CYCLES)
+        assert np.all(trace[edge:] == 0.0)
+        # fp-saturate draws hard the whole time; the cycle before the
+        # edge must still be live
+        assert trace[edge - 1] > 0.0
+
+    def test_gate_then_wake_restores_signal(self):
+        scenario = Scenario(
+            "gate-wake",
+            "gate off then on",
+            cores=(
+                CoreSpec(
+                    "fp-saturate",
+                    dvfs=(DVFSEvent(0.25, 0.0), DVFSEvent(0.5, 1.0)),
+                ),
+            ),
+        )
+        trace = compile_scenario(
+            scenario, CYCLES, seed=3, warmup_cycles=WARMUP
+        )
+        lo, hi = int(0.25 * CYCLES), int(0.5 * CYCLES)
+        assert np.all(trace[lo:hi] == 0.0)
+        assert trace[hi] > 0.0
+
+
+class TestSuperposition:
+    def test_sum_of_single_core_compiles(self):
+        cores = (
+            CoreSpec("cache-thrash"),
+            CoreSpec("memory-burst", gain=0.5),
+        )
+        combined = compile_scenario(
+            Scenario("both", "two cores", cores),
+            CYCLES,
+            seed=7,
+            warmup_cycles=WARMUP,
+        )
+        parts = [
+            compile_scenario(
+                Scenario("one", "single", (core,)),
+                CYCLES,
+                seed=7,
+                warmup_cycles=WARMUP,
+            )
+            for core in cores
+        ]
+        # Per-core stream seeds derive from the core *index*, so core 1
+        # alone (index 0) differs from core 1 in company — compare
+        # against single-core compiles only for index 0.
+        assert np.array_equal(
+            parts[0],
+            compile_scenario(
+                Scenario("a", "first", (cores[0],)), CYCLES, seed=7,
+                warmup_cycles=WARMUP,
+            ),
+        )
+        assert combined.shape == (CYCLES,)
+        assert combined.mean() > parts[0].mean()  # second core adds current
+
+    def test_phase_offset_is_a_rotation(self):
+        base = compile_scenario(
+            Scenario("p0", "no offset", (CoreSpec("phase-oscillation"),)),
+            CYCLES,
+            seed=11,
+            warmup_cycles=WARMUP,
+        )
+        shifted = compile_scenario(
+            Scenario(
+                "p25",
+                "quarter offset",
+                (CoreSpec("phase-oscillation", phase_offset=0.25),),
+            ),
+            CYCLES,
+            seed=11,
+            warmup_cycles=WARMUP,
+        )
+        assert np.array_equal(shifted, np.roll(base, CYCLES // 4))
+
+    def test_aligned_beats_skewed_peak(self):
+        aligned = compile_scenario(
+            get_scenario("dual-core-aligned"), CYCLES, seed=13,
+            warmup_cycles=WARMUP,
+        )
+        skewed = compile_scenario(
+            get_scenario("dual-core-skewed"), CYCLES, seed=13,
+            warmup_cycles=WARMUP,
+        )
+        # in-phase superposition must produce a larger swing than the
+        # half-period-offset counterpart
+        assert aligned.max() - aligned.min() >= skewed.max() - skewed.min()
+
+
+class TestDeterminism:
+    def test_deterministic_across_kernel_backends(self):
+        scenario = get_scenario("quad-core-dvfs")
+        with KernelConfig(backend="reference"):
+            a = compile_scenario(
+                scenario, CYCLES, seed=17, warmup_cycles=WARMUP
+            )
+        with KernelConfig(backend="vectorized"):
+            b = compile_scenario(
+                scenario, CYCLES, seed=17, warmup_cycles=WARMUP
+            )
+        assert np.array_equal(a, b)
+
+    def test_param_round_trip_compiles_identically(self):
+        scenario = get_scenario("quad-core-dvfs")
+        rebuilt = scenario_from_param(scenario_param(scenario))
+        a = compile_scenario(scenario, CYCLES, seed=19, warmup_cycles=WARMUP)
+        b = compile_scenario(rebuilt, CYCLES, seed=19, warmup_cycles=WARMUP)
+        assert np.array_equal(a, b)
+
+    def test_schedule_compile_matches_single_core_scenario(self):
+        expr = "seq(cache-thrash, idle-spike)"
+        via_scenario = compile_scenario(
+            resolve_scenario(expr), CYCLES, seed=23, warmup_cycles=WARMUP
+        )
+        # core index 0 derives the same stream seed every time
+        direct = compile_schedule(
+            expr,
+            CYCLES,
+            seed=(23 * 1_000_003 + 13) % (2**31 - 1),
+            warmup_cycles=WARMUP,
+        )
+        assert np.array_equal(via_scenario, direct)
+
+
+class TestCatalog:
+    def test_every_catalog_scenario_compiles(self):
+        for name in scenario_names():
+            trace = compile_scenario(
+                get_scenario(name), 512, seed=0, warmup_cycles=WARMUP
+            )
+            assert trace.shape == (512,)
+            assert np.isfinite(trace).all()
+
+    def test_unknown_name_lists_valid_names(self):
+        with pytest.raises(SpecError) as err:
+            get_scenario("warp-drive")
+        assert err.value.details["valid_scenarios"] == list(scenario_names())
+        assert "quad-core-dvfs" in str(err.value)
+
+    def test_resolve_accepts_profile_names(self):
+        scenario = resolve_scenario("cache-thrash")
+        assert len(scenario.cores) == 1
+        assert scenario.cores[0].schedule == "cache-thrash"
+
+    def test_resolve_rejects_bare_unknown_names(self):
+        with pytest.raises(SpecError):
+            resolve_scenario("not-a-thing")
+
+    def test_malformed_param_raises_spec_error(self):
+        with pytest.raises(SpecError):
+            scenario_from_param("{not json")
+        with pytest.raises(SpecError):
+            scenario_from_param('{"wrong": []}')

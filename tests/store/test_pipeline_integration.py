@@ -58,10 +58,11 @@ def seeded_store(tmp_path):
 
 
 class TestSchemaV3:
-    def test_schema_version_is_3(self):
-        # v3 made trace identity dtype-explicit; regressing the bump
-        # would alias v2 entries whose floats differ in the last ulp.
-        assert CACHE_SCHEMA_VERSION == 3
+    def test_schema_version_is_4(self):
+        # v3 made trace identity dtype-explicit; v4 added the scenario
+        # stage to the trace namespace.  Regressing a bump would alias
+        # entries written by an older schema.
+        assert CACHE_SCHEMA_VERSION == 4
 
     def test_simulate_identity_names_dtype(self, net150):
         spec = build_characterization_jobs(("gzip",), net150,
